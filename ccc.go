@@ -1,0 +1,102 @@
+// Package ccc (Cached Code Compression) is the public API of this
+// reproduction of Larin & Conte, "Compiler-Driven Cached Code Compression
+// Schemes for Embedded ILP Processors" (MICRO 1999).
+//
+// The package re-exports the toolchain's stable surface:
+//
+//   - compiling benchmark stand-ins or custom workload profiles
+//     (CompileBenchmark, CompileProfile);
+//   - the encoding schemes (base / byte / six stream configurations /
+//     full-op Huffman / tailored ISA) and their program images with
+//     Address Translation Tables;
+//   - dynamic traces (profile-driven or interpreted) and the three IFetch
+//     simulators (Base, Compressed, Tailored) with the paper's Table 1
+//     cycle model;
+//   - one experiment per figure of the paper's evaluation (Figure5,
+//     Figure7, Figure10, Figure13, Figure14 on Suite).
+//
+// A minimal end-to-end run:
+//
+//	c, _ := ccc.CompileBenchmark("compress")
+//	base, _ := c.Image("base")
+//	full, _ := c.Image("full")
+//	fmt.Printf("full scheme: %.1f%% of original size\n", 100*full.Ratio(base))
+//
+//	tr, _ := c.Trace(100000)
+//	sim, _ := ccc.NewSim(ccc.OrgCompressed, ccc.DefaultConfig(ccc.OrgCompressed), full, c.Prog)
+//	fmt.Printf("delivered IPC: %.3f\n", sim.Run(tr).IPC())
+package ccc
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+// Benchmarks are the eight SPECint95 benchmark names of the paper's
+// evaluation.
+var Benchmarks = workload.Benchmarks
+
+// Compilation pipeline.
+type (
+	// Compiled is a program pushed through the compiler substrate; see
+	// core.Compiled.
+	Compiled = core.Compiled
+	// Options parameterizes an experiment suite.
+	Options = core.Options
+	// Suite runs the paper's figures over compiled benchmarks.
+	Suite = core.Suite
+	// Profile is a synthetic-benchmark generation profile.
+	Profile = workload.Profile
+)
+
+// CompileBenchmark compiles one of the eight benchmark stand-ins.
+func CompileBenchmark(name string) (*Compiled, error) {
+	return core.CompileBenchmark(name)
+}
+
+// CompileProfile compiles a custom workload profile.
+func CompileProfile(p Profile) (*Compiled, error) { return core.CompileProfile(p) }
+
+// ProfileFor returns the calibrated profile for a benchmark name.
+func ProfileFor(name string) (Profile, bool) { return workload.ProfileFor(name) }
+
+// NewSuite creates an experiment suite.
+func NewSuite(opt Options) *Suite { return core.NewSuite(opt) }
+
+// SchemeNames lists every encoding scheme.
+func SchemeNames() []string { return core.SchemeNames() }
+
+// IFetch simulation.
+type (
+	// Org selects an IFetch organization (OrgBase, OrgCompressed,
+	// OrgTailored).
+	Org = cache.Org
+	// Config is the cache geometry.
+	Config = cache.Config
+	// Result carries one simulation's metrics.
+	Result = cache.Result
+	// Sim is a trace-driven IFetch simulation.
+	Sim = cache.Sim
+	// Machine is the TEPIC interpreter.
+	Machine = emu.Machine
+)
+
+// The three IFetch organizations of the paper's Figures 11–13.
+const (
+	OrgBase       = cache.OrgBase
+	OrgCompressed = cache.OrgCompressed
+	OrgTailored   = cache.OrgTailored
+)
+
+// DefaultConfig returns the paper's cache configuration for an
+// organization (16 KB 2-way; 20 KB effective for Base).
+func DefaultConfig(org Org) Config { return cache.DefaultConfig(org) }
+
+// NewSim builds an IFetch simulator; the image must be encoded under the
+// scheme matching the organization.
+var NewSim = cache.NewSim
+
+// NewMachine returns a fresh TEPIC interpreter.
+func NewMachine() *Machine { return emu.NewMachine() }

@@ -1,0 +1,88 @@
+package ccc_test
+
+import (
+	"testing"
+
+	ccc "repro"
+)
+
+// The facade tests exercise the library exactly the way README's examples
+// do: the public surface must be sufficient for the full workflow.
+func TestFacadeWorkflow(t *testing.T) {
+	c, err := ccc.CompileBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.Image("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.Image("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := full.Ratio(base); r <= 0 || r >= 1 {
+		t.Errorf("full ratio %.3f", r)
+	}
+	tr, err := c.Trace(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ccc.NewSim(ccc.OrgCompressed, ccc.DefaultConfig(ccc.OrgCompressed), full, c.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc := sim.Run(tr).IPC(); ipc <= 0 {
+		t.Errorf("IPC %.3f", ipc)
+	}
+}
+
+func TestFacadeBenchmarksList(t *testing.T) {
+	if len(ccc.Benchmarks) != 8 {
+		t.Errorf("expected 8 benchmarks, got %d", len(ccc.Benchmarks))
+	}
+	for _, n := range ccc.Benchmarks {
+		if _, ok := ccc.ProfileFor(n); !ok {
+			t.Errorf("no profile for %s", n)
+		}
+	}
+	if _, ok := ccc.ProfileFor("nonesuch"); ok {
+		t.Error("profile for unknown benchmark")
+	}
+}
+
+func TestFacadeCustomProfile(t *testing.T) {
+	prof, _ := ccc.ProfileFor("compress")
+	prof.Name = "custom"
+	prof.Seed = 777
+	prof.Funcs = 4
+	c, err := ccc.CompileProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "custom" {
+		t.Errorf("program name %q", c.Name)
+	}
+	if len(ccc.SchemeNames()) != 10 {
+		t.Errorf("scheme count %d", len(ccc.SchemeNames()))
+	}
+}
+
+func TestFacadeMachine(t *testing.T) {
+	m := ccc.NewMachine()
+	m.Store(5, 42)
+	if m.Load(5) != 42 {
+		t.Error("machine memory")
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	s := ccc.NewSuite(ccc.Options{Benchmarks: []string{"compress"}, TraceBlocks: 10000})
+	f5, err := s.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Rows) != 1 || f5.Rows[0].Benchmark != "compress" {
+		t.Error("suite subset not honored")
+	}
+}

@@ -1,0 +1,205 @@
+// Command tepicbench regenerates the paper's evaluation: every figure's
+// table in one run, plus the design-space sweeps and the related/future
+// work studies behind them.
+//
+// Usage:
+//
+//	tepicbench                      # all figures, full-length traces
+//	tepicbench -fig 13              # one figure
+//	tepicbench -blocks 100000       # shorter traces (faster)
+//	tepicbench -benchmarks gcc,go   # subset
+//	tepicbench -sweep streams       # the six stream configurations
+//	tepicbench -sweep related       # §6 comparison (CodePack, Thumb-style)
+//	tepicbench -sweep predictors    # §7 predictor study
+//	tepicbench -sweep superblocks   # §7 complex fetch units
+//	tepicbench -sweep speculation   # treegion-style hoisting study
+//	tepicbench -sweep dict          # §7 beyond-Huffman dictionary scheme
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	ccc "repro"
+	"repro/internal/core"
+	"repro/internal/superblock"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against args, writing to out (separated from main
+// for testing).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tepicbench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 5, 7, 10, 13, 14 or all")
+	blocks := fs.Int("blocks", 0, "trace length in blocks (0 = profile defaults, 400k)")
+	benchCSV := fs.String("benchmarks", "", "comma-separated benchmark subset")
+	sweep := fs.String("sweep", "", "extra study: streams, related, dict, predictors, superblocks, speculation, layout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := ccc.Options{TraceBlocks: *blocks}
+	if *benchCSV != "" {
+		opt.Benchmarks = strings.Split(*benchCSV, ",")
+	}
+	s := ccc.NewSuite(opt)
+
+	if *sweep != "" {
+		return runSweep(s, opt, *sweep, out)
+	}
+
+	want := func(n string) bool { return *fig == "all" || *fig == n }
+	type figure struct {
+		name string
+		gen  func() (interface{ Render() string }, error)
+	}
+	render := func(t interface{ Render() string }, err error) (interface{ Render() string }, error) {
+		return t, err
+	}
+	figures := []figure{
+		{"5", func() (interface{ Render() string }, error) {
+			r, err := s.Figure5()
+			if err != nil {
+				return nil, err
+			}
+			return render(r.Table(), nil)
+		}},
+		{"7", func() (interface{ Render() string }, error) {
+			r, err := s.Figure7()
+			if err != nil {
+				return nil, err
+			}
+			return render(r.Table(), nil)
+		}},
+		{"10", func() (interface{ Render() string }, error) {
+			r, err := s.Figure10()
+			if err != nil {
+				return nil, err
+			}
+			return render(r.Table(), nil)
+		}},
+		{"13", func() (interface{ Render() string }, error) {
+			r, err := s.Figure13()
+			if err != nil {
+				return nil, err
+			}
+			return render(r.Table(), nil)
+		}},
+		{"14", func() (interface{ Render() string }, error) {
+			r, err := s.Figure14()
+			if err != nil {
+				return nil, err
+			}
+			return render(r.Table(), nil)
+		}},
+	}
+	matched := false
+	for _, f := range figures {
+		if !want(f.name) {
+			continue
+		}
+		matched = true
+		tab, err := f.gen()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tab.Render())
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	return nil
+}
+
+func runSweep(s *ccc.Suite, opt ccc.Options, sweep string, out io.Writer) error {
+	switch sweep {
+	case "streams":
+		rows, err := s.StreamSweep()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Stream configuration exploration (six configurations of §2.2):")
+		fmt.Fprintf(out, "%-10s %12s %18s\n", "config", "mean ratio", "decoder log10(T)")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%-10s %11.1f%% %18.2f\n", r.Config, 100*r.MeanRatio, r.Log10T)
+		}
+	case "related":
+		rows, err := s.RelatedWork()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, core.RelatedWorkTable(rows).Render())
+	case "dict":
+		rows, err := s.DictionarySweep(8)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Beyond-Huffman dictionary scheme (§7 future work), 256-entry dictionary:")
+		fmt.Fprintf(out, "%-10s %10s %10s %14s %14s\n",
+			"benchmark", "dict", "full", "dict RAM bits", "full log10(T)")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%-10s %9.1f%% %9.1f%% %14d %14.2f\n",
+				r.Benchmark, 100*r.DictRatio, 100*r.FullRatio, r.DictRAMBits, r.FullLog10T)
+		}
+	case "predictors":
+		bench := "go"
+		if len(opt.Benchmarks) > 0 {
+			bench = opt.Benchmarks[0]
+		}
+		rows, err := s.PredictorSweep(bench)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, core.PredictorTable(bench, rows).Render())
+	case "layout":
+		rows, err := s.LayoutStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, core.LayoutTable(rows).Render())
+	case "speculation":
+		rows, err := s.SpeculationStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, core.SpeculationTable(rows).Render())
+	case "superblocks":
+		names := opt.Benchmarks
+		if len(names) == 0 {
+			names = ccc.Benchmarks
+		}
+		fmt.Fprintln(out, "Complex fetch units (§7 future work): superblock formation")
+		fmt.Fprintf(out, "%-10s %7s %7s %9s %12s %10s %10s\n",
+			"benchmark", "blocks", "units", "ops/unit", "fetch starts", "reduction", "side exits")
+		for _, name := range names {
+			c, err := s.Compiled(name)
+			if err != nil {
+				return err
+			}
+			plan, err := superblock.Build(c.Prog, 0)
+			if err != nil {
+				return err
+			}
+			tr, err := c.Trace(opt.TraceBlocks)
+			if err != nil {
+				return err
+			}
+			st := plan.Evaluate(c.Prog, tr)
+			fmt.Fprintf(out, "%-10s %7d %7d %9.2f %12d %9.1f%% %9.1f%%\n",
+				name, st.Blocks, st.Units, st.AvgUnitOps,
+				st.FetchStartsSB, 100*st.FetchReduction(), 100*st.SideExitRate())
+		}
+	default:
+		return fmt.Errorf("unknown sweep %q", sweep)
+	}
+	return nil
+}

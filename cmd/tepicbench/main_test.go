@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	out := benchOut(t, "-fig", "5", "-benchmarks", "compress")
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "compress") {
+		t.Errorf("figure 5 output incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 13") {
+		t.Error("unrequested figure rendered")
+	}
+}
+
+func TestRunFigure13Short(t *testing.T) {
+	out := benchOut(t, "-fig", "13", "-benchmarks", "compress", "-blocks", "20000")
+	for _, want := range []string{"Figure 13", "Ideal", "Compressed", "Tailored"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunSweeps(t *testing.T) {
+	cases := map[string]string{
+		"streams":     "Stream configuration exploration",
+		"dict":        "dictionary",
+		"speculation": "speculation study",
+		"superblocks": "Complex fetch units",
+		"layout":      "code layout",
+	}
+	for sweep, want := range cases {
+		out := benchOut(t, "-sweep", sweep, "-benchmarks", "compress", "-blocks", "20000")
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("sweep %s: missing %q:\n%s", sweep, want, out)
+		}
+	}
+}
+
+func TestRunPredictorSweep(t *testing.T) {
+	out := benchOut(t, "-sweep", "predictors", "-benchmarks", "compress", "-blocks", "20000")
+	for _, want := range []string{"bimodal", "gshare", "perfect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("predictor sweep missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "99"}, &sb); err == nil {
+		t.Error("accepted unknown figure")
+	}
+	if err := run([]string{"-sweep", "nonesuch"}, &sb); err == nil {
+		t.Error("accepted unknown sweep")
+	}
+	if err := run([]string{"-benchmarks", "nonesuch", "-fig", "5"}, &sb); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+}

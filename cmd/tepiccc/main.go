@@ -1,0 +1,174 @@
+// Command tepiccc is the "compression compiler" driver: it takes a
+// benchmark through scheduling, encodes it under a chosen scheme, reports
+// image/ATT sizes and dictionary statistics, verifies the encoding
+// round-trips, and (for the tailored ISA) emits the Verilog decoder —
+// the paper's Figure 2 system-development flow in one command.
+//
+// Usage:
+//
+//	tepiccc -bench gcc -scheme full
+//	tepiccc -bench compress -scheme tailored -verilog decoder.v
+//	tepiccc -bench go -all -speculate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	ccc "repro"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/declogic"
+	"repro/internal/sched"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against args, writing to out (separated from main
+// for testing).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tepiccc", flag.ContinueOnError)
+	bench := fs.String("bench", "compress", "benchmark name")
+	asmFile := fs.String("asm", "", "compile this TINKER-style assembly file instead of a benchmark")
+	scheme := fs.String("scheme", "full", "encoding scheme")
+	all := fs.Bool("all", false, "report every scheme")
+	speculate := fs.Bool("speculate", false, "run the treegion-style speculative hoisting pass")
+	verilog := fs.String("verilog", "", "emit tailored decoder Verilog to this file")
+	huffV := fs.String("huffman-verilog", "", "emit the chosen scheme's Huffman decoder Verilog to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		c   *core.Compiled
+		err error
+	)
+	switch {
+	case *asmFile != "":
+		src, rerr := os.ReadFile(*asmFile)
+		if rerr != nil {
+			return rerr
+		}
+		p, perr := asm.Parse(*asmFile, string(src))
+		if perr != nil {
+			return perr
+		}
+		if *speculate {
+			var hoisted int
+			if hoisted, err = sched.Speculate(p); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "speculation: %d ops hoisted\n", hoisted)
+		}
+		c, err = core.ScheduleOnly(p)
+	case *speculate:
+		var hoisted int
+		c, hoisted, err = core.CompileBenchmarkSpeculative(*bench)
+		if err == nil {
+			fmt.Fprintf(out, "speculation: %d ops hoisted\n", hoisted)
+		}
+	default:
+		c, err = ccc.CompileBenchmark(*bench)
+	}
+	if err != nil {
+		return err
+	}
+	base, err := c.Image("base")
+	if err != nil {
+		return err
+	}
+
+	schemes := []string{*scheme}
+	if *all {
+		schemes = ccc.SchemeNames()
+	}
+	fmt.Fprintf(out, "%-10s %10s %8s %10s %8s  %s\n",
+		"scheme", "code B", "of base", "ATT B", "total B", "decoder")
+	for _, s := range schemes {
+		im, err := c.Image(s)
+		if err != nil {
+			return err
+		}
+		enc, err := c.Encoder(s)
+		if err != nil {
+			return err
+		}
+		att := 0
+		if im.ATT != nil {
+			att = im.ATT.CompressedBytes
+		}
+		dec := "-"
+		if tabs := enc.Tables(); len(tabs) > 0 {
+			cx := declogic.ForTables(s, tabs)
+			dec = fmt.Sprintf("n=%d k=%d log10T=%.2f", cx.N, cx.K, cx.Log10Transistors())
+		} else if s == "tailored" {
+			tl, err := c.Tailored()
+			if err != nil {
+				return err
+			}
+			dec = fmt.Sprintf("PLA %d entries", tl.DictionaryEntries())
+		}
+		fmt.Fprintf(out, "%-10s %10d %7.1f%% %10d %8d  %s\n",
+			s, im.CodeBytes, 100*im.Ratio(base), att, im.TotalBytes(), dec)
+	}
+
+	if err := c.Verify(); err != nil {
+		return fmt.Errorf("round-trip verification FAILED: %w", err)
+	}
+	fmt.Fprintln(out, "\nround-trip verification: all built images decode back to the scheduled program")
+
+	if *verilog != "" {
+		tl, err := c.Tailored()
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*verilog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		module := "tepic_" + *bench + "_decoder"
+		if *asmFile != "" {
+			module = "tepic_custom_decoder"
+		}
+		if err := tl.EmitVerilog(f, module); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "tailored decoder written to %s\n", *verilog)
+	}
+
+	if *huffV != "" {
+		enc, err := c.Encoder(*scheme)
+		if err != nil {
+			return err
+		}
+		tabs := enc.Tables()
+		if len(tabs) == 0 {
+			return fmt.Errorf("scheme %s has no Huffman tables", *scheme)
+		}
+		f, err := os.Create(*huffV)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for i, tab := range tabs {
+			module := fmt.Sprintf("huff_%s_decoder", *scheme)
+			if len(tabs) > 1 {
+				module = fmt.Sprintf("huff_%s_stream%d_decoder", *scheme, i)
+			}
+			if err := tab.EmitVerilog(f, module); err != nil {
+				return err
+			}
+			fmt.Fprintln(f)
+		}
+		fmt.Fprintf(out, "Huffman decoder(s) written to %s\n", *huffV)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleScheme(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-scheme", "full"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "full") || !strings.Contains(out, "round-trip verification") {
+		t.Errorf("output incomplete:\n%s", out)
+	}
+}
+
+func TestRunAllSchemesWithVerilog(t *testing.T) {
+	dir := t.TempDir()
+	vfile := filepath.Join(dir, "dec.v")
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-all", "-verilog", vfile}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, scheme := range []string{"base", "byte", "stream_1", "tailored"} {
+		if !strings.Contains(out, scheme) {
+			t.Errorf("missing scheme %q in output", scheme)
+		}
+	}
+	v, err := os.ReadFile(vfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(v), "module tepic_compress_decoder") {
+		t.Error("Verilog file lacks the decoder module")
+	}
+}
+
+func TestRunSpeculate(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-scheme", "tailored", "-speculate"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "speculation:") {
+		t.Error("speculation summary missing")
+	}
+}
+
+func TestRunAsmFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "kern.tasm")
+	if err := os.WriteFile(src, []byte(`
+func main
+b0:
+	ldi #5 -> r1
+	ldi #0 -> r2
+loop:
+	add r2, r1 -> r2
+	cmplt r2, r1 -> p1
+	brct p1, loop ?0.1
+end:
+	ret
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-asm", src, "-all", "-speculate"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "round-trip verification") {
+		t.Errorf("asm compile incomplete:\n%s", out)
+	}
+	if err := run([]string{"-asm", filepath.Join(dir, "missing.tasm")}, &sb); err == nil {
+		t.Error("accepted missing asm file")
+	}
+}
+
+func TestRunHuffmanVerilog(t *testing.T) {
+	dir := t.TempDir()
+	vfile := filepath.Join(dir, "huff.v")
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-scheme", "byte",
+		"-huffman-verilog", vfile}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	v, err := os.ReadFile(vfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(v), "module huff_byte_decoder") {
+		t.Error("Huffman decoder module missing")
+	}
+	// The full scheme's dictionary exceeds the synthesis bound on larger
+	// benchmarks; byte always fits. A scheme without tables must error.
+	if err := run([]string{"-bench", "compress", "-scheme", "tailored",
+		"-huffman-verilog", vfile}, &sb); err == nil {
+		t.Error("accepted -huffman-verilog for a non-Huffman scheme")
+	}
+}
+
+func TestRunUnknownScheme(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-scheme", "nonesuch"}, &sb); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+}

@@ -1,0 +1,96 @@
+// Command tepicgen generates and inspects the synthetic SPECint95-class
+// benchmark programs: static statistics, dynamic trace characteristics and
+// optional disassembly — the stand-in for the paper's LEGO+SPEC toolchain
+// front end.
+//
+// Usage:
+//
+//	tepicgen -bench gcc -stats
+//	tepicgen -bench compress -disasm 3
+//	tepicgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	ccc "repro"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against args, writing to out (separated from main
+// for testing).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tepicgen", flag.ContinueOnError)
+	bench := fs.String("bench", "compress", "benchmark name")
+	list := fs.Bool("list", false, "list available benchmarks and exit")
+	stats := fs.Bool("stats", true, "print static and dynamic statistics")
+	disasm := fs.Int("disasm", 0, "disassemble the first N scheduled blocks")
+	blocks := fs.Int("blocks", 100000, "dynamic trace length for statistics")
+	dot := fs.Bool("dot", false, "emit the control-flow graph in Graphviz DOT form and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range ccc.Benchmarks {
+			p, _ := ccc.ProfileFor(n)
+			fmt.Fprintf(out, "%-9s funcs=%-4d phases=%-3d seed=%d\n", n, p.Funcs, p.Phases, p.Seed)
+		}
+		return nil
+	}
+
+	c, err := ccc.CompileBenchmark(*bench)
+	if err != nil {
+		return err
+	}
+
+	if *dot {
+		return c.IR.WriteDOT(out)
+	}
+
+	if *stats {
+		s := ir.Collect(c.IR)
+		fmt.Fprintf(out, "benchmark %s\n", *bench)
+		fmt.Fprintf(out, "  static: %s\n", s.String())
+		fmt.Fprintf(out, "  scheduled: %d MOPs, density %.2f ops/MOP\n",
+			c.Prog.TotalMOPs(), c.Prog.Density())
+		fmt.Fprintf(out, "  regalloc: %d/%d/%d regs used (gpr/fpr/pred), %d steals\n",
+			c.Alloc.GPRUsed, c.Alloc.FPRUsed, c.Alloc.PredUsed, c.Alloc.Steals)
+		base, err := c.Image("base")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  baseline image: %d bytes\n", base.CodeBytes)
+
+		tr, err := c.Trace(*blocks)
+		if err != nil {
+			return err
+		}
+		fp := tr.Footprint(len(c.Prog.Blocks))
+		fmt.Fprintf(out, "  dynamic: %d blocks, %d ops, footprint %d blocks (%.0f%% of static)\n",
+			tr.Len(), tr.Ops, fp, 100*float64(fp)/float64(len(c.Prog.Blocks)))
+	}
+
+	if *disasm > 0 {
+		for i := 0; i < *disasm && i < len(c.Prog.Blocks); i++ {
+			b := c.Prog.Blocks[i]
+			fmt.Fprintf(out, "\nblock %d (fn %d, %d MOPs, taken->%d fall->%d):\n",
+				b.ID, b.Fn, b.NumMOPs(), b.TakenTarget, b.FallTarget)
+			for _, m := range b.MOPs {
+				fmt.Fprintln(out, isa.DisasmMOP(m))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"compress", "gcc", "vortex"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("list output missing %q", name)
+		}
+	}
+}
+
+func TestRunStatsAndDisasm(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-disasm", "2", "-blocks", "5000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"benchmark compress", "scheduled:", "dynamic:", "block 0", "[t]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-dot"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.Contains(out, "cluster_0") {
+		t.Errorf("DOT output malformed:\n%.200s", out)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "nonesuch"}, &sb); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}

@@ -1,0 +1,136 @@
+// Command tepicsim runs one trace-driven IFetch simulation: a benchmark,
+// an organization (base / compressed / tailored / codepack), and a cache
+// geometry, reporting the paper's metrics (delivered IPC, miss and
+// misprediction rates, L0 buffer behaviour, bus traffic and bit flips).
+//
+// Usage:
+//
+//	tepicsim -bench vortex -org compressed
+//	tepicsim -bench gcc -org base -sets 512 -assoc 4
+//	tepicsim -bench compress -org compressed -l0 64 -blocks 1000000
+//	tepicsim -bench go -org base -predictor gshare
+//	tepicsim -bench vortex -org codepack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	ccc "repro"
+	"repro/internal/cache"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against args, writing to out (separated from main
+// for testing).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tepicsim", flag.ContinueOnError)
+	bench := fs.String("bench", "compress", "benchmark name")
+	orgName := fs.String("org", "base", "organization: base, compressed, tailored or codepack")
+	blocks := fs.Int("blocks", 0, "trace length in blocks (0 = profile default)")
+	sets := fs.Int("sets", 0, "cache sets (0 = paper default)")
+	assoc := fs.Int("assoc", 0, "cache associativity (0 = paper default)")
+	line := fs.Int("line", 0, "line bytes (0 = paper default)")
+	l0 := fs.Int("l0", 0, "L0 buffer ops, compressed only (0 = paper default)")
+	predictor := fs.String("predictor", "", "direction predictor: bimodal, gshare or pas")
+	perfect := fs.Bool("perfect-prediction", false, "disable the next-block predictor (ablation)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var org ccc.Org
+	switch strings.ToLower(*orgName) {
+	case "base":
+		org = ccc.OrgBase
+	case "compressed":
+		org = ccc.OrgCompressed
+	case "tailored":
+		org = ccc.OrgTailored
+	case "codepack":
+		org = cache.OrgCodePack
+	default:
+		return fmt.Errorf("unknown organization %q", *orgName)
+	}
+	scheme := map[ccc.Org]string{
+		ccc.OrgBase: "base", ccc.OrgCompressed: "full",
+		ccc.OrgTailored: "tailored", cache.OrgCodePack: "base",
+	}[org]
+
+	c, err := ccc.CompileBenchmark(*bench)
+	if err != nil {
+		return err
+	}
+	im, err := c.Image(scheme)
+	if err != nil {
+		return err
+	}
+	tr, err := c.Trace(*blocks)
+	if err != nil {
+		return err
+	}
+
+	cfg := ccc.DefaultConfig(org)
+	if *sets > 0 {
+		cfg.Sets = *sets
+	}
+	if *assoc > 0 {
+		cfg.Assoc = *assoc
+	}
+	if *line > 0 {
+		cfg.LineBytes = *line
+	}
+	if *l0 > 0 {
+		cfg.L0Ops = *l0
+	}
+	cfg.Predictor = *predictor
+	cfg.PerfectPrediction = *perfect
+
+	var sim *cache.Sim
+	if org == cache.OrgCodePack {
+		rom, err := c.Image("byte")
+		if err != nil {
+			return err
+		}
+		if sim, err = cache.NewCodePackSim(cfg, im, rom, c.Prog); err != nil {
+			return err
+		}
+	} else if sim, err = ccc.NewSim(org, cfg, im, c.Prog); err != nil {
+		return err
+	}
+	r := sim.Run(tr)
+
+	fmt.Fprintf(out, "benchmark   %s (%s scheme, %s organization)\n", *bench, scheme, org)
+	fmt.Fprintf(out, "cache       %d sets x %d ways x %dB = %dKB\n",
+		cfg.Sets, cfg.Assoc, cfg.LineBytes, cfg.Sets*cfg.Assoc*cfg.LineBytes/1024)
+	fmt.Fprintf(out, "trace       %d blocks, %d ops, %d MOPs\n", tr.Len(), r.Ops, r.MOPs)
+	fmt.Fprintf(out, "cycles      %d\n", r.Cycles)
+	fmt.Fprintf(out, "IPC         %.4f (ideal %.4f)\n", r.IPC(), float64(r.Ops)/float64(r.MOPs))
+	fmt.Fprintf(out, "miss rate   %.2f%% of block fetches (%d lines fetched)\n",
+		100*r.MissRate(), r.LinesFetched)
+	fmt.Fprintf(out, "mispredict  %.2f%%\n", 100*r.MispredictRate())
+	if org == ccc.OrgCompressed {
+		fmt.Fprintf(out, "L0 buffer   %.2f%% hit rate (%d ops capacity)\n",
+			100*float64(r.BufferHits)/float64(r.BlockFetches), cfg.L0Ops)
+	}
+	fmt.Fprintf(out, "bus         %d beats, %d bytes, %d bit flips (%.2f flips/beat)\n",
+		r.BusBeats, r.BytesFetched, r.BitFlips,
+		float64(r.BitFlips)/float64(max64(r.BusBeats, 1)))
+	fmt.Fprintf(out, "ATB         %.2f%% hit rate\n", 100*r.ATBHitRate)
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

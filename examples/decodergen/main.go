@@ -1,0 +1,75 @@
+// Command decodergen regenerates the compiler-emitted hardware: it
+// analyzes a benchmark, derives its tailored ISA (paper §2.3), prints the
+// per-field tailoring report (which fields shrank, which vanished into
+// hardwired constants) and emits the synthesizable Verilog decoder the
+// compiler would hand to the PLA — the paper's Figure 2 flow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	ccc "repro"
+	"repro/internal/isa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run holds the example body: the Verilog goes to vOut, the tailoring
+// report to report (tested by main_test.go).
+func run(args []string, vOut, report io.Writer) error {
+	fs := flag.NewFlagSet("decodergen", flag.ContinueOnError)
+	bench := fs.String("bench", "compress", "benchmark to tailor")
+	out := fs.String("o", "", "write Verilog here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := ccc.CompileBenchmark(*bench)
+	if err != nil {
+		return err
+	}
+	tl, err := c.Tailored()
+	if err != nil {
+		return err
+	}
+
+	opt, opc := tl.PrefixWidths()
+	fmt.Fprintf(report, "tailored ISA for %q: fixed prefix tail(1)+opt(%d)+opcode(%d)\n\n",
+		*bench, opt, opc)
+	fmt.Fprintf(report, "%-8s  %-9s  %5s  %5s  %s\n", "format", "field", "orig", "now", "note")
+	for _, fr := range tl.Report() {
+		note := ""
+		if fr.Constant {
+			note = "hardwired constant"
+		} else if fr.Width < fr.Orig {
+			note = "narrowed"
+		}
+		fmt.Fprintf(report, "%-8v  %-9v  %5d  %5d  %s\n",
+			fr.Format, fr.Field, fr.Orig, fr.Width, note)
+	}
+	for _, ty := range []isa.OpType{isa.TypeInt, isa.TypeMemory, isa.TypeBranch} {
+		if bits, err := tl.OpBits(ty, 0); err == nil {
+			fmt.Fprintf(report, "\nfirst %v op: %d bits (was %d)", ty, bits, isa.OpBits)
+		}
+	}
+	fmt.Fprintln(report)
+
+	w := vOut
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tl.EmitVerilog(w, "tepic_"+*bench+"_decoder")
+}

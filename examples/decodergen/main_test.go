@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: it must complete without
+// error and produce its report.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	var report strings.Builder
+	if err := run([]string{"-bench", "compress"}, &sb, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "module tepic_compress_decoder") {
+		t.Error("Verilog missing")
+	}
+	if !strings.Contains(report.String(), "hardwired constant") {
+		t.Error("tailoring report missing")
+	}
+}

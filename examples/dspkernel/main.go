@@ -1,0 +1,169 @@
+// Command dspkernel runs a hand-written FIR filter — the classic embedded
+// DSP workload the paper's introduction motivates — through the entire
+// toolchain: assembled with the builder API, VLIW-scheduled, executed by
+// the TEPIC interpreter (verifying numerical correctness), encoded under
+// every scheme, and replayed through the IFetch simulators.
+//
+// It demonstrates the paper's §4 observation: a tight DSP loop fits the
+// 32-op L0 buffer completely, so the Compressed organization delivers
+// performance equivalent to the uncompressed cache while the ROM shrinks
+// to a fraction.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+const (
+	nTaps    = 8
+	nSamples = 256
+	coefBase = 1000 // memory address of coefficients
+	inBase   = 2000 // input samples
+	outBase  = 3000 // filtered output
+)
+
+// buildFIR assembles out[i] = sum_k coef[k] * in[i+k] for i in [0, nSamples).
+func buildFIR() (*core.Compiled, error) {
+	b := asm.NewProgram("fir")
+	f := b.Func("main")
+	r, p := asm.R, asm.P
+
+	// Registers: r1=i, r2=N, r3=k, r4=nTaps, r5=acc, r6=addr scratch,
+	// r7=coef[k], r8=in[i+k], r9=product, r10=1, r11=&out.
+	init := f.Block()
+	outer := f.Block()
+	inner := f.Block()
+	store := f.Block()
+	done := f.Block()
+
+	init.Ldi(r(1), 0).Ldi(r(2), nSamples).Ldi(r(4), nTaps).Ldi(r(10), 1)
+
+	// outer: k = 0; acc = 0
+	outer.Ldi(r(3), 0).Ldi(r(5), 0)
+
+	// inner: acc += coef[k] * in[i+k]; k++
+	inner.Ldi(r(6), coefBase).
+		Add(r(6), r(6), r(3)).
+		Ld(r(7), r(6)). // coef[k]
+		Ldi(r(6), inBase).
+		Add(r(6), r(6), r(1)).
+		Add(r(6), r(6), r(3)).
+		Ld(r(8), r(6)). // in[i+k]
+		Mul(r(9), r(7), r(8)).
+		Add(r(5), r(5), r(9)).
+		Add(r(3), r(3), r(10)).
+		Cmp(isa.OpCMPLT, p(1), r(3), r(4)).
+		Brct(p(1), inner, 1-1.0/float64(nTaps))
+
+	// store: out[i] = acc; i++
+	store.Ldi(r(11), outBase).
+		Add(r(11), r(11), r(1)).
+		St(r(11), r(5)).
+		Add(r(1), r(1), r(10)).
+		Cmp(isa.OpCMPLT, p(2), r(1), r(2)).
+		Brct(p(2), outer, 1-1.0/float64(nSamples))
+
+	done.Ret()
+
+	irp, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return core.ScheduleOnly(irp)
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run holds the example body, writing to out (tested by main_test.go).
+func run(out io.Writer) error {
+	c, err := buildFIR()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "FIR kernel: %d ops in %d blocks, %.2f ops/MOP\n",
+		c.Prog.TotalOps(), len(c.Prog.Blocks), c.Prog.Density())
+
+	// Execute on the interpreter with real data and verify the result.
+	m := emu.NewMachine()
+	coef := [nTaps]int64{1, -2, 3, -4, 4, -3, 2, -1}
+	var in [nSamples + nTaps]int64
+	for i := range in {
+		in[i] = int64((i*37)%50 - 25)
+	}
+	for k, v := range coef {
+		m.Store(coefBase+int64(k), v)
+	}
+	for i, v := range in {
+		m.Store(inBase+int64(i), v)
+	}
+	tr, err := m.Run(c.Prog)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for i := 0; i < nSamples; i++ {
+		want := int64(0)
+		for k := 0; k < nTaps; k++ {
+			want += coef[k] * in[i+k]
+		}
+		if got := m.Load(outBase + int64(i)); got != want {
+			bad++
+		}
+	}
+	fmt.Fprintf(out, "interpreter: %d samples filtered, %d mismatches, %d ops executed\n",
+		nSamples, bad, m.Steps)
+	if bad > 0 {
+		return fmt.Errorf("FIR output incorrect: %d mismatches", bad)
+	}
+
+	// Encode under every scheme and replay the real execution trace
+	// through the IFetch simulators.
+	base, err := c.Image("base")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nROM image: base %d bytes\n", base.CodeBytes)
+	for _, scheme := range []string{"byte", "stream_1", "full", "tailored"} {
+		im, err := c.Image(scheme)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-9s %4d bytes (%.1f%%)\n", scheme, im.CodeBytes, 100*im.Ratio(base))
+	}
+
+	fmt.Fprintf(out, "\ntrace: %d blocks, %d dynamic ops\n", tr.Len(), tr.Ops)
+	fmt.Fprintln(out, "organization  IPC    buffer-hit rate")
+	for _, org := range []cache.Org{cache.OrgBase, cache.OrgCompressed, cache.OrgTailored} {
+		scheme := core.OrgSchemes[org]
+		im, err := c.Image(scheme)
+		if err != nil {
+			return err
+		}
+		sim, err := cache.NewSim(org, cache.DefaultConfig(org), im, c.Prog)
+		if err != nil {
+			return err
+		}
+		r := sim.Run(tr)
+		bh := "-"
+		if org == cache.OrgCompressed {
+			bh = fmt.Sprintf("%.1f%%", 100*float64(r.BufferHits)/float64(r.BlockFetches))
+		}
+		fmt.Fprintf(out, "%-12s  %.3f  %s\n", org, r.IPC(), bh)
+	}
+	fmt.Fprintln(out, "\nThe inner loop fits the 32-op L0 buffer, so the Compressed")
+	fmt.Fprintln(out, "organization matches the uncompressed cache on this kernel (§4).")
+	return nil
+}

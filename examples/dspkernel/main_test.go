@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: it must complete without
+// error and produce its report.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "0 mismatches") {
+		t.Errorf("FIR verification not clean:\n%s", out)
+	}
+	if !strings.Contains(out, "L0 buffer") {
+		t.Errorf("missing L0 story:\n%s", out)
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: it must complete without
+// error and produce its report.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine-ctrl", "tailored", "bit flips"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

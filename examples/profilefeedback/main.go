@@ -1,0 +1,99 @@
+// Command profilefeedback demonstrates the profile-driven half of the
+// paper's "compiler owns the system" philosophy: without profile
+// information the compiler must treat every conditional branch as a coin
+// flip and complex fetch units (§7) barely form; one YULA-style emulation
+// run measures the real branch behaviour, and feeding it back recovers
+// aggressive fetch-unit formation.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	ccc "repro"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/superblock"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run holds the example body, writing to out (tested by main_test.go).
+func run(out io.Writer) error {
+	const bench = "gcc"
+	c, err := ccc.CompileBenchmark(bench)
+	if err != nil {
+		return err
+	}
+
+	// Step 1: emulate and collect the block trace (the paper's compiler
+	// adds annotations so YULA emits an address trace).
+	tr, err := c.Trace(200000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: traced %d block executions (%d ops)\n\n", bench, tr.Len(), tr.Ops)
+
+	measure := func(label string) error {
+		plan, err := superblock.Build(c.Prog, 0)
+		if err != nil {
+			return err
+		}
+		st := plan.Evaluate(c.Prog, tr)
+		fmt.Fprintf(out, "%-22s units=%5d  ops/unit=%6.2f  fetch-start reduction=%5.1f%%  side exits=%4.1f%%\n",
+			label, st.Units, st.AvgUnitOps, 100*st.FetchReduction(), 100*st.SideExitRate())
+		return nil
+	}
+
+	// Step 2: with the compiler's profile annotations (the paper's flow).
+	if err := measure("annotated profile:"); err != nil {
+		return err
+	}
+
+	// Step 3: strip profile knowledge — every conditional branch becomes
+	// a coin flip, the situation without a profiling run. Chaining
+	// through conditional branches stops (0.5 < the 0.7 threshold).
+	for _, b := range c.Prog.Blocks {
+		if b.HasCondBranch() {
+			b.TakenProb = 0.5
+		}
+	}
+	if err := measure("no profile:"); err != nil {
+		return err
+	}
+
+	// Step 4: one emulation run measures the truth; feed it back.
+	profile, err := emu.MeasureProfile(c.Prog, tr)
+	if err != nil {
+		return err
+	}
+	if _, err := emu.ApplyProfile(c.Prog, profile); err != nil {
+		return err
+	}
+	if err := measure("measured feedback:"); err != nil {
+		return err
+	}
+
+	// The measured profile also exposes the hot spots the paper's ICache
+	// arguments rest on (tight loops filling the L0 buffer).
+	hottest, execs := -1, int64(0)
+	for i, p := range profile {
+		if p.Exec > execs {
+			hottest, execs = i, p.Exec
+		}
+	}
+	blk := c.Prog.Blocks[hottest]
+	fmt.Fprintf(out, "\nhottest block: %d (%d executions, %d ops, %d MOPs)\n",
+		hottest, execs, blk.NumOps(), blk.NumMOPs())
+	if len(blk.Ops) > 0 {
+		fmt.Fprintln(out, "first MOP:")
+		fmt.Fprintln(out, isa.DisasmMOP(blk.MOPs[0]))
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Package asm provides a small assembler-style builder for hand-written
+// TEPIC programs: the examples and the interpreter tests construct real
+// kernels (dot products, DSP filters, string scanners) with it, then push
+// them through the same scheduling/encoding/simulation pipeline as the
+// synthetic benchmarks.
+//
+// Registers are architectural (r0..r31, f0..f31, p1..p31); the builder
+// produces an ir.Program that skips register allocation and goes straight
+// to the scheduler.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Builder accumulates a program.
+type Builder struct {
+	name  string
+	funcs []*FuncBuilder
+}
+
+// NewProgram starts a program named name.
+func NewProgram(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// Func starts a new function. The first function is the entry point.
+func (b *Builder) Func(name string) *FuncBuilder {
+	fb := &FuncBuilder{name: name, id: len(b.funcs)}
+	b.funcs = append(b.funcs, fb)
+	return fb
+}
+
+// Build assembles the ir.Program, resolving block references and implicit
+// fall-through edges (each block falls through to the next block created
+// in the same function unless it ends in ret or an unconditional branch).
+func (b *Builder) Build() (*ir.Program, error) {
+	var funcs []*ir.Func
+	for _, fb := range b.funcs {
+		if len(fb.blocks) == 0 {
+			return nil, fmt.Errorf("asm: function %s has no blocks", fb.name)
+		}
+		blocks := make([]*ir.Block, len(fb.blocks))
+		for i, bb := range fb.blocks {
+			blocks[i] = bb.blk
+		}
+		funcs = append(funcs, &ir.Func{Name: fb.name, Blocks: blocks})
+	}
+	p := ir.NewProgram(b.name, funcs)
+	// Resolve references now that global IDs exist.
+	for _, fb := range b.funcs {
+		for i, bb := range fb.blocks {
+			if bb.takenRef != nil {
+				bb.blk.TakenTarget = bb.takenRef.blk.ID
+			}
+			if bb.fallRef != nil {
+				bb.blk.FallTarget = bb.fallRef.blk.ID
+			} else if !bb.noFall && i+1 < len(fb.blocks) {
+				bb.blk.FallTarget = fb.blocks[i+1].blk.ID
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FuncBuilder accumulates one function.
+type FuncBuilder struct {
+	name   string
+	id     int
+	blocks []*BlockBuilder
+}
+
+// ID returns the function's index (for call targets).
+func (fb *FuncBuilder) ID() int { return fb.id }
+
+// Block starts a new basic block in the function.
+func (fb *FuncBuilder) Block() *BlockBuilder {
+	bb := &BlockBuilder{
+		blk: &ir.Block{
+			TakenTarget: ir.NoTarget,
+			FallTarget:  ir.NoTarget,
+			Callee:      ir.NoTarget,
+		},
+	}
+	fb.blocks = append(fb.blocks, bb)
+	return bb
+}
+
+// BlockBuilder accumulates one basic block.
+type BlockBuilder struct {
+	blk      *ir.Block
+	takenRef *BlockBuilder
+	fallRef  *BlockBuilder
+	noFall   bool
+}
+
+// Register helpers.
+
+// R names a general-purpose register.
+func R(n int) ir.Reg { return ir.Reg{Class: ir.ClassGPR, N: n} }
+
+// F names a floating-point register.
+func F(n int) ir.Reg { return ir.Reg{Class: ir.ClassFPR, N: n} }
+
+// P names a predicate register (P(0) is hardwired true).
+func P(n int) ir.Reg { return ir.Reg{Class: ir.ClassPred, N: n} }
+
+func (bb *BlockBuilder) emit(in *ir.Instr) *BlockBuilder {
+	if in.Pred == ir.None {
+		in.Pred = ir.PredTrue
+	}
+	bb.blk.Instrs = append(bb.blk.Instrs, in)
+	return bb
+}
+
+// Ldi loads a 20-bit immediate.
+func (bb *BlockBuilder) Ldi(dest ir.Reg, imm int32) *BlockBuilder {
+	return bb.emit(&ir.Instr{Type: isa.TypeInt, Code: isa.OpLDI, Imm: imm, Dest: dest})
+}
+
+// Op3 emits a three-register integer ALU operation.
+func (bb *BlockBuilder) Op3(code isa.Opcode, dest, s1, s2 ir.Reg) *BlockBuilder {
+	return bb.emit(&ir.Instr{Type: isa.TypeInt, Code: code,
+		Src1: s1, Src2: s2, Dest: dest, BHWX: isa.SizeDouble})
+}
+
+// Add, Sub, Mul, Mov are common ALU shorthands.
+func (bb *BlockBuilder) Add(d, a, b ir.Reg) *BlockBuilder { return bb.Op3(isa.OpADD, d, a, b) }
+
+// Sub emits d = a - b.
+func (bb *BlockBuilder) Sub(d, a, b ir.Reg) *BlockBuilder { return bb.Op3(isa.OpSUB, d, a, b) }
+
+// Mul emits d = a * b.
+func (bb *BlockBuilder) Mul(d, a, b ir.Reg) *BlockBuilder { return bb.Op3(isa.OpMUL, d, a, b) }
+
+// Mov emits d = a.
+func (bb *BlockBuilder) Mov(d, a ir.Reg) *BlockBuilder { return bb.Op3(isa.OpMOV, d, a, a) }
+
+// FOp3 emits a three-register floating-point operation.
+func (bb *BlockBuilder) FOp3(code isa.Opcode, dest, s1, s2 ir.Reg) *BlockBuilder {
+	return bb.emit(&ir.Instr{Type: isa.TypeFloat, Code: code, Src1: s1, Src2: s2, Dest: dest})
+}
+
+// Fcvt converts an integer register to floating point.
+func (bb *BlockBuilder) Fcvt(dest, src ir.Reg) *BlockBuilder {
+	return bb.emit(&ir.Instr{Type: isa.TypeFloat, Code: isa.OpFCVT, Src1: src, Dest: dest})
+}
+
+// Cmp emits a compare-to-predicate.
+func (bb *BlockBuilder) Cmp(code isa.Opcode, dest, a, b ir.Reg) *BlockBuilder {
+	return bb.emit(&ir.Instr{Type: isa.TypeInt, Code: code,
+		Src1: a, Src2: b, Dest: dest, BHWX: isa.SizeDouble})
+}
+
+// Ld loads from the address in addr.
+func (bb *BlockBuilder) Ld(dest, addr ir.Reg) *BlockBuilder {
+	return bb.emit(&ir.Instr{Type: isa.TypeMemory, Code: isa.OpLD,
+		Src1: addr, Dest: dest, BHWX: isa.SizeDouble})
+}
+
+// St stores val to the address in addr.
+func (bb *BlockBuilder) St(addr, val ir.Reg) *BlockBuilder {
+	return bb.emit(&ir.Instr{Type: isa.TypeMemory, Code: isa.OpST,
+		Src1: addr, Src2: val, BHWX: isa.SizeDouble})
+}
+
+// Fld loads a float from the address in addr.
+func (bb *BlockBuilder) Fld(dest, addr ir.Reg) *BlockBuilder {
+	return bb.emit(&ir.Instr{Type: isa.TypeMemory, Code: isa.OpFLD,
+		Src1: addr, Dest: dest, BHWX: isa.SizeDouble})
+}
+
+// Fst stores a float to the address in addr.
+func (bb *BlockBuilder) Fst(addr, val ir.Reg) *BlockBuilder {
+	return bb.emit(&ir.Instr{Type: isa.TypeMemory, Code: isa.OpFST,
+		Src1: addr, Src2: val, BHWX: isa.SizeDouble})
+}
+
+// Guard predicates the most recently emitted instruction.
+func (bb *BlockBuilder) Guard(p ir.Reg) *BlockBuilder {
+	if n := len(bb.blk.Instrs); n > 0 {
+		bb.blk.Instrs[n-1].Pred = p
+	}
+	return bb
+}
+
+// Brct ends the block with "branch to target if p", with the given
+// profile taken-probability used by predictors and stochastic walks.
+func (bb *BlockBuilder) Brct(p ir.Reg, target *BlockBuilder, takenProb float64) *BlockBuilder {
+	bb.emit(&ir.Instr{Type: isa.TypeBranch, Code: isa.OpBRCT, Src1: R(0), Pred: p})
+	bb.takenRef = target
+	bb.blk.TakenProb = takenProb
+	return bb
+}
+
+// Jump ends the block with an unconditional branch.
+func (bb *BlockBuilder) Jump(target *BlockBuilder) *BlockBuilder {
+	bb.emit(&ir.Instr{Type: isa.TypeBranch, Code: isa.OpBR, Src1: R(0)})
+	bb.takenRef = target
+	bb.blk.TakenProb = 1
+	bb.noFall = true
+	return bb
+}
+
+// Call ends the block with a subroutine call; execution resumes at the
+// next block.
+func (bb *BlockBuilder) Call(callee *FuncBuilder) *BlockBuilder {
+	bb.emit(&ir.Instr{Type: isa.TypeBranch, Code: isa.OpCALL, Src1: R(0)})
+	bb.blk.Callee = callee.id
+	return bb
+}
+
+// Ret ends the block with a return.
+func (bb *BlockBuilder) Ret() *BlockBuilder {
+	bb.emit(&ir.Instr{Type: isa.TypeBranch, Code: isa.OpRET})
+	bb.noFall = true
+	return bb
+}
+
+// FallTo overrides the implicit fall-through successor.
+func (bb *BlockBuilder) FallTo(target *BlockBuilder) *BlockBuilder {
+	bb.fallRef = target
+	return bb
+}

@@ -1,0 +1,172 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+func TestBuildSimple(t *testing.T) {
+	b := NewProgram("t")
+	f := b.Func("main")
+	blk := f.Block()
+	blk.Ldi(R(1), 5).Add(R(2), R(1), R(1)).Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks() != 1 || p.NumOps() != 3 {
+		t.Fatalf("blocks=%d ops=%d", p.NumBlocks(), p.NumOps())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImplicitFallThrough(t *testing.T) {
+	b := NewProgram("t")
+	f := b.Func("main")
+	b1 := f.Block()
+	b2 := f.Block()
+	b1.Ldi(R(1), 1)
+	b2.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Block(0).FallTarget != p.Block(1).ID {
+		t.Errorf("fall target %d, want %d", p.Block(0).FallTarget, p.Block(1).ID)
+	}
+	// ret blocks do not fall through.
+	if p.Block(1).FallTarget != ir.NoTarget {
+		t.Error("ret block has a fall target")
+	}
+}
+
+func TestBranchTargets(t *testing.T) {
+	b := NewProgram("t")
+	f := b.Func("main")
+	head := f.Block()
+	body := f.Block()
+	tail := f.Block()
+	head.Ldi(R(1), 0).Cmp(isa.OpCMPLT, P(1), R(1), R(1)).Brct(P(1), tail, 0.3)
+	body.Ldi(R(2), 1)
+	tail.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := p.Block(0)
+	if hb.TakenTarget != tail.blk.ID {
+		t.Errorf("taken target %d, want %d", hb.TakenTarget, tail.blk.ID)
+	}
+	if hb.FallTarget != body.blk.ID {
+		t.Errorf("fall target %d, want %d", hb.FallTarget, body.blk.ID)
+	}
+	if hb.TakenProb != 0.3 {
+		t.Errorf("taken prob %g", hb.TakenProb)
+	}
+}
+
+func TestJumpSuppressesFallThrough(t *testing.T) {
+	b := NewProgram("t")
+	f := b.Func("main")
+	b1 := f.Block()
+	b2 := f.Block()
+	b1.Jump(b2)
+	b2.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Block(0).FallTarget != ir.NoTarget {
+		t.Error("jump block should not fall through")
+	}
+	if p.Block(0).TakenTarget != p.Block(1).ID {
+		t.Error("jump target unresolved")
+	}
+}
+
+func TestCallRecordsCallee(t *testing.T) {
+	b := NewProgram("t")
+	main := b.Func("main")
+	sub := b.Func("sub")
+	cb := main.Block()
+	after := main.Block()
+	cb.Call(sub)
+	after.Ret()
+	sub.Block().Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Block(0).Callee != sub.ID() {
+		t.Errorf("callee %d, want %d", p.Block(0).Callee, sub.ID())
+	}
+}
+
+func TestGuard(t *testing.T) {
+	b := NewProgram("t")
+	f := b.Func("main")
+	blk := f.Block()
+	blk.Ldi(R(1), 1).Guard(P(3)).Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Block(0).Instrs[0].Pred != (ir.Reg{Class: ir.ClassPred, N: 3}) {
+		t.Error("guard not applied")
+	}
+}
+
+func TestEmptyFunctionRejected(t *testing.T) {
+	b := NewProgram("t")
+	b.Func("main")
+	if _, err := b.Build(); err == nil {
+		t.Error("accepted function with no blocks")
+	}
+}
+
+func TestFallToOverride(t *testing.T) {
+	b := NewProgram("t")
+	f := b.Func("main")
+	b1 := f.Block()
+	b2 := f.Block()
+	b3 := f.Block()
+	b1.Ldi(R(1), 1).FallTo(b3)
+	b2.Ret()
+	b3.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Block(0).FallTarget != b3.blk.ID {
+		t.Error("FallTo override ignored")
+	}
+	_ = b2
+}
+
+func TestMemAndFPHelpers(t *testing.T) {
+	b := NewProgram("t")
+	f := b.Func("main")
+	blk := f.Block()
+	blk.Ldi(R(1), 100).
+		Ld(R(2), R(1)).
+		St(R(1), R(2)).
+		Fld(F(1), R(1)).
+		Fst(R(1), F(1)).
+		Fcvt(F(2), R(2)).
+		FOp3(isa.OpFMUL, F(3), F(1), F(2)).
+		Sub(R(3), R(2), R(1)).
+		Mul(R(4), R(3), R(3)).
+		Mov(R(5), R(4)).
+		Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumOps() != 11 {
+		t.Errorf("ops = %d, want 11", p.NumOps())
+	}
+}

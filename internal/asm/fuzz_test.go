@@ -1,0 +1,22 @@
+package asm
+
+import "testing"
+
+// FuzzParse: arbitrary source text never panics the assembler; accepted
+// programs always validate.
+func FuzzParse(f *testing.F) {
+	f.Add("func main\nb:\n\tldi #1 -> r1\n\tret")
+	f.Add(dotSrc)
+	f.Add("func main\nb:\n\tbrct p1, b ?0.5\nc:\n\tret")
+	f.Add(";;;\nfunc f\nx:\n\tadd r1, r2 -> r3 if p9\n\tret")
+	f.Add("func a\nl:\n\tcall b\nm:\n\tret\nfunc b\nn:\n\tret")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v\nsource:\n%s", err, src)
+		}
+	})
+}

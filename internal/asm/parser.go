@@ -1,0 +1,365 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Parse assembles a TINKER-style text program (the paper's toolchain uses
+// a modified TINKER assembler to produce custom encodings). The grammar,
+// one statement per line, with `;` starting a comment:
+//
+//	func NAME              start a function (first function is the entry)
+//	LABEL:                 start a basic block
+//	ldi   #42 -> r3        load immediate
+//	add   r1, r2 -> r3     three-register ops (any int/fp mnemonic)
+//	fcvt  r1 -> f2         int-to-float conversion
+//	cmplt r1, r2 -> p1     compare-to-predicate
+//	ld    [r1] -> r2       load     (fld for floats)
+//	st    r2 -> [r1]       store    (fst for floats)
+//	br    LABEL            unconditional branch
+//	brct  p1, LABEL ?0.8   conditional branch with taken probability
+//	brcf  p1, LABEL ?0.2
+//	call  NAME             subroutine call
+//	ret                    return
+//
+// Any operation may be suffixed with `if pN` to guard it. Blocks fall
+// through to the next block in the same function unless they end in
+// ret/br. Labels are function-local.
+func Parse(name, src string) (*ir.Program, error) {
+	b := NewProgram(name)
+	type pending struct {
+		bb    *BlockBuilder
+		code  isa.Opcode
+		pred  ir.Reg
+		label string
+		prob  float64
+		line  int
+	}
+	var (
+		curFn     *FuncBuilder
+		curBlk    *BlockBuilder
+		labels    map[string]*BlockBuilder
+		funcs     = map[string]*FuncBuilder{}
+		branches  []pending
+		callSites []struct {
+			bb     *BlockBuilder
+			callee string
+			line   int
+		}
+		resolve []func() error
+	)
+	flushFunc := func() {
+		if labels == nil {
+			return
+		}
+		local := labels
+		br := branches
+		branches = nil
+		resolve = append(resolve, func() error {
+			for _, p := range br {
+				target, ok := local[p.label]
+				if !ok {
+					return fmt.Errorf("asm: line %d: undefined label %q", p.line, p.label)
+				}
+				if p.code == isa.OpBR {
+					p.bb.Jump(target)
+				} else {
+					p.bb.emit(&ir.Instr{Type: isa.TypeBranch, Code: p.code, Src1: R(0), Pred: p.pred})
+					p.bb.takenRef = target
+					p.bb.blk.TakenProb = p.prob
+				}
+			}
+			return nil
+		})
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ln := lineNo + 1
+
+		switch {
+		case strings.HasPrefix(line, "func "):
+			flushFunc()
+			fname := strings.TrimSpace(strings.TrimPrefix(line, "func "))
+			if fname == "" {
+				return nil, fmt.Errorf("asm: line %d: func without a name", ln)
+			}
+			if _, dup := funcs[fname]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate function %q", ln, fname)
+			}
+			curFn = b.Func(fname)
+			funcs[fname] = curFn
+			labels = map[string]*BlockBuilder{}
+			curBlk = nil
+		case strings.HasSuffix(line, ":"):
+			if curFn == nil {
+				return nil, fmt.Errorf("asm: line %d: label outside a function", ln)
+			}
+			label := strings.TrimSuffix(line, ":")
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate label %q", ln, label)
+			}
+			curBlk = curFn.Block()
+			labels[label] = curBlk
+		default:
+			if curFn == nil {
+				return nil, fmt.Errorf("asm: line %d: instruction outside a function", ln)
+			}
+			if curBlk == nil {
+				curBlk = curFn.Block()
+				labels["."+strconv.Itoa(ln)] = curBlk
+			}
+			st, err := parseInstr(line, ln)
+			if err != nil {
+				return nil, err
+			}
+			switch st.kind {
+			case stmtOp:
+				curBlk.emit(st.instr)
+			case stmtBranch:
+				branches = append(branches, pending{
+					bb: curBlk, code: st.instr.Code, pred: st.instr.Pred,
+					label: st.label, prob: st.prob, line: ln,
+				})
+				curBlk = nil
+			case stmtCall:
+				callSites = append(callSites, struct {
+					bb     *BlockBuilder
+					callee string
+					line   int
+				}{curBlk, st.label, ln})
+				curBlk = nil
+			case stmtRet:
+				curBlk.Ret()
+				curBlk = nil
+			}
+		}
+	}
+	flushFunc()
+
+	for _, fix := range resolve {
+		if err := fix(); err != nil {
+			return nil, err
+		}
+	}
+	for _, cs := range callSites {
+		callee, ok := funcs[cs.callee]
+		if !ok {
+			return nil, fmt.Errorf("asm: line %d: undefined function %q", cs.line, cs.callee)
+		}
+		cs.bb.Call(callee)
+	}
+	return b.Build()
+}
+
+type stmtKind int
+
+const (
+	stmtOp stmtKind = iota
+	stmtBranch
+	stmtCall
+	stmtRet
+)
+
+type stmt struct {
+	kind  stmtKind
+	instr *ir.Instr
+	label string
+	prob  float64
+}
+
+// mnemonics indexes every defined operation by name.
+var mnemonics = func() map[string]isa.OpcodeInfo {
+	m := map[string]isa.OpcodeInfo{}
+	for _, t := range []isa.OpType{isa.TypeInt, isa.TypeFloat, isa.TypeMemory, isa.TypeBranch} {
+		for _, info := range isa.Opcodes(t) {
+			m[info.Name] = info
+		}
+	}
+	return m
+}()
+
+func parseInstr(line string, ln int) (stmt, error) {
+	fields := strings.Fields(line)
+	mnem := fields[0]
+	rest := strings.TrimSpace(line[len(mnem):])
+
+	// Optional trailing guard: "... if pN".
+	guard := ir.PredTrue
+	if i := strings.Index(rest, " if "); i >= 0 {
+		g, err := parseReg(strings.TrimSpace(rest[i+4:]), ln)
+		if err != nil {
+			return stmt{}, err
+		}
+		if g.Class != ir.ClassPred {
+			return stmt{}, fmt.Errorf("asm: line %d: guard %q is not a predicate", ln, rest[i+4:])
+		}
+		guard = g
+		rest = strings.TrimSpace(rest[:i])
+	}
+
+	info, ok := mnemonics[mnem]
+	if !ok {
+		return stmt{}, fmt.Errorf("asm: line %d: unknown mnemonic %q", ln, mnem)
+	}
+
+	switch info.Type {
+	case isa.TypeBranch:
+		switch info.Code {
+		case isa.OpRET:
+			return stmt{kind: stmtRet, instr: &ir.Instr{}}, nil
+		case isa.OpCALL:
+			return stmt{kind: stmtCall, label: rest}, nil
+		case isa.OpBR:
+			return stmt{kind: stmtBranch, label: rest,
+				instr: &ir.Instr{Code: isa.OpBR}, prob: 1}, nil
+		case isa.OpBRCT, isa.OpBRCF:
+			// "pN, LABEL ?prob"
+			prob := 0.5
+			if i := strings.Index(rest, "?"); i >= 0 {
+				p, err := strconv.ParseFloat(strings.TrimSpace(rest[i+1:]), 64)
+				if err != nil || p < 0 || p > 1 {
+					return stmt{}, fmt.Errorf("asm: line %d: bad probability %q", ln, rest[i+1:])
+				}
+				prob = p
+				rest = strings.TrimSpace(rest[:i])
+			}
+			parts := splitOperands(rest)
+			if len(parts) != 2 {
+				return stmt{}, fmt.Errorf("asm: line %d: %s wants \"pN, LABEL\"", ln, mnem)
+			}
+			g, err := parseReg(parts[0], ln)
+			if err != nil {
+				return stmt{}, err
+			}
+			return stmt{kind: stmtBranch, label: parts[1],
+				instr: &ir.Instr{Code: info.Code, Pred: g}, prob: prob}, nil
+		default:
+			return stmt{}, fmt.Errorf("asm: line %d: unsupported branch %q", ln, mnem)
+		}
+	default:
+		in, err := parseDataOp(info, rest, ln)
+		if err != nil {
+			return stmt{}, err
+		}
+		in.Pred = guard
+		return stmt{kind: stmtOp, instr: in}, nil
+	}
+}
+
+// parseDataOp handles "srcs -> dest" forms.
+func parseDataOp(info isa.OpcodeInfo, rest string, ln int) (*ir.Instr, error) {
+	lhs, rhs, found := strings.Cut(rest, "->")
+	if info.Format == isa.FmtStore {
+		// "rB -> [rA]"
+		if !found {
+			return nil, fmt.Errorf("asm: line %d: store wants \"src -> [addr]\"", ln)
+		}
+		val, err := parseReg(strings.TrimSpace(lhs), ln)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := parseMem(strings.TrimSpace(rhs), ln)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Instr{Type: info.Type, Code: info.Code,
+			Src1: addr, Src2: val, BHWX: isa.SizeDouble}, nil
+	}
+	if !found {
+		return nil, fmt.Errorf("asm: line %d: missing \"->\"", ln)
+	}
+	dest, err := parseReg(strings.TrimSpace(rhs), ln)
+	if err != nil {
+		return nil, err
+	}
+	in := &ir.Instr{Type: info.Type, Code: info.Code, Dest: dest, BHWX: isa.SizeDouble}
+	lhs = strings.TrimSpace(lhs)
+	switch info.Format {
+	case isa.FmtLoadImm:
+		if !strings.HasPrefix(lhs, "#") {
+			return nil, fmt.Errorf("asm: line %d: ldi wants \"#imm\"", ln)
+		}
+		v, err := strconv.ParseInt(strings.TrimPrefix(lhs, "#"), 0, 32)
+		if err != nil || v < 0 || v >= 1<<20 {
+			return nil, fmt.Errorf("asm: line %d: immediate %q outside [0, 2^20)", ln, lhs)
+		}
+		in.Imm = int32(v)
+	case isa.FmtLoad:
+		addr, err := parseMem(lhs, ln)
+		if err != nil {
+			return nil, err
+		}
+		in.Src1 = addr
+	default:
+		parts := splitOperands(lhs)
+		switch len(parts) {
+		case 1:
+			src, err := parseReg(parts[0], ln)
+			if err != nil {
+				return nil, err
+			}
+			in.Src1 = src
+		case 2:
+			var err error
+			if in.Src1, err = parseReg(parts[0], ln); err != nil {
+				return nil, err
+			}
+			if in.Src2, err = parseReg(parts[1], ln); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("asm: line %d: want 1 or 2 sources, got %d", ln, len(parts))
+		}
+	}
+	return in, nil
+}
+
+func splitOperands(s string) []string {
+	raw := strings.Split(s, ",")
+	out := make([]string, 0, len(raw))
+	for _, p := range raw {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func parseReg(s string, ln int) (ir.Reg, error) {
+	if len(s) < 2 {
+		return ir.None, fmt.Errorf("asm: line %d: bad register %q", ln, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= 32 {
+		return ir.None, fmt.Errorf("asm: line %d: bad register %q", ln, s)
+	}
+	switch s[0] {
+	case 'r':
+		return R(n), nil
+	case 'f':
+		return F(n), nil
+	case 'p':
+		return P(n), nil
+	}
+	return ir.None, fmt.Errorf("asm: line %d: bad register class %q", ln, s)
+}
+
+func parseMem(s string, ln int) (ir.Reg, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return ir.None, fmt.Errorf("asm: line %d: memory operand %q wants [rN]", ln, s)
+	}
+	return parseReg(strings.TrimSpace(s[1:len(s)-1]), ln)
+}

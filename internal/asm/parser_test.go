@@ -1,0 +1,199 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+const dotSrc = `
+; dot product of two 4-element vectors
+func main
+entry:
+	ldi   #100 -> r1       ; &a
+	ldi   #200 -> r2       ; &b
+	ldi   #0   -> r3       ; i
+	ldi   #4   -> r4       ; n
+	ldi   #0   -> r5       ; sum
+	ldi   #1   -> r6
+loop:
+	ld    [r1] -> r7
+	ld    [r2] -> r8
+	mul   r7, r8 -> r9
+	add   r5, r9 -> r5
+	add   r1, r6 -> r1
+	add   r2, r6 -> r2
+	add   r3, r6 -> r3
+	cmplt r3, r4 -> p1
+	brct  p1, loop ?0.75
+done:
+	ret
+`
+
+func TestParseDotProduct(t *testing.T) {
+	p, err := Parse("dot", dotSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3", p.NumBlocks())
+	}
+	loop := p.Block(1)
+	if term := loop.Terminator(); term == nil || term.Code != isa.OpBRCT {
+		t.Fatal("loop block lacks brct terminator")
+	}
+	if loop.TakenTarget != loop.ID {
+		t.Errorf("backedge target %d, want %d", loop.TakenTarget, loop.ID)
+	}
+	if loop.TakenProb != 0.75 {
+		t.Errorf("taken prob %g, want 0.75", loop.TakenProb)
+	}
+}
+
+func TestParseGuardsAndFloats(t *testing.T) {
+	src := `
+func main
+b0:
+	ldi   #3 -> r1
+	fcvt  r1 -> f1
+	fmul  f1, f1 -> f2
+	cmplt r1, r1 -> p2
+	add   r1, r1 -> r2 if p2
+	fst   f2 -> [r1]
+	fld   [r1] -> f3
+	ret
+`
+	p, err := Parse("g", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := p.Block(0).Instrs
+	if ins[4].Pred != (ir.Reg{Class: ir.ClassPred, N: 2}) {
+		t.Errorf("guard not parsed: %v", ins[4])
+	}
+	if ins[2].Type != isa.TypeFloat || ins[2].Dest.Class != ir.ClassFPR {
+		t.Errorf("fmul mis-parsed: %v", ins[2])
+	}
+	if ins[5].Code != isa.OpFST || ins[6].Code != isa.OpFLD {
+		t.Error("float memory ops mis-parsed")
+	}
+}
+
+func TestParseCallsAcrossFunctions(t *testing.T) {
+	src := `
+func main
+b0:
+	ldi #21 -> r1
+	call double
+after:
+	add r2, r0 -> r3
+	ret
+
+func double
+d0:
+	add r1, r1 -> r2
+	ret
+`
+	p, err := Parse("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	callBlk := p.Block(0)
+	if term := callBlk.Terminator(); term == nil || term.Code != isa.OpCALL {
+		t.Fatal("call terminator missing")
+	}
+	if callBlk.Callee != 1 {
+		t.Errorf("callee = %d, want 1", callBlk.Callee)
+	}
+	if callBlk.FallTarget != p.Block(1).ID {
+		t.Errorf("call fall target %d", callBlk.FallTarget)
+	}
+}
+
+func TestParseUnconditionalBranch(t *testing.T) {
+	src := `
+func main
+b0:
+	ldi #1 -> r1
+	br end
+mid:
+	ldi #2 -> r2
+end:
+	ret
+`
+	p, err := Parse("j", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := p.Block(0)
+	if b0.TakenTarget != p.Block(2).ID {
+		t.Errorf("br target %d, want %d", b0.TakenTarget, p.Block(2).ID)
+	}
+	if b0.FallTarget != ir.NoTarget {
+		t.Error("br block should not fall through")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":    "func main\nb:\n\tfrobnicate r1 -> r2\n\tret",
+		"undefined label":     "func main\nb:\n\tcmplt r1, r1 -> p1\n\tbrct p1, nowhere\nc:\n\tret",
+		"undefined function":  "func main\nb:\n\tcall nothing\nc:\n\tret",
+		"bad register":        "func main\nb:\n\tadd q1, r2 -> r3\n\tret",
+		"bad immediate":       "func main\nb:\n\tldi #9999999 -> r1\n\tret",
+		"missing arrow":       "func main\nb:\n\tadd r1, r2\n\tret",
+		"instr outside func":  "add r1, r2 -> r3",
+		"label outside func":  "orphan:",
+		"duplicate function":  "func main\nb:\n\tret\nfunc main\nc:\n\tret",
+		"duplicate label":     "func main\nb:\n\tret\nb:\n\tret",
+		"bad probability":     "func main\nb:\n\tcmplt r1, r1 -> p1\n\tbrct p1, b ?1.5\nc:\n\tret",
+		"bad store operand":   "func main\nb:\n\tst r1 -> r2\n\tret",
+		"non-predicate guard": "func main\nb:\n\tadd r1, r2 -> r3 if r4\n\tret",
+	}
+	for name, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, src)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := `
+; leading comment
+
+func main
+b0:
+	ldi #1 -> r1  ; trailing comment
+
+	ret
+`
+	p, err := Parse("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumOps() != 2 {
+		t.Errorf("ops = %d, want 2", p.NumOps())
+	}
+}
+
+// TestParseDisasmStyle confirms the parser's syntax matches what the
+// disassembler prints closely enough to be familiar (not a strict
+// round-trip — the disassembler adds MOP structure).
+func TestParseDisasmStyle(t *testing.T) {
+	p, err := Parse("dot", dotSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Block(1).Instrs[2].String()
+	if !strings.Contains(s, "mul") || !strings.Contains(s, "-> r9") {
+		t.Errorf("unexpected disasm form %q", s)
+	}
+}

@@ -1,0 +1,111 @@
+package atb
+
+import "testing"
+
+func mkATB(n, capacity int) *ATB {
+	infos := make([]BlockInfo, n)
+	for i := range infos {
+		infos[i] = BlockInfo{FallTarget: i + 1}
+	}
+	infos[n-1].FallTarget = -1
+	return New(infos, capacity)
+}
+
+func TestPredictColdIsFallThrough(t *testing.T) {
+	a := mkATB(4, 0)
+	next, taken := a.Predict(0)
+	if taken || next != 1 {
+		t.Errorf("cold prediction = (%d, %v), want (1, false)", next, taken)
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	a := mkATB(4, 0)
+	for i := 0; i < 10; i++ {
+		if err := a.Update(0, true, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Counter(0) != 3 {
+		t.Errorf("counter = %d, want saturated 3", a.Counter(0))
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Update(0, false, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Counter(0) != 0 {
+		t.Errorf("counter = %d, want saturated 0", a.Counter(0))
+	}
+}
+
+func TestPredictorLearnsTakenBranch(t *testing.T) {
+	a := mkATB(8, 0)
+	// Two taken updates flip the 2-bit counter (init 1) to predict-taken.
+	a.Update(2, true, 7)
+	next, taken := a.Predict(2)
+	if !taken || next != 7 {
+		t.Errorf("after 1 taken: (%d,%v), want (7,true) with init-weak counter", next, taken)
+	}
+}
+
+func TestPredictorTracksLastTarget(t *testing.T) {
+	a := mkATB(8, 0)
+	a.Update(2, true, 7)
+	a.Update(2, true, 5) // target changed (e.g. return to another caller)
+	next, taken := a.Predict(2)
+	if !taken || next != 5 {
+		t.Errorf("last-target prediction = (%d,%v), want (5,true)", next, taken)
+	}
+}
+
+func TestPredictorHysteresis(t *testing.T) {
+	a := mkATB(8, 0)
+	for i := 0; i < 4; i++ {
+		a.Update(3, true, 6)
+	}
+	// One not-taken must not flip a saturated counter.
+	a.Update(3, false, 4)
+	if _, taken := a.Predict(3); !taken {
+		t.Error("single not-taken flipped a saturated taken counter")
+	}
+}
+
+func TestUpdateRange(t *testing.T) {
+	a := mkATB(4, 0)
+	if err := a.Update(99, true, 0); err == nil {
+		t.Error("Update accepted out-of-range block")
+	}
+	if next, taken := a.Predict(-1); next != -1 || taken {
+		t.Error("Predict out-of-range should be (-1,false)")
+	}
+}
+
+func TestResidencyLRU(t *testing.T) {
+	a := mkATB(10, 2)
+	a.Touch(0) // miss
+	a.Touch(1) // miss
+	a.Touch(0) // hit
+	a.Touch(2) // miss, evicts 1
+	a.Touch(1) // miss again
+	if a.Hits != 1 || a.Misses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 1/4", a.Hits, a.Misses)
+	}
+	if r := a.HitRate(); r != 0.2 {
+		t.Errorf("hit rate %g, want 0.2", r)
+	}
+}
+
+func TestHighLocalityHitRate(t *testing.T) {
+	// The paper's claim: high spatial locality means very low ATB
+	// contention. A loopy reference stream must hit nearly always.
+	a := mkATB(64, DefaultEntries)
+	for rep := 0; rep < 1000; rep++ {
+		for b := 0; b < 8; b++ {
+			a.Touch(b)
+		}
+	}
+	if a.HitRate() < 0.99 {
+		t.Errorf("loop hit rate %.3f, want > 0.99", a.HitRate())
+	}
+}

@@ -1,0 +1,134 @@
+// Package bitio provides MSB-first bit-stream readers and writers shared
+// by the instruction encoder, the Huffman coder and the compression
+// schemes. All multi-bit values are written and read most significant bit
+// first, matching the paper's bit-numbering convention (bit 0 of a TEPIC
+// word is its most significant bit).
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExhausted is returned when a read runs past the end of the stream.
+var ErrExhausted = errors.New("bitio: bit stream exhausted")
+
+// Writer accumulates an MSB-first bit stream.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, right-aligned
+	nbit uint
+	bits int // total bits written
+}
+
+// WriteBits appends the low `width` bits of v, most significant first.
+// Width must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitio: bad width %d", width))
+	}
+	w.bits += width
+	for width > 0 {
+		take := 8 - w.nbit
+		if uint(width) < take {
+			take = uint(width)
+		}
+		chunk := v >> uint(width-int(take))
+		if take < 64 {
+			chunk &= 1<<take - 1
+		}
+		w.cur = w.cur<<take | chunk
+		w.nbit += take
+		width -= int(take)
+		if w.nbit == 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur, w.nbit = 0, 0
+		}
+	}
+}
+
+// WriteBit appends one bit.
+func (w *Writer) WriteBit(b int) { w.WriteBits(uint64(b&1), 1) }
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return w.bits }
+
+// Bytes flushes any partial byte (zero-padded on the right) and returns
+// the accumulated stream. The writer may continue to be used; padding bits
+// become part of the stream.
+func (w *Writer) Bytes() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nbit)))
+		w.bits += int(8 - w.nbit)
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// AlignByte pads the stream with zero bits to the next byte boundary.
+func (w *Writer) AlignByte() {
+	if w.nbit > 0 {
+		pad := 8 - int(w.nbit)
+		w.WriteBits(0, pad)
+	}
+}
+
+// Reader consumes an MSB-first bit stream.
+type Reader struct {
+	data []byte
+	pos  int // next byte index
+	cur  uint64
+	nbit uint
+	read int // bits consumed
+}
+
+// NewReader returns a Reader over data.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// ReadBits reads `width` bits, MSB first. Width must be in [0, 57] to keep
+// the refill window safe; all users read at most 40 bits at once.
+func (r *Reader) ReadBits(width int) (uint64, error) {
+	if width < 0 || width > 57 {
+		panic(fmt.Sprintf("bitio: bad width %d", width))
+	}
+	for r.nbit < uint(width) {
+		if r.pos >= len(r.data) {
+			return 0, ErrExhausted
+		}
+		r.cur = r.cur<<8 | uint64(r.data[r.pos])
+		r.pos++
+		r.nbit += 8
+	}
+	v := r.cur >> (r.nbit - uint(width)) & (1<<uint(width) - 1)
+	r.nbit -= uint(width)
+	r.cur &= 1<<r.nbit - 1
+	r.read += width
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (int, error) {
+	v, err := r.ReadBits(1)
+	return int(v), err
+}
+
+// Offset returns the number of bits consumed so far.
+func (r *Reader) Offset() int { return r.read }
+
+// SeekBit positions the reader at an absolute bit offset from the start
+// of the underlying data.
+func (r *Reader) SeekBit(bit int) error {
+	if bit < 0 || bit > 8*len(r.data) {
+		return fmt.Errorf("bitio: seek to bit %d outside stream of %d bits",
+			bit, 8*len(r.data))
+	}
+	r.pos = bit / 8
+	r.cur, r.nbit = 0, 0
+	r.read = bit
+	if rem := bit % 8; rem != 0 {
+		r.cur = uint64(r.data[r.pos]) & (1<<uint(8-rem) - 1)
+		r.nbit = uint(8 - rem)
+		r.pos++
+	}
+	return nil
+}

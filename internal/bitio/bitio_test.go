@@ -1,0 +1,138 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: writer/reader round-trip is the identity on arbitrary
+// (value, width) sequences.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(raw []uint16, widthSeed uint8) bool {
+		var w Writer
+		widths := make([]int, len(raw))
+		vals := make([]uint64, len(raw))
+		wr := rand.New(rand.NewSource(int64(widthSeed) + 1))
+		for i, v := range raw {
+			widths[i] = 1 + wr.Intn(40)
+			vals[i] = uint64(v) & (1<<uint(widths[i]) - 1)
+			w.WriteBits(vals[i], widths[i])
+		}
+		data := w.Bytes()
+		r := NewReader(data)
+		for i := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBitReadBit(t *testing.T) {
+	var w Writer
+	bits := []int{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	if w.BitLen() != len(bits) {
+		t.Errorf("BitLen = %d, want %d", w.BitLen(), len(bits))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestExhausted(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); err != ErrExhausted {
+		t.Errorf("expected ErrExhausted, got %v", err)
+	}
+}
+
+func TestAlignByte(t *testing.T) {
+	var w Writer
+	w.WriteBits(0x5, 3)
+	w.AlignByte()
+	if w.BitLen() != 8 {
+		t.Errorf("BitLen after align = %d, want 8", w.BitLen())
+	}
+	w.WriteBits(0xab, 8)
+	data := w.Bytes()
+	if len(data) != 2 {
+		t.Fatalf("len = %d, want 2", len(data))
+	}
+	if data[0] != 0xa0 || data[1] != 0xab {
+		t.Errorf("data = %x, want a0ab", data)
+	}
+}
+
+func TestSeekBit(t *testing.T) {
+	var w Writer
+	for i := 0; i < 8; i++ {
+		w.WriteBits(uint64(i), 5)
+	}
+	data := w.Bytes()
+	for i := 7; i >= 0; i-- {
+		r := NewReader(data)
+		if err := r.SeekBit(5 * i); err != nil {
+			t.Fatal(err)
+		}
+		v, err := r.ReadBits(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i) {
+			t.Errorf("seek to symbol %d read %d", i, v)
+		}
+		if r.Offset() != 5*i+5 {
+			t.Errorf("offset = %d, want %d", r.Offset(), 5*i+5)
+		}
+	}
+	r := NewReader(data)
+	if err := r.SeekBit(-1); err == nil {
+		t.Error("SeekBit accepted negative offset")
+	}
+	if err := r.SeekBit(8*len(data) + 1); err == nil {
+		t.Error("SeekBit accepted offset past end")
+	}
+}
+
+func TestOffsetTracksReads(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xdead, 16)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(7); err != nil {
+		t.Fatal(err)
+	}
+	if r.Offset() != 7 {
+		t.Errorf("Offset = %d, want 7", r.Offset())
+	}
+}
+
+func TestBytesPadsDeterministically(t *testing.T) {
+	var w Writer
+	w.WriteBits(0x1, 1)
+	data := w.Bytes()
+	if len(data) != 1 || data[0] != 0x80 {
+		t.Errorf("data = %x, want 80", data)
+	}
+	if w.BitLen() != 8 {
+		t.Errorf("BitLen after Bytes = %d, want 8 (padding counted)", w.BitLen())
+	}
+}

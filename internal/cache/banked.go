@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/image"
+	"repro/internal/sched"
+)
+
+// BankedStats reports the structural property the two-bank storage of
+// §3.4 exists to provide: a MOP may begin at an arbitrary bit position
+// and span two cache lines, and because consecutive lines live in
+// opposite banks it is still extracted in one reference — but never more
+// than two lines. VerifyBankedExtraction proves the property holds for an
+// encoding, exactly the constraint the paper's bounded codes and
+// line-size choice ("equal to the maximum size MOP") enforce.
+type BankedStats struct {
+	MOPs      int64
+	Straddles int64 // MOPs spanning two lines (the banked-fetch case)
+	MaxLines  int   // worst MOP extent, in lines
+}
+
+// StraddleRate is the fraction of MOPs needing both banks.
+func (s BankedStats) StraddleRate() float64 {
+	if s.MOPs == 0 {
+		return 0
+	}
+	return float64(s.Straddles) / float64(s.MOPs)
+}
+
+// VerifyBankedExtraction walks every MOP of the encoded program,
+// computes its bit extent within the image, and checks it spans at most
+// two consecutive lines of the given size. The encoder must size
+// operations independently (true for the baseline, the whole-op Huffman
+// schemes and the tailored ISA — the encodings the three organizations
+// cache).
+func VerifyBankedExtraction(im *image.Image, sp *sched.Program, enc compress.Encoder, lineBytes int) (BankedStats, error) {
+	if lineBytes < 1 {
+		return BankedStats{}, fmt.Errorf("cache: bad line size %d", lineBytes)
+	}
+	var stats BankedStats
+	lineBits := lineBytes * 8
+	for bi, b := range sp.Blocks {
+		bit := im.Blocks[bi].Addr * 8
+		for _, mop := range b.MOPs {
+			mopBits := enc.BlockBits(mop)
+			if mopBits == 0 && len(mop) > 0 {
+				return stats, fmt.Errorf("cache: block %d: zero-size MOP", b.ID)
+			}
+			first := bit / lineBits
+			last := (bit + mopBits - 1) / lineBits
+			span := last - first + 1
+			stats.MOPs++
+			if span > stats.MaxLines {
+				stats.MaxLines = span
+			}
+			if span == 2 {
+				stats.Straddles++
+			}
+			if span > 2 {
+				return stats, fmt.Errorf(
+					"cache: block %d: a MOP spans %d lines (%d bits at bit %d, %dB lines) — not extractable in one banked reference",
+					b.ID, span, mopBits, bit, lineBytes)
+			}
+			bit += mopBits
+		}
+	}
+	return stats, nil
+}

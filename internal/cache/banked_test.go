@@ -1,0 +1,84 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/image"
+	"repro/internal/tailor"
+	"repro/internal/workload"
+)
+
+// TestBankedExtractionHolds proves the §3.4 property for the encodings
+// each organization caches: with the paper's line sizes, every MOP of
+// every benchmark spans at most two lines, so the two-bank storage always
+// extracts a whole MOP in one reference.
+func TestBankedExtractionHolds(t *testing.T) {
+	for _, name := range workload.Benchmarks {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sp, _ := pipeline(t, name)
+			base := compress.NewBase()
+			baseIm, err := image.Build(sp, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := compress.NewFullHuffman(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullIm, err := image.Build(sp, full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tl, err := tailor.New(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tlIm, err := image.Build(sp, tl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cases := []struct {
+				org  Org
+				im   *image.Image
+				enc  compress.Encoder
+				line int
+			}{
+				{OrgBase, baseIm, base, DefaultConfig(OrgBase).LineBytes},
+				{OrgCompressed, fullIm, full, DefaultConfig(OrgCompressed).LineBytes},
+				{OrgTailored, tlIm, tl, DefaultConfig(OrgTailored).LineBytes},
+			}
+			for _, c := range cases {
+				stats, err := VerifyBankedExtraction(c.im, sp, c.enc, c.line)
+				if err != nil {
+					t.Fatalf("%v: %v", c.org, err)
+				}
+				if stats.MaxLines > 2 {
+					t.Fatalf("%v: MOP spans %d lines", c.org, stats.MaxLines)
+				}
+				if stats.MOPs == 0 {
+					t.Fatalf("%v: no MOPs checked", c.org)
+				}
+				// Compressed MOPs are small relative to the line, so
+				// straddles must be the minority everywhere.
+				if r := stats.StraddleRate(); r > 0.5 {
+					t.Errorf("%v: straddle rate %.3f implausible", c.org, r)
+				}
+			}
+		})
+	}
+}
+
+// TestBankedExtractionCatchesOversizedMOPs: with an absurdly small line,
+// the property fails and the verifier says so.
+func TestBankedExtractionCatchesOversizedMOPs(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	base := compress.NewBase()
+	if _, err := VerifyBankedExtraction(ims[OrgBase], sp, base, 4); err == nil {
+		t.Error("4-byte lines should break one-reference extraction for wide MOPs")
+	}
+	if _, err := VerifyBankedExtraction(ims[OrgBase], sp, base, 0); err == nil {
+		t.Error("accepted zero line size")
+	}
+}

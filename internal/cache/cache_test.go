@@ -1,0 +1,364 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/emu"
+	"repro/internal/image"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+	"repro/internal/tailor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestTable1Matrix asserts every cell of the paper's Table 1.
+func TestTable1Matrix(t *testing.T) {
+	const n = 4
+	cases := []struct {
+		org      Org
+		correct  bool
+		hit      bool
+		bufHit   bool
+		want     int
+		describe string
+	}{
+		// Base.
+		{OrgBase, true, true, false, 1, "base correct/hit"},
+		{OrgBase, true, false, false, 1 + (n - 1), "base correct/miss"},
+		{OrgBase, false, true, false, 2, "base incorrect/hit"},
+		{OrgBase, false, false, false, 8 + (n - 1), "base incorrect/miss"},
+		// Tailored.
+		{OrgTailored, true, true, false, 1, "tailored correct/hit"},
+		{OrgTailored, true, false, false, 2 + (n - 1), "tailored correct/miss"},
+		{OrgTailored, false, true, false, 2, "tailored incorrect/hit"},
+		{OrgTailored, false, false, false, 9 + (n - 1), "tailored incorrect/miss"},
+		// Compressed, buffer hit: as fast as an uncompressed hit (the
+		// restart on a misprediction is not bypassed).
+		{OrgCompressed, true, true, true, 1, "compressed correct/hit/bufhit"},
+		{OrgCompressed, true, false, true, 1, "compressed correct/miss/bufhit"},
+		{OrgCompressed, false, true, true, 2, "compressed incorrect/hit/bufhit"},
+		{OrgCompressed, false, false, true, 2, "compressed incorrect/miss/bufhit"},
+		// Compressed, buffer miss; mispredictions pay the added decoder
+		// stage (see the timing.go doc comment for the two deliberate
+		// deviations from the published matrix).
+		{OrgCompressed, true, true, false, 1 + (n - 1), "compressed correct/hit/bufmiss"},
+		{OrgCompressed, true, false, false, 3 + (n - 1), "compressed correct/miss/bufmiss"},
+		{OrgCompressed, false, true, false, 3 + (n - 1), "compressed incorrect/hit/bufmiss"},
+		{OrgCompressed, false, false, false, 10 + (n - 1), "compressed incorrect/miss/bufmiss"},
+	}
+	for _, c := range cases {
+		if got := StartupCycles(c.org, c.correct, c.hit, c.bufHit, n); got != c.want {
+			t.Errorf("%s: %d cycles, want %d", c.describe, got, c.want)
+		}
+	}
+	// Base/Tailored ignore the buffer flag entirely.
+	if StartupCycles(OrgBase, true, true, true, 1) != 1 {
+		t.Error("base must ignore buffer hit flag")
+	}
+	// n clamps to 1.
+	if StartupCycles(OrgBase, true, false, false, 0) != 1 {
+		t.Error("n=0 should clamp to 1")
+	}
+}
+
+func TestLineCacheLRU(t *testing.T) {
+	c, err := NewLineCache(1, 2, 32) // one set, 2 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Probe(1) {
+		t.Error("cold probe hit")
+	}
+	c.Fill(1)
+	c.Fill(2)
+	if !c.Probe(1) || !c.Probe(2) {
+		t.Error("filled lines missing")
+	}
+	// 1 probed then 2: LRU is 1 after probing 2? Order: probe(1) -> 1 MRU;
+	// probe(2) -> 2 MRU, 1 LRU. Fill 3 evicts 1.
+	c.Fill(3)
+	if c.Probe(1) {
+		t.Error("LRU line survived eviction")
+	}
+	if !c.Probe(2) || !c.Probe(3) {
+		t.Error("MRU lines evicted")
+	}
+}
+
+func TestLineCacheGeometry(t *testing.T) {
+	if _, err := NewLineCache(0, 2, 32); err == nil {
+		t.Error("accepted 0 sets")
+	}
+	c, _ := NewLineCache(256, 2, 32)
+	if c.CapacityBytes() != 16*1024 {
+		t.Errorf("capacity = %d, want 16KB", c.CapacityBytes())
+	}
+	base, _ := NewLineCache(256, 2, 40)
+	if base.CapacityBytes() != 20*1024 {
+		t.Errorf("base capacity = %d, want 20KB", base.CapacityBytes())
+	}
+	if c.LineOf(63) != 1 || c.LineOf(64) != 2 {
+		t.Error("LineOf arithmetic")
+	}
+}
+
+func TestLineCacheFlush(t *testing.T) {
+	c, _ := NewLineCache(4, 2, 32)
+	c.Fill(5)
+	c.Flush()
+	if c.Probe(5) {
+		t.Error("line survived flush")
+	}
+}
+
+func TestL0Buffer(t *testing.T) {
+	b := NewL0Buffer(32)
+	if b.Lookup(1) {
+		t.Error("cold lookup hit")
+	}
+	b.Insert(1, 10)
+	b.Insert(2, 10)
+	b.Insert(3, 10)
+	if !b.Lookup(1) || !b.Lookup(2) || !b.Lookup(3) {
+		t.Error("inserted blocks missing")
+	}
+	if b.UsedOps() != 30 {
+		t.Errorf("used = %d, want 30", b.UsedOps())
+	}
+	// Inserting 10 more evicts the LRU (block 1, just refreshed order:
+	// lookups made order 3,2,1 -> MRU 3? Lookup order above was 1,2,3 so
+	// MRU is 3, LRU is 1).
+	b.Insert(4, 10)
+	if b.Lookup(1) {
+		t.Error("LRU block survived")
+	}
+	if !b.Lookup(4) {
+		t.Error("new block missing")
+	}
+}
+
+func TestL0BufferOversized(t *testing.T) {
+	b := NewL0Buffer(32)
+	b.Insert(9, 40) // bigger than the whole buffer
+	if b.Lookup(9) {
+		t.Error("oversized block cached")
+	}
+	if b.UsedOps() != 0 {
+		t.Error("oversized insert consumed space")
+	}
+}
+
+func TestL0BufferReinsertRefreshes(t *testing.T) {
+	b := NewL0Buffer(20)
+	b.Insert(1, 10)
+	b.Insert(2, 10)
+	b.Insert(1, 10) // refresh, no growth
+	if b.UsedOps() != 20 {
+		t.Errorf("used = %d, want 20", b.UsedOps())
+	}
+	b.Insert(3, 10) // evicts LRU = 2
+	if b.Lookup(2) {
+		t.Error("refreshed block was evicted instead of LRU")
+	}
+	if !b.Lookup(1) {
+		t.Error("refreshed block missing")
+	}
+}
+
+// pipeline compiles a benchmark and builds images for all organizations.
+func pipeline(t testing.TB, name string) (*sched.Program, map[Org]*image.Image) {
+	t.Helper()
+	p, err := workload.GenerateBenchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regalloc.Allocate(p); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sched.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ims := map[Org]*image.Image{}
+	baseIm, err := image.Build(sp, compress.NewBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ims[OrgBase] = baseIm
+	fe, err := compress.NewFullHuffman(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ims[OrgCompressed], err = image.Build(sp, fe); err != nil {
+		t.Fatal(err)
+	}
+	te, err := tailor.New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ims[OrgTailored], err = image.Build(sp, te); err != nil {
+		t.Fatal(err)
+	}
+	return sp, ims
+}
+
+func runOrg(t testing.TB, org Org, sp *sched.Program, im *image.Image, tr *trace.Trace) Result {
+	t.Helper()
+	sim, err := NewSim(org, DefaultConfig(org), im, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Run(tr)
+}
+
+func TestSimBasicInvariants(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 50000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := RunIdeal(tr)
+	for _, org := range []Org{OrgBase, OrgTailored, OrgCompressed} {
+		res := runOrg(t, org, sp, ims[org], tr)
+		if res.Cycles < res.MOPs {
+			t.Errorf("%v: cycles %d below MOP floor %d", org, res.Cycles, res.MOPs)
+		}
+		if res.IPC() <= 0 || res.IPC() > ideal.IPC() {
+			t.Errorf("%v: IPC %.3f outside (0, ideal=%.3f]", org, res.IPC(), ideal.IPC())
+		}
+		if res.BlockFetches != int64(tr.Len()) {
+			t.Errorf("%v: %d fetches for %d events", org, res.BlockFetches, tr.Len())
+		}
+		if org == OrgCompressed && res.BufferHits == 0 {
+			t.Error("compressed: L0 buffer never hit on a loopy trace")
+		}
+		if org != OrgCompressed && res.BufferHits != 0 {
+			t.Errorf("%v: buffer hits reported without a buffer", org)
+		}
+	}
+}
+
+// The tiny compress benchmark fits every cache: differences must come
+// from mispredictions only, so Tailored ~ Base > Compressed is expected
+// per the paper's argument.
+func TestSimSmallFootprintShape(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 100000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runOrg(t, OrgBase, sp, ims[OrgBase], tr)
+	tl := runOrg(t, OrgTailored, sp, ims[OrgTailored], tr)
+	if base.MissRate() > 0.02 {
+		t.Errorf("compress should fit the base cache; miss rate %.3f", base.MissRate())
+	}
+	// Identical traces, identical predictors: same mispredict counts.
+	if base.Mispredicts != tl.Mispredicts {
+		t.Errorf("mispredicts differ: base %d vs tailored %d",
+			base.Mispredicts, tl.Mispredicts)
+	}
+}
+
+// A large-footprint benchmark must show the capacity effect: the
+// compressed cache holds ~3x more instructions, so its miss rate must be
+// far below base's.
+func TestSimCapacityEffect(t *testing.T) {
+	sp, ims := pipeline(t, "vortex")
+	prof := workload.MustProfile("vortex")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 150000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runOrg(t, OrgBase, sp, ims[OrgBase], tr)
+	comp := runOrg(t, OrgCompressed, sp, ims[OrgCompressed], tr)
+	tl := runOrg(t, OrgTailored, sp, ims[OrgTailored], tr)
+	if base.MissRate() < 0.02 {
+		t.Skipf("vortex unexpectedly fits the base cache (miss %.4f)", base.MissRate())
+	}
+	if comp.MissRate() >= base.MissRate() {
+		t.Errorf("compressed miss rate %.4f not below base %.4f",
+			comp.MissRate(), base.MissRate())
+	}
+	if tl.MissRate() >= base.MissRate() {
+		t.Errorf("tailored miss rate %.4f not below base %.4f",
+			tl.MissRate(), base.MissRate())
+	}
+}
+
+// Figure 14's shape: bus bit flips track the degree of compression.
+func TestSimBitFlipsTrackCompression(t *testing.T) {
+	sp, ims := pipeline(t, "gcc")
+	prof := workload.MustProfile("gcc")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 150000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runOrg(t, OrgBase, sp, ims[OrgBase], tr)
+	comp := runOrg(t, OrgCompressed, sp, ims[OrgCompressed], tr)
+	tl := runOrg(t, OrgTailored, sp, ims[OrgTailored], tr)
+	if comp.BitFlips >= base.BitFlips {
+		t.Errorf("compressed flips %d not below base %d", comp.BitFlips, base.BitFlips)
+	}
+	if tl.BitFlips >= base.BitFlips {
+		t.Errorf("tailored flips %d not below base %d", tl.BitFlips, base.BitFlips)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	sp, ims := pipeline(t, "go")
+	prof := workload.MustProfile("go")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 20000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := runOrg(t, OrgCompressed, sp, ims[OrgCompressed], tr)
+	r2 := runOrg(t, OrgCompressed, sp, ims[OrgCompressed], tr)
+	if r1 != r2 {
+		t.Error("identical simulations diverged")
+	}
+}
+
+func TestNewSimMismatch(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	spB, _ := pipeline(t, "go")
+	if _, err := NewSim(OrgBase, DefaultConfig(OrgBase), ims[OrgBase], spB); err == nil {
+		t.Error("NewSim accepted mismatched image/program")
+	}
+	_ = sp
+}
+
+func TestDefaultConfigGeometry(t *testing.T) {
+	for _, org := range []Org{OrgBase, OrgTailored, OrgCompressed} {
+		cfg := DefaultConfig(org)
+		lc, err := NewLineCache(cfg.Sets, cfg.Assoc, cfg.LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 16 * 1024
+		if org == OrgBase {
+			want = 20 * 1024 // line size must be a 40-bit multiple
+		}
+		if lc.CapacityBytes() != want {
+			t.Errorf("%v capacity %d, want %d", org, lc.CapacityBytes(), want)
+		}
+	}
+}
+
+func TestRunIdeal(t *testing.T) {
+	tr := &trace.Trace{Name: "x", Ops: 100, MOPs: 40}
+	res := RunIdeal(tr)
+	if res.Cycles != 40 || res.IPC() != 2.5 {
+		t.Errorf("ideal: cycles %d IPC %.2f", res.Cycles, res.IPC())
+	}
+}
+
+func TestOrgString(t *testing.T) {
+	if OrgBase.String() != "Base" || OrgTailored.String() != "Tailored" ||
+		OrgCompressed.String() != "Compressed" {
+		t.Error("org labels")
+	}
+}

@@ -1,0 +1,323 @@
+// Package cache implements the paper's instruction-fetch simulators: the
+// baseline Banked Cache (§3.4) for uncompressed code, the compressed-code
+// ICache with hit-path decompressor and L0 buffer (§4, Figure 11), and
+// the tailored-ISA ICache with miss-path extraction (§5, Figure 12). All
+// three are trace-driven at basic-block granularity with the cycle-count
+// assumptions of Table 1, and report the paper's metrics: operations
+// delivered per cycle (Figure 13) and memory-bus bit flips (Figure 14).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/atb"
+	"repro/internal/image"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Config is the cache geometry and associated structures.
+type Config struct {
+	Sets       int
+	Assoc      int
+	LineBytes  int
+	L0Ops      int // L0 buffer capacity in ops (Compressed only)
+	ATBEntries int
+	BusBytes   int
+	// PerfectPrediction disables the next-block predictor and treats
+	// every prediction as correct — the ablation isolating how much of
+	// each scheme's behaviour is misprediction penalty (the paper's
+	// central explanation for Tailored beating Compressed).
+	PerfectPrediction bool
+	// Predictor selects the direction predictor: "" or "bimodal" for the
+	// paper's per-block 2-bit counters, "gshare" or "pas" for the
+	// future-work two-level predictors (§7).
+	Predictor string
+}
+
+// DefaultConfig returns the paper's experimental configuration: 16 KB
+// 2-way set associative (256 sets x 32 B lines) for the compressed and
+// tailored caches; the baseline needs a line size that is a multiple of
+// the 40-bit op, making it effectively 20 KB (256 sets x 40 B lines).
+func DefaultConfig(org Org) Config {
+	cfg := Config{
+		Sets: 256, Assoc: 2, LineBytes: 32,
+		L0Ops:      32,
+		ATBEntries: atb.DefaultEntries,
+		BusBytes:   power.DefaultBusBytes,
+	}
+	if org == OrgBase || org == OrgCodePack {
+		cfg.LineBytes = 40 // uncompressed cache: a 40-bit-op multiple
+	}
+	return cfg
+}
+
+// Result carries one simulation's metrics.
+type Result struct {
+	Benchmark string
+	Scheme    string // encoding scheme name
+	Org       string // organization label
+
+	Cycles int64
+	Ops    int64
+	MOPs   int64
+
+	BlockFetches int64
+	CacheLookups int64 // block-granular cache accesses (after L0 filter)
+	CacheMisses  int64 // block fetches with at least one missing line
+	LinesFetched int64
+	BufferHits   int64
+	Mispredicts  int64
+
+	BusBeats     int64
+	BitFlips     int64
+	BytesFetched int64
+
+	ATBHitRate float64
+}
+
+// IPC returns operations delivered per cycle — the paper's Figure 13
+// metric.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Cycles)
+}
+
+// MissRate returns block-granular cache miss rate.
+func (r Result) MissRate() float64 {
+	if r.CacheLookups == 0 {
+		return 0
+	}
+	return float64(r.CacheMisses) / float64(r.CacheLookups)
+}
+
+// MispredictRate returns next-block mispredictions per block fetch.
+func (r Result) MispredictRate() float64 {
+	if r.BlockFetches == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.BlockFetches)
+}
+
+// Sim is one IFetch simulation instance.
+type Sim struct {
+	org Org
+	cfg Config
+	im  *image.Image // the image the cache indexes
+	rom *image.Image // CodePack only: the compressed ROM behind the bus
+	sp  *sched.Program
+
+	cache *LineCache
+	buf   *L0Buffer
+	atb   *atb.ATB
+	bus   *power.Bus
+}
+
+// NewSim builds a simulator for a program image under one organization.
+// The image must be encoded with the scheme matching the organization
+// (base for OrgBase, a Huffman scheme for OrgCompressed, the tailored
+// encoding for OrgTailored); the simulator is agnostic beyond block
+// addresses and sizes.
+func NewSim(org Org, cfg Config, im *image.Image, sp *sched.Program) (*Sim, error) {
+	if org == OrgCodePack {
+		return nil, fmt.Errorf("cache: OrgCodePack needs two images; use NewCodePackSim")
+	}
+	return newSim(org, cfg, im, sp)
+}
+
+func newSim(org Org, cfg Config, im *image.Image, sp *sched.Program) (*Sim, error) {
+	if len(im.Blocks) != len(sp.Blocks) {
+		return nil, fmt.Errorf("cache: image has %d blocks, program %d",
+			len(im.Blocks), len(sp.Blocks))
+	}
+	lc, err := NewLineCache(cfg.Sets, cfg.Assoc, cfg.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]atb.BlockInfo, len(sp.Blocks))
+	for i, b := range sp.Blocks {
+		infos[i] = atb.BlockInfo{FallTarget: b.FallTarget}
+	}
+	var dir atb.DirectionPredictor
+	switch cfg.Predictor {
+	case "", "bimodal":
+		dir = atb.NewBimodal(len(sp.Blocks))
+	case "gshare":
+		if dir, err = atb.NewGShare(14); err != nil {
+			return nil, err
+		}
+	case "pas":
+		if dir, err = atb.NewPAs(len(sp.Blocks), 10); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cache: unknown predictor %q", cfg.Predictor)
+	}
+	s := &Sim{
+		org:   org,
+		cfg:   cfg,
+		im:    im,
+		sp:    sp,
+		cache: lc,
+		atb:   atb.NewWithPredictor(infos, cfg.ATBEntries, dir),
+		bus:   power.NewBus(cfg.BusBytes),
+	}
+	if org == OrgCompressed {
+		s.buf = NewL0Buffer(cfg.L0Ops)
+	}
+	return s, nil
+}
+
+// NewCodePackSim builds the related-work miss-path-decompression
+// organization (§6): the cache indexes the *uncompressed* image (cacheIm,
+// the base encoding) while the bus fetches from the *compressed* ROM
+// (romIm — typically the byte scheme, as in IBM CodePack). Miss repair
+// fetches the block's compressed lines and decompresses at miss time.
+func NewCodePackSim(cfg Config, cacheIm, romIm *image.Image, sp *sched.Program) (*Sim, error) {
+	if len(romIm.Blocks) != len(sp.Blocks) {
+		return nil, fmt.Errorf("cache: ROM image has %d blocks, program %d",
+			len(romIm.Blocks), len(sp.Blocks))
+	}
+	s, err := newSim(OrgCodePack, cfg, cacheIm, sp)
+	if err != nil {
+		return nil, err
+	}
+	s.rom = romIm
+	return s, nil
+}
+
+// Run replays a trace through the IFetch pipeline model.
+func (s *Sim) Run(tr *trace.Trace) Result {
+	res := Result{
+		Benchmark: tr.Name,
+		Scheme:    s.im.Scheme,
+		Org:       s.org.String(),
+		Ops:       tr.Ops,
+		MOPs:      tr.MOPs,
+	}
+	// The prediction for the very first block is a free cold start.
+	predicted := -2
+	for _, ev := range tr.Events {
+		blk := s.im.Blocks[ev.Block]
+		mops := s.sp.Blocks[ev.Block].NumMOPs()
+
+		predCorrect := predicted == ev.Block || predicted == -2 ||
+			s.cfg.PerfectPrediction
+		if !predCorrect {
+			res.Mispredicts++
+		}
+		res.BlockFetches++
+		s.atb.Touch(ev.Block)
+
+		// L0 buffer: consulted first, filters main-cache accesses.
+		bufHit := false
+		if s.buf != nil {
+			bufHit = s.buf.Lookup(ev.Block)
+			if bufHit {
+				res.BufferHits++
+			}
+		}
+
+		cacheHit := true
+		// nFetch: memory lines the block's bytes touch (miss repair and
+		// bus traffic). nDec: the block's data volume in lines — the
+		// banked cache extracts straddling data in one reference, so the
+		// hit-path decompression term scales with volume, not placement.
+		nFetch := blk.Lines(s.cfg.LineBytes)
+		nDec := (blk.Bytes + s.cfg.LineBytes - 1) / s.cfg.LineBytes
+		if !bufHit {
+			res.CacheLookups++
+			// Restricted placement: the block is the unit of residency.
+			firstLine := s.cache.LineOf(blk.Addr)
+			missing := 0
+			for l := int64(0); l < int64(nFetch); l++ {
+				if !s.cache.Probe(firstLine + l) {
+					missing++
+				}
+			}
+			if missing > 0 {
+				cacheHit = false
+				res.CacheMisses++
+				if s.rom != nil {
+					// CodePack: the bus carries the compressed ROM lines.
+					romBlk := s.rom.Blocks[ev.Block]
+					res.LinesFetched += int64(romBlk.Lines(s.cfg.LineBytes))
+					end := romBlk.Addr + romBlk.Bytes
+					if end > len(s.rom.Data) {
+						end = len(s.rom.Data)
+					}
+					s.bus.Transfer(s.rom.Data[romBlk.Addr:end])
+				} else {
+					res.LinesFetched += int64(nFetch)
+					// Miss repair fetches the whole block over the bus
+					// and validates all its lines (atomic fetch unit).
+					for l := int64(0); l < int64(nFetch); l++ {
+						s.bus.Transfer(s.lineData(firstLine + l))
+					}
+				}
+				for l := int64(0); l < int64(nFetch); l++ {
+					s.cache.Fill(firstLine + l)
+				}
+			}
+			if s.buf != nil {
+				// The decompressor's output is captured by the buffer.
+				s.buf.Insert(ev.Block, blk.Ops)
+			}
+		}
+
+		n := nFetch
+		switch {
+		case s.org == OrgCompressed && cacheHit:
+			n = nDec
+		case s.org == OrgCodePack && !cacheHit:
+			// Miss-time decompression runs over the compressed volume.
+			romBlk := s.rom.Blocks[ev.Block]
+			n = (romBlk.Bytes + s.cfg.LineBytes - 1) / s.cfg.LineBytes
+		}
+		res.Cycles += int64(StartupCycles(s.org, predCorrect, cacheHit, bufHit, n))
+		if mops > 1 {
+			res.Cycles += int64(mops - 1) // stream remaining MOPs, 1 per cycle
+		}
+
+		// Train the predictor and remember the next-block prediction.
+		predicted, _ = s.atb.Predict(ev.Block)
+		_ = s.atb.Update(ev.Block, ev.Taken, ev.Next)
+	}
+	res.BusBeats = s.bus.Beats
+	res.BitFlips = s.bus.Flips
+	res.BytesFetched = s.bus.Bytes
+	res.ATBHitRate = s.atb.HitRate()
+	return res
+}
+
+// lineData returns the ROM bytes of one memory line (zero-padded past the
+// end of the image).
+func (s *Sim) lineData(line int64) []byte {
+	start := int(line) * s.cfg.LineBytes
+	end := start + s.cfg.LineBytes
+	if start >= len(s.im.Data) {
+		return make([]byte, s.cfg.LineBytes)
+	}
+	if end > len(s.im.Data) {
+		padded := make([]byte, s.cfg.LineBytes)
+		copy(padded, s.im.Data[start:])
+		return padded
+	}
+	return s.im.Data[start:end]
+}
+
+// RunIdeal returns the perfect-cache, perfect-predictor result: one cycle
+// per MOP (the paper's "Ideal" bar, limited only by schedule density).
+func RunIdeal(tr *trace.Trace) Result {
+	return Result{
+		Benchmark: tr.Name,
+		Scheme:    "ideal",
+		Org:       "Ideal",
+		Cycles:    tr.MOPs,
+		Ops:       tr.Ops,
+		MOPs:      tr.MOPs,
+	}
+}

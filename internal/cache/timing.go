@@ -1,0 +1,125 @@
+package cache
+
+import "fmt"
+
+// Org selects one of the three IFetch organizations the paper evaluates.
+type Org int
+
+// The three organizations of Figures 11–13.
+const (
+	// OrgBase: the banked cache of §3.4 holding uncompressed 40-bit ops.
+	OrgBase Org = iota
+	// OrgTailored: §5 — the cache holds tailored ops ready for the core
+	// decoder; extraction logic sits on the miss path (+1 cycle there).
+	OrgTailored
+	// OrgCompressed: §4 — the cache holds Huffman-compressed bits, the
+	// decompressor sits on the hit path (pipelined, so +1 cycle of branch
+	// misprediction penalty), and a 32-op L0 buffer holds recently
+	// decompressed MOPs.
+	OrgCompressed
+	// OrgCodePack models the related-work organization the paper
+	// criticizes (§6, IBM CodePack; also Wolfe's CCRP): the ROM holds
+	// compressed code and decompression happens at cache *miss* time, so
+	// the ICache holds uncompressed 40-bit ops. ROM size and bus traffic
+	// shrink, but the cache gains no capacity and every miss repair pays
+	// the decompression stage.
+	OrgCodePack
+)
+
+// String returns the figure label for the organization.
+func (o Org) String() string {
+	switch o {
+	case OrgBase:
+		return "Base"
+	case OrgTailored:
+		return "Tailored"
+	case OrgCompressed:
+		return "Compressed"
+	case OrgCodePack:
+		return "CodePack"
+	}
+	return fmt.Sprintf("Org(%d)", int(o))
+}
+
+// StartupCycles is the paper's Table 1: the cycle cost to begin streaming
+// a block, as a function of the next-block prediction outcome, the cache
+// hit/miss outcome, the L0 buffer outcome (Compressed only) and n, the
+// number of memory lines that must be fetched (on the miss path) or
+// decompressed (on the Compressed hit path) to obtain the whole block.
+// Base and Tailored have no buffer, so bufHit is ignored for them.
+//
+// Two cells differ deliberately from a literal reading of the published
+// table, following the paper's text rather than its (ambiguously typeset)
+// matrix:
+//
+//   - A mispredicted fetch that hits the L0 buffer costs 2 cycles, not 1:
+//     the buffer supplies ready MOPs but cannot undo the pipeline restart
+//     (§4 presents the buffer as giving performance "equivalent to an
+//     uncompressed cache" for resident loops, not better than it).
+//   - A mispredicted fetch that hits the main (compressed) cache costs
+//     3+(n-1), one more than Base's 2: this is exactly "the missprediction
+//     penalty of the added Huffman decoder stage" that the abstract and
+//     §6 name as the reason the Tailored ISA wins — with the published
+//     2+(n-1) the added stage would be invisible for single-line blocks.
+func StartupCycles(org Org, predCorrect, cacheHit, bufHit bool, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	switch org {
+	case OrgBase:
+		switch {
+		case predCorrect && cacheHit:
+			return 1
+		case predCorrect: // cache miss
+			return 1 + (n - 1)
+		case cacheHit: // mispredicted
+			return 2
+		default: // mispredicted, cache miss
+			return 8 + (n - 1)
+		}
+	case OrgTailored:
+		switch {
+		case predCorrect && cacheHit:
+			return 1
+		case predCorrect: // miss path carries the extraction stage
+			return 2 + (n - 1)
+		case cacheHit:
+			return 2
+		default:
+			return 9 + (n - 1)
+		}
+	case OrgCodePack:
+		// Hit path identical to Base (the cache is uncompressed); the
+		// miss path carries the decompressor, like Tailored's extraction
+		// stage, over the *compressed* line count n.
+		switch {
+		case predCorrect && cacheHit:
+			return 1
+		case predCorrect:
+			return 2 + (n - 1)
+		case cacheHit:
+			return 2
+		default:
+			return 9 + (n - 1)
+		}
+	case OrgCompressed:
+		if bufHit {
+			// Ready-to-issue MOPs: as fast as an uncompressed cache hit.
+			if predCorrect {
+				return 1
+			}
+			return 2
+		}
+		switch {
+		case predCorrect && cacheHit:
+			return 1 + (n - 1) // decompress n lines' worth at one per cycle
+		case predCorrect: // cache miss
+			return 3 + (n - 1)
+		case cacheHit: // mispredicted: hit-path decompressor adds a stage
+			return 3 + (n - 1)
+		default:
+			return 10 + (n - 1)
+		}
+	}
+	panic(fmt.Sprintf("cache: unknown organization %d", int(org)))
+}

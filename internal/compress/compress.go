@@ -1,0 +1,376 @@
+// Package compress implements the paper's operation-size reduction
+// schemes: the three Huffman alphabet compositions of §2.2 (byte-based,
+// stream-based with configurable field boundaries, and whole-op "Full")
+// plus the uncompressed baseline, all behind a common Encoder interface.
+// The tailored ISA (the paper's other family) lives in package tailor and
+// implements the same interface.
+//
+// All schemes encode and decode at basic-block granularity: block starts
+// are byte-aligned in the ROM (§3.3), operations within a block are
+// bit-packed sequentially.
+package compress
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/huffman"
+	"repro/internal/isa"
+	"repro/internal/sched"
+)
+
+// CodeLenLimit is the bound applied to every Huffman code: the paper's
+// compiler "keeps track of" over-long codewords and bounds them so the
+// IFetch hardware can consume them (§2.2). Codes never exceed the original
+// 40-bit operation size.
+const CodeLenLimit = isa.OpBits
+
+// Encoder encodes and decodes basic blocks under one scheme.
+type Encoder interface {
+	// Name identifies the scheme in reports ("base", "byte", "full",
+	// stream configuration names, "tailored").
+	Name() string
+	// BlockBits returns the encoded size of a block, in bits, without
+	// byte-alignment padding.
+	BlockBits(ops []isa.Op) int
+	// EncodeBlock appends the block's encoding to the bit stream.
+	EncodeBlock(w *bitio.Writer, ops []isa.Op) error
+	// DecodeBlock reads back a block of n operations.
+	DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error)
+	// Tables returns the scheme's Huffman dictionaries (empty for
+	// uncompressed schemes); used by the decoder-complexity model.
+	Tables() []*huffman.Table
+}
+
+// Base is the uncompressed 40-bit TEPIC encoding.
+type Base struct{}
+
+// NewBase returns the baseline encoder.
+func NewBase() *Base { return &Base{} }
+
+// Name implements Encoder.
+func (*Base) Name() string { return "base" }
+
+// BlockBits implements Encoder.
+func (*Base) BlockBits(ops []isa.Op) int { return len(ops) * isa.OpBits }
+
+// EncodeBlock implements Encoder.
+func (*Base) EncodeBlock(w *bitio.Writer, ops []isa.Op) error {
+	for i := range ops {
+		w.WriteBits(ops[i].Encode(), isa.OpBits)
+	}
+	return nil
+}
+
+// DecodeBlock implements Encoder.
+func (*Base) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
+	ops := make([]isa.Op, 0, n)
+	for i := 0; i < n; i++ {
+		w, err := r.ReadBits(isa.OpBits)
+		if err != nil {
+			return nil, err
+		}
+		op, err := isa.Decode(w)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// Tables implements Encoder.
+func (*Base) Tables() []*huffman.Table { return nil }
+
+// ByteHuffman is the byte-based alphabet of §2.2: the packed baseline
+// image is treated as a byte stream and each byte is Huffman coded. It
+// produces the smallest decoding table and simplest decoder.
+type ByteHuffman struct {
+	tab *huffman.Table
+	dec *huffman.Decoder
+}
+
+// NewByteHuffman builds the byte-based scheme from a scheduled program's
+// static byte histogram.
+func NewByteHuffman(p *sched.Program) (*ByteHuffman, error) {
+	freq := map[uint64]int64{}
+	for _, b := range p.Blocks {
+		for _, by := range isa.PackOps(b.Ops) {
+			freq[uint64(by)]++
+		}
+	}
+	tab, err := buildBounded(freq, CodeLenLimit)
+	if err != nil {
+		return nil, fmt.Errorf("compress: byte scheme: %w", err)
+	}
+	return &ByteHuffman{tab: tab, dec: tab.NewDecoder()}, nil
+}
+
+// Name implements Encoder.
+func (*ByteHuffman) Name() string { return "byte" }
+
+// BlockBits implements Encoder.
+func (e *ByteHuffman) BlockBits(ops []isa.Op) int {
+	bits := 0
+	for _, by := range isa.PackOps(ops) {
+		bits += e.tab.EncodedBits(uint64(by))
+	}
+	return bits
+}
+
+// EncodeBlock implements Encoder.
+func (e *ByteHuffman) EncodeBlock(w *bitio.Writer, ops []isa.Op) error {
+	for _, by := range isa.PackOps(ops) {
+		if err := e.tab.Encode(w, uint64(by)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBlock implements Encoder.
+func (e *ByteHuffman) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
+	nbytes := (n*isa.OpBits + 7) / 8
+	data := make([]byte, nbytes)
+	for i := range data {
+		v, err := e.dec.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		data[i] = byte(v)
+	}
+	return isa.UnpackOps(data, n)
+}
+
+// Tables implements Encoder.
+func (e *ByteHuffman) Tables() []*huffman.Table { return []*huffman.Table{e.tab} }
+
+// StreamConfig fixes the stream boundaries of the stream-based alphabet
+// (paper Figure 3): every operation's 40-bit word is cut at Cuts into
+// independent compression streams, each with its own Huffman table.
+type StreamConfig struct {
+	Name string
+	Cuts []int // strictly increasing interior cut points in (0, 40)
+}
+
+// Segments returns the [from, to) bit ranges of the configuration.
+func (c StreamConfig) Segments() [][2]int {
+	segs := make([][2]int, 0, len(c.Cuts)+1)
+	prev := 0
+	for _, cut := range c.Cuts {
+		segs = append(segs, [2]int{prev, cut})
+		prev = cut
+	}
+	segs = append(segs, [2]int{prev, isa.OpBits})
+	return segs
+}
+
+// Validate checks the cut points.
+func (c StreamConfig) Validate() error {
+	prev := 0
+	for _, cut := range c.Cuts {
+		if cut <= prev || cut >= isa.OpBits {
+			return fmt.Errorf("compress: stream config %s: bad cut %d", c.Name, cut)
+		}
+		prev = cut
+	}
+	return nil
+}
+
+// StreamConfigs are the six stream-boundary configurations explored for
+// the paper's Figure 5, named by the paper's selection rule: of the six,
+// the one with the smallest decoder is reported as "stream" and the one
+// with the smallest code as "stream_1" (the assignments below follow the
+// measured sweep; see core.Suite.StreamSweep). The field-boundary
+// geography follows Table 2: bits [0,9) hold T/S/OPT/OPCODE, [9,14) Src1,
+// [14,19) Src2 (or the immediate's upper bits), [34,35) L1, [35,40) the
+// predicate.
+var StreamConfigs = []StreamConfig{
+	// Eight uniform 5-bit streams: tiny per-stream dictionaries give the
+	// smallest stream decoder, at the worst stream compression — the
+	// paper's "stream".
+	{Name: "stream", Cuts: []int{5, 10, 15, 20, 25, 30, 35}},
+	// Two 20-bit halves: widest symbols capture the most intra-op
+	// correlation, the best stream compression — the paper's "stream_1".
+	{Name: "stream_1", Cuts: []int{20}},
+	// The paper's Figure 3 illustration: opcode / operands / middle /
+	// predicate, cut at field boundaries.
+	{Name: "stream_2", Cuts: []int{9, 19, 34}},
+	{Name: "stream_3", Cuts: []int{9, 14, 19, 34}},
+	{Name: "stream_4", Cuts: []int{9, 35}},
+	{Name: "stream_5", Cuts: []int{9, 14, 19, 24, 34}},
+}
+
+// Figure3Config is the stream split the paper's Figure 3 illustrates.
+var Figure3Config = StreamConfigs[2]
+
+// StreamHuffman is the stream-based alphabet of §2.2/Figure 3.
+type StreamHuffman struct {
+	cfg  StreamConfig
+	tabs []*huffman.Table
+	decs []*huffman.Decoder
+}
+
+// NewStreamHuffman builds the stream-based scheme for one configuration.
+func NewStreamHuffman(p *sched.Program, cfg StreamConfig) (*StreamHuffman, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	segs := cfg.Segments()
+	freqs := make([]map[uint64]int64, len(segs))
+	for i := range freqs {
+		freqs[i] = map[uint64]int64{}
+	}
+	for _, b := range p.Blocks {
+		for i := range b.Ops {
+			for si, seg := range segs {
+				freqs[si][b.Ops[i].SliceBits(seg[0], seg[1])]++
+			}
+		}
+	}
+	e := &StreamHuffman{cfg: cfg}
+	for si, f := range freqs {
+		tab, err := buildBounded(f, CodeLenLimit)
+		if err != nil {
+			return nil, fmt.Errorf("compress: stream %s segment %d: %w", cfg.Name, si, err)
+		}
+		e.tabs = append(e.tabs, tab)
+		e.decs = append(e.decs, tab.NewDecoder())
+	}
+	return e, nil
+}
+
+// Name implements Encoder.
+func (e *StreamHuffman) Name() string { return e.cfg.Name }
+
+// Config returns the stream configuration.
+func (e *StreamHuffman) Config() StreamConfig { return e.cfg }
+
+// BlockBits implements Encoder.
+func (e *StreamHuffman) BlockBits(ops []isa.Op) int {
+	segs := e.cfg.Segments()
+	bits := 0
+	for i := range ops {
+		for si, seg := range segs {
+			bits += e.tabs[si].EncodedBits(ops[i].SliceBits(seg[0], seg[1]))
+		}
+	}
+	return bits
+}
+
+// EncodeBlock implements Encoder.
+func (e *StreamHuffman) EncodeBlock(w *bitio.Writer, ops []isa.Op) error {
+	segs := e.cfg.Segments()
+	for i := range ops {
+		for si, seg := range segs {
+			if err := e.tabs[si].Encode(w, ops[i].SliceBits(seg[0], seg[1])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeBlock implements Encoder.
+func (e *StreamHuffman) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
+	segs := e.cfg.Segments()
+	ops := make([]isa.Op, 0, n)
+	for i := 0; i < n; i++ {
+		var word uint64
+		for si, seg := range segs {
+			v, err := e.decs[si].Decode(r)
+			if err != nil {
+				return nil, err
+			}
+			word = word<<uint(seg[1]-seg[0]) | v
+		}
+		op, err := isa.Decode(word)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// Tables implements Encoder.
+func (e *StreamHuffman) Tables() []*huffman.Table { return e.tabs }
+
+// FullHuffman is the whole-op alphabet of §2.2: each distinct 40-bit
+// operation is one symbol. Greatest compression, largest decoder.
+type FullHuffman struct {
+	tab *huffman.Table
+	dec *huffman.Decoder
+}
+
+// NewFullHuffman builds the whole-op scheme from a scheduled program.
+func NewFullHuffman(p *sched.Program) (*FullHuffman, error) {
+	freq := map[uint64]int64{}
+	for _, b := range p.Blocks {
+		for i := range b.Ops {
+			freq[b.Ops[i].Encode()]++
+		}
+	}
+	tab, err := buildBounded(freq, CodeLenLimit)
+	if err != nil {
+		return nil, fmt.Errorf("compress: full scheme: %w", err)
+	}
+	return &FullHuffman{tab: tab, dec: tab.NewDecoder()}, nil
+}
+
+// Name implements Encoder.
+func (*FullHuffman) Name() string { return "full" }
+
+// BlockBits implements Encoder.
+func (e *FullHuffman) BlockBits(ops []isa.Op) int {
+	bits := 0
+	for i := range ops {
+		bits += e.tab.EncodedBits(ops[i].Encode())
+	}
+	return bits
+}
+
+// EncodeBlock implements Encoder.
+func (e *FullHuffman) EncodeBlock(w *bitio.Writer, ops []isa.Op) error {
+	for i := range ops {
+		if err := e.tab.Encode(w, ops[i].Encode()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBlock implements Encoder.
+func (e *FullHuffman) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
+	ops := make([]isa.Op, 0, n)
+	for i := 0; i < n; i++ {
+		w, err := e.dec.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		op, err := isa.Decode(w)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// Tables implements Encoder.
+func (e *FullHuffman) Tables() []*huffman.Table { return []*huffman.Table{e.tab} }
+
+// buildBounded builds an optimal table, falling back to the length-limited
+// construction only when the optimal code exceeds the hardware bound —
+// the paper's "the compiler keeps track of such events and alternates the
+// compression process".
+func buildBounded(freq map[uint64]int64, limit int) (*huffman.Table, error) {
+	tab, err := huffman.Build(freq)
+	if err != nil {
+		return nil, err
+	}
+	if tab.MaxLen() <= limit {
+		return tab, nil
+	}
+	return huffman.BuildLimited(freq, limit)
+}

@@ -1,0 +1,121 @@
+package compress
+
+import (
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/isa"
+	"repro/internal/sched"
+)
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	sp := compile(t, "compress")
+	d, err := NewDictionary(sp, DefaultDictionaryBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTripBlocks(t, d, sp)
+}
+
+func TestDictionaryValidation(t *testing.T) {
+	sp := compile(t, "compress")
+	if _, err := NewDictionary(sp, 0); err == nil {
+		t.Error("accepted 0 index bits")
+	}
+	if _, err := NewDictionary(sp, 21); err == nil {
+		t.Error("accepted 21 index bits")
+	}
+}
+
+func TestDictionaryCompressesButWorseThanHuffman(t *testing.T) {
+	sp := compile(t, "go")
+	d, err := NewDictionary(sp, DefaultDictionaryBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewFullHuffman(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewBase()
+	var db, fb, bb int
+	for _, blk := range sp.Blocks {
+		db += d.BlockBits(blk.Ops)
+		fb += full.BlockBits(blk.Ops)
+		bb += base.BlockBits(blk.Ops)
+	}
+	if db >= bb {
+		t.Errorf("dictionary (%d bits) does not beat base (%d)", db, bb)
+	}
+	if db <= fb {
+		t.Errorf("dictionary (%d bits) should not beat optimal Huffman (%d)", db, fb)
+	}
+	// The decoder, by contrast, is a tiny RAM.
+	if d.DecoderRAMBits() > (1<<DefaultDictionaryBits)*isa.OpBits {
+		t.Errorf("decoder RAM %d bits exceeds 2^k x 40", d.DecoderRAMBits())
+	}
+	if d.Entries() == 0 || d.IndexBits() != DefaultDictionaryBits {
+		t.Error("dictionary metadata")
+	}
+}
+
+func TestDictionaryEscapePath(t *testing.T) {
+	sp := compile(t, "compress")
+	// A 1-bit dictionary forces nearly everything through the escape
+	// path; round-trip must still hold.
+	d, err := NewDictionary(sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := sp.Blocks[0]
+	var w bitio.Writer
+	if err := d.EncodeBlock(&w, blk.Ops); err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.DecodeBlock(bitio.NewReader(w.Bytes()), len(blk.Ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if back[i] != blk.Ops[i] {
+			t.Fatalf("op %d mismatch", i)
+		}
+	}
+	// Escaped ops cost 41 bits.
+	if got := d.BlockBits(blk.Ops); got > 41*len(blk.Ops) {
+		t.Errorf("block bits %d exceed all-escape bound", got)
+	}
+}
+
+func TestSharedByteHuffman(t *testing.T) {
+	spA := compile(t, "compress")
+	spB := compile(t, "go")
+	shared, err := NewSharedByteHuffman([]*sched.Program{spA, spB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared table must round-trip both contributing programs...
+	roundTripBlocks(t, shared, spA)
+	roundTripBlocks(t, shared, spB)
+	// ...and even a program it never saw (its alphabet is complete).
+	spC := compile(t, "li")
+	roundTripBlocks(t, shared, spC)
+
+	// Wolfe-style shared tables compress each program no better than its
+	// own per-program table (§6's per-program argument).
+	own, err := NewByteHuffman(spA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedBits, ownBits := 0, 0
+	for _, b := range spA.Blocks {
+		sharedBits += shared.BlockBits(b.Ops)
+		ownBits += own.BlockBits(b.Ops)
+	}
+	if sharedBits < ownBits {
+		t.Errorf("shared table (%d bits) beats per-program table (%d)", sharedBits, ownBits)
+	}
+	if _, err := NewSharedByteHuffman(nil); err == nil {
+		t.Error("accepted empty program list")
+	}
+}

@@ -1,0 +1,531 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/declogic"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options parameterizes an experiment suite run.
+type Options struct {
+	// Benchmarks to evaluate; nil selects the paper's eight.
+	Benchmarks []string
+	// TraceBlocks bounds dynamic trace length; <= 0 selects each
+	// profile's default (400k blocks).
+	TraceBlocks int
+}
+
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) == 0 {
+		return workload.Benchmarks
+	}
+	return o.Benchmarks
+}
+
+// Suite compiles benchmarks once and serves every experiment. Methods
+// are safe for concurrent use; the trace-driven studies fan out across
+// benchmarks internally.
+type Suite struct {
+	opt      Options
+	mu       sync.Mutex
+	programs map[string]*Compiled
+
+	fig13Mu sync.Mutex
+	fig13   *Fig13Result // cached: Figure 14 reuses these simulations
+}
+
+// NewSuite returns an empty suite; programs compile lazily.
+func NewSuite(opt Options) *Suite {
+	return &Suite{opt: opt, programs: map[string]*Compiled{}}
+}
+
+// Compiled returns (compiling if needed) one benchmark.
+func (s *Suite) Compiled(name string) (*Compiled, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.programs[name]; ok {
+		return c, nil
+	}
+	c, err := CompileBenchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	s.programs[name] = c
+	return c, nil
+}
+
+// forEachBenchmark runs fn for every benchmark concurrently and collects
+// the results in benchmark order. The first error wins.
+func forEachBenchmark[T any](s *Suite, fn func(name string) (T, error)) ([]T, error) {
+	names := s.opt.benchmarks()
+	out := make([]T, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			out[i], errs[i] = fn(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: compression technique comparison, code segment only.
+
+// Fig5Row is one benchmark's compression ratios (scheme bytes / base
+// bytes, code segment only, no ATT).
+type Fig5Row struct {
+	Benchmark string
+	BaseBytes int
+	Ratio     map[string]float64
+}
+
+// Fig5Result is the Figure 5 reproduction.
+type Fig5Result struct {
+	Schemes []string
+	Rows    []Fig5Row
+}
+
+// Figure5 measures the code-segment compression ratio of every scheme.
+func (s *Suite) Figure5() (*Fig5Result, error) {
+	res := &Fig5Result{Schemes: Figure5Schemes}
+	for _, name := range s.opt.benchmarks() {
+		c, err := s.Compiled(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := c.Image("base")
+		if err != nil {
+			return nil, err
+		}
+		row := Fig5Row{Benchmark: name, BaseBytes: base.CodeBytes, Ratio: map[string]float64{}}
+		for _, scheme := range res.Schemes {
+			im, err := c.Image(scheme)
+			if err != nil {
+				return nil, err
+			}
+			row.Ratio[scheme] = im.Ratio(base)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Average returns the mean ratio of one scheme across benchmarks.
+func (r *Fig5Result) Average(scheme string) float64 {
+	var xs []float64
+	for _, row := range r.Rows {
+		xs = append(xs, row.Ratio[scheme])
+	}
+	return stats.Mean(xs)
+}
+
+// Table renders the figure.
+func (r *Fig5Result) Table() *stats.Table {
+	t := &stats.Table{
+		Title: "Figure 5: compression techniques comparison (code segment only, fraction of original size)",
+		Cols:  append([]string{"benchmark", "base bytes"}, r.Schemes...),
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Benchmark, fmt.Sprint(row.BaseBytes)}
+		for _, sch := range r.Schemes {
+			cells = append(cells, stats.Pct(row.Ratio[sch]))
+		}
+		t.AddRow(cells...)
+	}
+	avg := []string{"average", ""}
+	for _, sch := range r.Schemes {
+		avg = append(avg, stats.Pct(r.Average(sch)))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: ATB characteristics / total code size (code + compressed ATT).
+
+// Fig7Row is one benchmark's total-size accounting for one scheme.
+type Fig7Row struct {
+	Benchmark   string
+	Scheme      string
+	CodeBytes   int
+	ATTBytes    int
+	TotalRatio  float64 // (code+ATT) / base code
+	ATTOverhead float64 // ATT / base code — the paper's ~15.5% figure
+}
+
+// Fig7Result is the Figure 7 reproduction.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// Figure7 measures total ROM size including the compressed ATT for the
+// two headline schemes (full and tailored).
+func (s *Suite) Figure7() (*Fig7Result, error) {
+	res := &Fig7Result{}
+	for _, name := range s.opt.benchmarks() {
+		c, err := s.Compiled(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := c.Image("base")
+		if err != nil {
+			return nil, err
+		}
+		for _, scheme := range []string{"full", "tailored"} {
+			im, err := c.Image(scheme)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig7Row{
+				Benchmark:   name,
+				Scheme:      scheme,
+				CodeBytes:   im.CodeBytes,
+				ATTBytes:    im.ATT.CompressedBytes,
+				TotalRatio:  float64(im.TotalBytes()) / float64(base.CodeBytes),
+				ATTOverhead: float64(im.ATT.CompressedBytes) / float64(base.CodeBytes),
+			})
+		}
+	}
+	return res, nil
+}
+
+// MeanATTOverhead returns the average ATT overhead across rows.
+func (r *Fig7Result) MeanATTOverhead() float64 {
+	var xs []float64
+	for _, row := range r.Rows {
+		xs = append(xs, row.ATTOverhead)
+	}
+	return stats.Mean(xs)
+}
+
+// Table renders the figure.
+func (r *Fig7Result) Table() *stats.Table {
+	t := &stats.Table{
+		Title: "Figure 7: total code size with Address Translation Table (fractions of original code size)",
+		Cols:  []string{"benchmark", "scheme", "code B", "ATT B", "code+ATT/base", "ATT/base"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark, row.Scheme,
+			fmt.Sprint(row.CodeBytes), fmt.Sprint(row.ATTBytes),
+			stats.Pct(row.TotalRatio), stats.Pct(row.ATTOverhead))
+	}
+	t.AddRow("average", "", "", "", "", stats.Pct(r.MeanATTOverhead()))
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: Huffman decoder complexity.
+
+// Fig10Row is one benchmark's decoder complexities.
+type Fig10Row struct {
+	Benchmark  string
+	Complexity map[string]declogic.Complexity
+	Tailored   declogic.Complexity
+}
+
+// Fig10Result is the Figure 10 reproduction.
+type Fig10Result struct {
+	Schemes []string // Huffman schemes, report order
+	Rows    []Fig10Row
+}
+
+// Figure10 evaluates the transistor-count model for every Huffman
+// decoder, plus the tailored PLA estimate for contrast.
+func (s *Suite) Figure10() (*Fig10Result, error) {
+	res := &Fig10Result{Schemes: []string{"byte", "stream", "stream_1", "full"}}
+	for _, name := range s.opt.benchmarks() {
+		c, err := s.Compiled(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10Row{Benchmark: name, Complexity: map[string]declogic.Complexity{}}
+		for _, scheme := range res.Schemes {
+			enc, err := c.Encoder(scheme)
+			if err != nil {
+				return nil, err
+			}
+			row.Complexity[scheme] = declogic.ForTables(scheme, enc.Tables())
+		}
+		tl, err := c.Tailored()
+		if err != nil {
+			return nil, err
+		}
+		row.Tailored = declogic.Complexity{
+			Scheme:      "tailored",
+			Transistors: declogic.TailoredTransistors(tl.DictionaryEntries(), isa.OpBits),
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the figure (log10 transistors, as in the paper's plot).
+func (r *Fig10Result) Table() *stats.Table {
+	t := &stats.Table{
+		Title: "Figure 10: decoder complexity, log10(transistors) by the T-equation (n=longest code, k=entries)",
+		Cols:  []string{"benchmark", "byte", "stream", "stream_1", "full", "tailored-PLA", "full n/k"},
+	}
+	for _, row := range r.Rows {
+		full := row.Complexity["full"]
+		t.AddRow(row.Benchmark,
+			stats.F(row.Complexity["byte"].Log10Transistors(), 2),
+			stats.F(row.Complexity["stream"].Log10Transistors(), 2),
+			stats.F(row.Complexity["stream_1"].Log10Transistors(), 2),
+			stats.F(full.Log10Transistors(), 2),
+			stats.F(row.Tailored.Log10Transistors(), 2),
+			fmt.Sprintf("%d/%d", full.N, full.K))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: cache study summary — operations delivered per cycle.
+
+// OrgSchemes maps each IFetch organization to the encoding scheme its
+// cache holds, as in the paper's Figure 13: Base holds the original
+// encoding, Compressed the Full op compression scheme, Tailored the
+// tailored ISA.
+var OrgSchemes = map[cache.Org]string{
+	cache.OrgBase:       "base",
+	cache.OrgCompressed: "full",
+	cache.OrgTailored:   "tailored",
+}
+
+// Fig13Row is one benchmark's delivered IPC under each organization.
+type Fig13Row struct {
+	Benchmark string
+	Ideal     float64
+	Results   map[string]cache.Result // keyed by org label
+}
+
+// IPC returns the delivered IPC for one organization label.
+func (r Fig13Row) IPC(org string) float64 { return r.Results[org].IPC() }
+
+// Fig13Result is the Figure 13 reproduction.
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// Figure13 runs the full trace-driven cache study: 16 KB 2-way caches
+// (20 KB effective for Base), Table 1 timing, per-block ATB predictor.
+// Benchmarks simulate concurrently; the result is cached on the suite
+// (Figure 14 reads the same runs).
+func (s *Suite) Figure13() (*Fig13Result, error) {
+	s.fig13Mu.Lock()
+	defer s.fig13Mu.Unlock()
+	if s.fig13 != nil {
+		return s.fig13, nil
+	}
+	rows, err := forEachBenchmark(s, func(name string) (Fig13Row, error) {
+		c, err := s.Compiled(name)
+		if err != nil {
+			return Fig13Row{}, err
+		}
+		// Images must exist before the per-org fan-out: Compiled's caches
+		// are not safe for concurrent mutation.
+		for _, scheme := range OrgSchemes {
+			if _, err := c.Image(scheme); err != nil {
+				return Fig13Row{}, err
+			}
+		}
+		tr, err := c.Trace(s.opt.TraceBlocks)
+		if err != nil {
+			return Fig13Row{}, err
+		}
+		row := Fig13Row{
+			Benchmark: name,
+			Ideal:     cache.RunIdeal(tr).IPC(),
+			Results:   map[string]cache.Result{},
+		}
+		for org, scheme := range OrgSchemes {
+			im, err := c.Image(scheme)
+			if err != nil {
+				return Fig13Row{}, err
+			}
+			sim, err := cache.NewSim(org, cache.DefaultConfig(org), im, c.Prog)
+			if err != nil {
+				return Fig13Row{}, err
+			}
+			row.Results[org.String()] = sim.Run(tr)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.fig13 = &Fig13Result{Rows: rows}
+	return s.fig13, nil
+}
+
+// Averages returns mean IPC per column (Ideal, Base, Compressed,
+// Tailored).
+func (r *Fig13Result) Averages() map[string]float64 {
+	cols := map[string][]float64{}
+	for _, row := range r.Rows {
+		cols["Ideal"] = append(cols["Ideal"], row.Ideal)
+		for org, res := range row.Results {
+			cols[org] = append(cols[org], res.IPC())
+		}
+	}
+	out := map[string]float64{}
+	for k, xs := range cols {
+		out[k] = stats.Mean(xs)
+	}
+	return out
+}
+
+// Table renders the figure.
+func (r *Fig13Result) Table() *stats.Table {
+	t := &stats.Table{
+		Title: "Figure 13: cache study summary — operations delivered per cycle (6-issue core)",
+		Cols: []string{"benchmark", "Ideal", "Base", "Compressed", "Tailored",
+			"base miss", "mispred"},
+	}
+	for _, row := range r.Rows {
+		base := row.Results["Base"]
+		t.AddRow(row.Benchmark,
+			stats.F(row.Ideal, 3),
+			stats.F(row.IPC("Base"), 3),
+			stats.F(row.IPC("Compressed"), 3),
+			stats.F(row.IPC("Tailored"), 3),
+			stats.Pct(base.MissRate()),
+			stats.Pct(base.MispredictRate()))
+	}
+	avg := r.Averages()
+	t.AddRow("average",
+		stats.F(avg["Ideal"], 3), stats.F(avg["Base"], 3),
+		stats.F(avg["Compressed"], 3), stats.F(avg["Tailored"], 3), "", "")
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Figure 14: memory bus bit flips.
+
+// Fig14Row is one benchmark's bus activity per organization.
+type Fig14Row struct {
+	Benchmark string
+	Flips     map[string]int64   // org label -> bit flips
+	Relative  map[string]float64 // org label -> flips / base flips
+}
+
+// Fig14Result is the Figure 14 reproduction.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Figure14 measures memory-bus bit flips due to instruction cache misses
+// under each organization (same simulations as Figure 13).
+func (s *Suite) Figure14() (*Fig14Result, error) {
+	f13, err := s.Figure13()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig14Result{}
+	for _, row := range f13.Rows {
+		r14 := Fig14Row{
+			Benchmark: row.Benchmark,
+			Flips:     map[string]int64{},
+			Relative:  map[string]float64{},
+		}
+		base := row.Results["Base"].BitFlips
+		for org, cr := range row.Results {
+			r14.Flips[org] = cr.BitFlips
+			if base > 0 {
+				r14.Relative[org] = float64(cr.BitFlips) / float64(base)
+			}
+		}
+		res.Rows = append(res.Rows, r14)
+	}
+	return res, nil
+}
+
+// Table renders the figure.
+func (r *Fig14Result) Table() *stats.Table {
+	t := &stats.Table{
+		Title: "Figure 14: memory bus bit flips (instruction misses; relative to Base)",
+		Cols:  []string{"benchmark", "Base flips", "Compressed", "Tailored", "Comp/Base", "Tail/Base"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark,
+			fmt.Sprint(row.Flips["Base"]),
+			fmt.Sprint(row.Flips["Compressed"]),
+			fmt.Sprint(row.Flips["Tailored"]),
+			stats.Pct(row.Relative["Compressed"]),
+			stats.Pct(row.Relative["Tailored"]))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Stream-configuration exploration (the six configurations of §2.2).
+
+// StreamSweepRow reports one configuration's aggregate ratio and decoder
+// size across benchmarks.
+type StreamSweepRow struct {
+	Config    string
+	MeanRatio float64
+	Log10T    float64 // decoder complexity, averaged log10
+}
+
+// StreamSweep evaluates all six stream configurations — the exploration
+// behind the paper's choice of "stream" (smallest decoder) and "stream_1"
+// (best size).
+func (s *Suite) StreamSweep() ([]StreamSweepRow, error) {
+	agg := map[string][]float64{}
+	aggT := map[string][]float64{}
+	var names []string
+	for _, name := range s.opt.benchmarks() {
+		c, err := s.Compiled(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := c.Image("base")
+		if err != nil {
+			return nil, err
+		}
+		for _, cfgName := range SchemeNames() {
+			if cfgName == "base" || cfgName == "byte" || cfgName == "full" || cfgName == "tailored" {
+				continue
+			}
+			im, err := c.Image(cfgName)
+			if err != nil {
+				return nil, err
+			}
+			enc, err := c.Encoder(cfgName)
+			if err != nil {
+				return nil, err
+			}
+			if _, seen := agg[cfgName]; !seen {
+				names = append(names, cfgName)
+			}
+			agg[cfgName] = append(agg[cfgName], im.Ratio(base))
+			aggT[cfgName] = append(aggT[cfgName],
+				declogic.ForTables(cfgName, enc.Tables()).Log10Transistors())
+		}
+	}
+	sort.Strings(names)
+	var rows []StreamSweepRow
+	for _, n := range names {
+		rows = append(rows, StreamSweepRow{
+			Config:    n,
+			MeanRatio: stats.Mean(agg[n]),
+			Log10T:    stats.Mean(aggT[n]),
+		})
+	}
+	return rows, nil
+}

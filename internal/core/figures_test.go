@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+)
+
+// suite is shared by the figure tests (compilation and simulation are the
+// expensive parts; the assertions all read the same runs the way the
+// paper's figures all come from one experimental campaign).
+var testSuite = NewSuite(Options{TraceBlocks: 200000})
+
+// TestFigure5Shape asserts the paper's compression-ratio ordering: Full is
+// by far the best, everything beats the baseline, byte-wise is the worst
+// Huffman variant here, and tailored sits between the Huffman extremes.
+func TestFigure5Shape(t *testing.T) {
+	res, err := testSuite.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("expected 8 benchmarks, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		full, tl := row.Ratio["full"], row.Ratio["tailored"]
+		byteR, stream := row.Ratio["byte"], row.Ratio["stream"]
+		stream1 := row.Ratio["stream_1"]
+		if !(full < stream && full < byteR && full < tl) {
+			t.Errorf("%s: full (%.3f) is not the best ratio", row.Benchmark, full)
+		}
+		for name, r := range row.Ratio {
+			if r <= 0 || r >= 1 {
+				t.Errorf("%s/%s: ratio %.3f outside (0,1)", row.Benchmark, name, r)
+			}
+		}
+		// stream_1 is the best-size configuration; stream trades size for
+		// the smallest stream decoder.
+		if stream1 >= stream {
+			t.Errorf("%s: stream_1 (%.3f) not better than stream (%.3f)",
+				row.Benchmark, stream1, stream)
+		}
+		_ = tl
+	}
+	// Paper's averages: full ~30%, byte ~72%, tailored ~64%. Allow bands.
+	if avg := res.Average("full"); avg < 0.2 || avg > 0.45 {
+		t.Errorf("full average %.3f outside paper band ~0.30", avg)
+	}
+	if avg := res.Average("byte"); avg < 0.6 || avg > 0.85 {
+		t.Errorf("byte average %.3f outside paper band ~0.72", avg)
+	}
+	if avg := res.Average("tailored"); avg < 0.55 || avg > 0.75 {
+		t.Errorf("tailored average %.3f outside paper band ~0.64", avg)
+	}
+}
+
+// TestFigure7Shape asserts the ATT adds a small, nonzero overhead (the
+// paper reports ~15.5%).
+func TestFigure7Shape(t *testing.T) {
+	res, err := testSuite.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 16 {
+		t.Fatalf("expected 16 rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ATTBytes <= 0 {
+			t.Errorf("%s/%s: empty ATT", row.Benchmark, row.Scheme)
+		}
+		if row.ATTOverhead < 0.02 || row.ATTOverhead > 0.25 {
+			t.Errorf("%s/%s: ATT overhead %.3f implausible", row.Benchmark,
+				row.Scheme, row.ATTOverhead)
+		}
+		if row.TotalRatio >= 1 {
+			t.Errorf("%s/%s: total size %.3f not below original", row.Benchmark,
+				row.Scheme, row.TotalRatio)
+		}
+	}
+	if m := res.MeanATTOverhead(); m < 0.03 || m > 0.20 {
+		t.Errorf("mean ATT overhead %.3f outside plausible band", m)
+	}
+}
+
+// TestFigure10Shape asserts the decoder-complexity ordering: the Full
+// decoder dwarfs the stream decoders, which dwarf nothing smaller than
+// byte; the tailored PLA is orders of magnitude below all of them.
+func TestFigure10Shape(t *testing.T) {
+	res, err := testSuite.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		full := row.Complexity["full"].Transistors
+		byteT := row.Complexity["byte"].Transistors
+		if full.Cmp(byteT) <= 0 {
+			t.Errorf("%s: full decoder (%v) not larger than byte decoder (%v)",
+				row.Benchmark, full, byteT)
+		}
+		if row.Tailored.Transistors.Cmp(byteT) >= 0 {
+			t.Errorf("%s: tailored PLA (%v) not below byte decoder (%v)",
+				row.Benchmark, row.Tailored.Transistors, byteT)
+		}
+		if full.Cmp(big.NewInt(0)) <= 0 {
+			t.Errorf("%s: non-positive complexity", row.Benchmark)
+		}
+		if k := row.Complexity["byte"].K; k > 256 {
+			t.Errorf("%s: byte dictionary %d entries", row.Benchmark, k)
+		}
+	}
+}
+
+// TestFigure13Shape asserts the paper's headline result: Compressed does
+// worse than Base exactly on the misprediction-dominated benchmarks
+// (compress, go, ijpeg, m88ksim) and wins on the capacity-bound ones,
+// while the Tailored ISA has the best average of the three real
+// organizations.
+func TestFigure13Shape(t *testing.T) {
+	res, err := testSuite.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressedLosers := map[string]bool{
+		"compress": true, "go": true, "ijpeg": true, "m88ksim": true,
+	}
+	for _, row := range res.Rows {
+		ideal, base := row.Ideal, row.IPC("Base")
+		comp, tl := row.IPC("Compressed"), row.IPC("Tailored")
+		for label, v := range map[string]float64{"Base": base, "Compressed": comp, "Tailored": tl} {
+			if v <= 0 || v > ideal {
+				t.Errorf("%s/%s: IPC %.3f outside (0, ideal=%.3f]", row.Benchmark, label, v, ideal)
+			}
+		}
+		if compressedLosers[row.Benchmark] {
+			if comp >= base {
+				t.Errorf("%s: Compressed (%.3f) should lose to Base (%.3f) — misprediction-dominated",
+					row.Benchmark, comp, base)
+			}
+		} else if comp < 0.995*base {
+			t.Errorf("%s: Compressed (%.3f) should be at or above Base (%.3f) — capacity-bound",
+				row.Benchmark, comp, base)
+		}
+		// Tailored never falls meaningfully below Base: it shares Base's
+		// hit path and misprediction penalty.
+		if tl < 0.99*base {
+			t.Errorf("%s: Tailored (%.3f) far below Base (%.3f)", row.Benchmark, tl, base)
+		}
+	}
+	avg := res.Averages()
+	if avg["Tailored"] <= avg["Compressed"] {
+		t.Errorf("Tailored average (%.3f) should exceed Compressed (%.3f)",
+			avg["Tailored"], avg["Compressed"])
+	}
+	if avg["Tailored"] < avg["Base"] {
+		t.Errorf("Tailored average (%.3f) should be at or above Base (%.3f)",
+			avg["Tailored"], avg["Base"])
+	}
+	if avg["Ideal"] < avg["Tailored"] {
+		t.Errorf("Ideal average (%.3f) below Tailored (%.3f)", avg["Ideal"], avg["Tailored"])
+	}
+}
+
+// TestFigure14Shape asserts bus bit flips track the degree of compression:
+// Compressed < Tailored < Base for every benchmark.
+func TestFigure14Shape(t *testing.T) {
+	res, err := testSuite.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		b, c, tl := row.Flips["Base"], row.Flips["Compressed"], row.Flips["Tailored"]
+		if b == 0 {
+			t.Errorf("%s: no base bus activity", row.Benchmark)
+			continue
+		}
+		if c >= b {
+			t.Errorf("%s: Compressed flips (%d) not below Base (%d)", row.Benchmark, c, b)
+		}
+		if tl >= b {
+			t.Errorf("%s: Tailored flips (%d) not below Base (%d)", row.Benchmark, tl, b)
+		}
+		if c >= tl {
+			t.Errorf("%s: Compressed flips (%d) not below Tailored (%d) — compression degree ordering",
+				row.Benchmark, c, tl)
+		}
+	}
+}
+
+// TestStreamSweep exercises the six-configuration exploration.
+func TestStreamSweep(t *testing.T) {
+	small := NewSuite(Options{Benchmarks: []string{"compress", "go"}})
+	rows, err := small.StreamSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 stream configurations, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanRatio <= 0 || r.MeanRatio >= 1 {
+			t.Errorf("%s: ratio %.3f outside (0,1)", r.Config, r.MeanRatio)
+		}
+		if r.Log10T <= 0 {
+			t.Errorf("%s: non-positive decoder complexity", r.Config)
+		}
+	}
+}
+
+// TestFigure13Deterministic: two fresh suites (with their concurrent
+// per-benchmark fan-out) must produce bit-identical results — the
+// reproducibility guarantee everything else rests on.
+func TestFigure13Deterministic(t *testing.T) {
+	opt := Options{Benchmarks: []string{"compress", "go"}, TraceBlocks: 30000}
+	r1, err := NewSuite(opt).Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewSuite(opt).Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Rows {
+		a, b := r1.Rows[i], r2.Rows[i]
+		if a.Benchmark != b.Benchmark || a.Ideal != b.Ideal {
+			t.Fatalf("row %d differs", i)
+		}
+		for org, res := range a.Results {
+			if b.Results[org] != res {
+				t.Fatalf("%s/%s differs across runs", a.Benchmark, org)
+			}
+		}
+	}
+}
+
+// TestTablesRender smoke-tests every figure's text rendering.
+func TestTablesRender(t *testing.T) {
+	small := NewSuite(Options{Benchmarks: []string{"compress"}, TraceBlocks: 20000})
+	f5, err := small.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := small.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := small.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f13, err := small.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f14, err := small.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []string{
+		f5.Table().Render(), f7.Table().Render(), f10.Table().Render(),
+		f13.Table().Render(), f14.Table().Render(),
+	} {
+		if len(s) < 50 {
+			t.Errorf("figure table %d renders only %d bytes", i, len(s))
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package core is the paper's toolchain as an orchestration API: it wires
+// the compiler substrate (workload generation, register allocation, VLIW
+// scheduling), the encoding schemes (baseline, the three Huffman alphabet
+// compositions, the tailored ISA), the image/ATT builder, the trace
+// generators, and the IFetch simulators into single calls — and defines
+// one experiment function per figure/table of the paper's evaluation
+// (figures.go).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/emu"
+	"repro/internal/image"
+	"repro/internal/ir"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+	"repro/internal/tailor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SchemeNames lists every encoding scheme the toolchain can produce, in
+// report order: the baseline, byte-based Huffman, the six stream
+// configurations, whole-op Huffman, and the tailored ISA.
+func SchemeNames() []string {
+	names := []string{"base", "byte"}
+	for _, cfg := range compress.StreamConfigs {
+		names = append(names, cfg.Name)
+	}
+	return append(names, "full", "tailored")
+}
+
+// Figure5Schemes are the schemes the paper's Figure 5 plots: byte-wise,
+// the two reported stream configurations, whole-op Huffman and tailored.
+var Figure5Schemes = []string{"byte", "stream", "stream_1", "full", "tailored"}
+
+// Compiled is a program pushed through the compiler substrate.
+type Compiled struct {
+	Name    string
+	IR      *ir.Program
+	Prog    *sched.Program
+	Alloc   regalloc.Result
+	Profile *workload.Profile // nil for hand-written programs
+
+	encoders map[string]compress.Encoder
+	images   map[string]*image.Image
+}
+
+// CompileBenchmark generates and compiles one of the eight SPECint95
+// benchmark stand-ins.
+func CompileBenchmark(name string) (*Compiled, error) {
+	prof, ok := workload.ProfileFor(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q", name)
+	}
+	return CompileProfile(prof)
+}
+
+// CompileProfile generates and compiles a program from a profile.
+func CompileProfile(prof workload.Profile) (*Compiled, error) {
+	p, err := workload.Generate(prof)
+	if err != nil {
+		return nil, err
+	}
+	c, err := CompileIR(p)
+	if err != nil {
+		return nil, err
+	}
+	c.Profile = &prof
+	return c, nil
+}
+
+// CompileBenchmarkSpeculative compiles a benchmark with the
+// treegion-style speculative hoisting pass (sched.Speculate) between
+// register allocation and scheduling, returning the hoisted-op count
+// alongside the compilation.
+func CompileBenchmarkSpeculative(name string) (*Compiled, int, error) {
+	prof, ok := workload.ProfileFor(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: unknown benchmark %q", name)
+	}
+	p, err := workload.Generate(prof)
+	if err != nil {
+		return nil, 0, err
+	}
+	alloc, err := regalloc.Allocate(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	hoisted, err := sched.Speculate(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	sp, err := sched.Schedule(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	c := newCompiled(p, sp, alloc)
+	c.Profile = &prof
+	return c, hoisted, nil
+}
+
+// CompileIR register-allocates and schedules an IR program (as produced
+// by the workload generator or the asm builder with virtual registers;
+// hand-written programs with architectural registers should use
+// ScheduleOnly).
+func CompileIR(p *ir.Program) (*Compiled, error) {
+	alloc, err := regalloc.Allocate(p)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := sched.Schedule(p)
+	if err != nil {
+		return nil, err
+	}
+	return newCompiled(p, sp, alloc), nil
+}
+
+// ScheduleOnly schedules an already register-allocated (e.g. hand-written)
+// program without running the allocator.
+func ScheduleOnly(p *ir.Program) (*Compiled, error) {
+	sp, err := sched.Schedule(p)
+	if err != nil {
+		return nil, err
+	}
+	return newCompiled(p, sp, regalloc.Result{}), nil
+}
+
+func newCompiled(p *ir.Program, sp *sched.Program, alloc regalloc.Result) *Compiled {
+	return &Compiled{
+		Name:     p.Name,
+		IR:       p,
+		Prog:     sp,
+		Alloc:    alloc,
+		encoders: map[string]compress.Encoder{},
+		images:   map[string]*image.Image{},
+	}
+}
+
+// Encoder builds (and caches) the encoder for a scheme name.
+func (c *Compiled) Encoder(scheme string) (compress.Encoder, error) {
+	if e, ok := c.encoders[scheme]; ok {
+		return e, nil
+	}
+	var (
+		e   compress.Encoder
+		err error
+	)
+	switch scheme {
+	case "base":
+		e = compress.NewBase()
+	case "byte":
+		e, err = compress.NewByteHuffman(c.Prog)
+	case "full":
+		e, err = compress.NewFullHuffman(c.Prog)
+	case "tailored":
+		e, err = tailor.New(c.Prog)
+	default:
+		found := false
+		for _, cfg := range compress.StreamConfigs {
+			if cfg.Name == scheme {
+				e, err = compress.NewStreamHuffman(c.Prog, cfg)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: unknown scheme %q", scheme)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: scheme %s: %w", scheme, err)
+	}
+	c.encoders[scheme] = e
+	return e, nil
+}
+
+// Image builds (and caches) the program image under a scheme, with its
+// ATT attached for every non-base scheme.
+func (c *Compiled) Image(scheme string) (*image.Image, error) {
+	if im, ok := c.images[scheme]; ok {
+		return im, nil
+	}
+	enc, err := c.Encoder(scheme)
+	if err != nil {
+		return nil, err
+	}
+	im, err := image.Build(c.Prog, enc)
+	if err != nil {
+		return nil, err
+	}
+	if scheme != "base" {
+		base, err := c.Image("base")
+		if err != nil {
+			return nil, err
+		}
+		att, err := image.BuildATT(base, im)
+		if err != nil {
+			return nil, err
+		}
+		im.ATT = att
+	}
+	c.images[scheme] = im
+	return im, nil
+}
+
+// Dictionary builds the beyond-Huffman dictionary scheme (§7 future work)
+// at the given index width, along with its program image.
+func (c *Compiled) Dictionary(indexBits int) (*compress.Dictionary, *image.Image, error) {
+	d, err := compress.NewDictionary(c.Prog, indexBits)
+	if err != nil {
+		return nil, nil, err
+	}
+	im, err := image.Build(c.Prog, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := c.Image("base")
+	if err != nil {
+		return nil, nil, err
+	}
+	if im.ATT, err = image.BuildATT(base, im); err != nil {
+		return nil, nil, err
+	}
+	return d, im, nil
+}
+
+// Tailored returns the tailored-ISA generator (for Verilog emission and
+// field reports).
+func (c *Compiled) Tailored() (*tailor.Tailored, error) {
+	e, err := c.Encoder("tailored")
+	if err != nil {
+		return nil, err
+	}
+	return e.(*tailor.Tailored), nil
+}
+
+// Trace produces the benchmark's dynamic trace: profile-driven stochastic
+// walk using the profile's seed and phase count. maxBlocks <= 0 selects
+// the profile's default length.
+func (c *Compiled) Trace(maxBlocks int) (*trace.Trace, error) {
+	if c.Profile == nil {
+		return nil, fmt.Errorf("core: %s has no profile; use emu.Machine to run it", c.Name)
+	}
+	if maxBlocks <= 0 {
+		maxBlocks = c.Profile.DynBlocks
+	}
+	return emu.StochasticTrace(c.Prog, c.Profile.Seed, maxBlocks, c.Profile.Phases)
+}
+
+// Verify round-trips every block of every built image, proving the
+// encodings are executable.
+func (c *Compiled) Verify() error {
+	for scheme, im := range c.images {
+		enc := c.encoders[scheme]
+		if err := image.VerifyRoundTrip(im, c.Prog, enc); err != nil {
+			return fmt.Errorf("core: scheme %s: %w", scheme, err)
+		}
+	}
+	return nil
+}

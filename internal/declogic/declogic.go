@@ -1,0 +1,106 @@
+// Package declogic implements the paper's decoder-complexity model
+// (§3.5, Figures 9–10): the worst-case transistor count of a Huffman tree
+// decoder built from CMOS transmission-gate multiplexers,
+//
+//	T = 2m(2^n - 1) + 4m(2^n - 2^(n-1) - 1) + 2n
+//
+// where n is the longest Huffman code, k the number of dictionary entries
+// and m the longest dictionary entry in bits. The formula is a comparison
+// criterion, not a hardware proposal — exactly how the paper uses it: it
+// exposes the (nonlinear) tradeoff between degree of compression and
+// decoder size that makes byte-wise compression attractive despite its
+// mediocre ratios and makes the Full scheme's decoder enormous.
+package declogic
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/huffman"
+)
+
+// Complexity describes one decoder's cost.
+type Complexity struct {
+	Scheme      string
+	N           int      // longest codeword, bits
+	K           int      // dictionary entries
+	M           int      // longest dictionary entry, bits
+	Transistors *big.Int // worst-case transistor count per the T equation
+}
+
+// Log10Transistors returns log10 of the transistor count, the scale the
+// paper's Figure 10 is readable on.
+func (c Complexity) Log10Transistors() float64 {
+	f := new(big.Float).SetInt(c.Transistors)
+	v, _ := f.Float64()
+	if v <= 0 {
+		return 0
+	}
+	return math.Log10(v)
+}
+
+// HuffmanTransistors evaluates the paper's T equation. Exact integer
+// arithmetic: for the Full scheme n can be large enough to overflow
+// int64 comfortably.
+func HuffmanTransistors(n, m int) *big.Int {
+	if n < 1 {
+		n = 1
+	}
+	if m < 1 {
+		m = 1
+	}
+	one := big.NewInt(1)
+	twoN := new(big.Int).Lsh(one, uint(n))    // 2^n
+	twoN1 := new(big.Int).Lsh(one, uint(n-1)) // 2^(n-1)
+	t1 := new(big.Int).Sub(twoN, one)         // 2^n - 1
+	t1.Mul(t1, big.NewInt(int64(2*m)))        // 2m(2^n - 1)
+	t2 := new(big.Int).Sub(twoN, twoN1)       // 2^n - 2^(n-1)
+	t2.Sub(t2, one)                           // ... - 1
+	if t2.Sign() < 0 {
+		t2.SetInt64(0)
+	}
+	t2.Mul(t2, big.NewInt(int64(4*m))) // 4m(...)
+	total := new(big.Int).Add(t1, t2)
+	total.Add(total, big.NewInt(int64(2*n)))
+	return total
+}
+
+// ForTable evaluates the model for one Huffman dictionary.
+func ForTable(scheme string, tab *huffman.Table) Complexity {
+	return Complexity{
+		Scheme:      scheme,
+		N:           tab.MaxLen(),
+		K:           tab.Entries(),
+		M:           tab.SymbolBits(),
+		Transistors: HuffmanTransistors(tab.MaxLen(), tab.SymbolBits()),
+	}
+}
+
+// ForTables evaluates a multi-table scheme (the stream alphabets): per
+// the paper, the decoder decodes all streams, so complexity is the sum
+// over the per-stream decoders; N/K/M report the maxima.
+func ForTables(scheme string, tabs []*huffman.Table) Complexity {
+	c := Complexity{Scheme: scheme, Transistors: big.NewInt(0)}
+	for _, tab := range tabs {
+		c.Transistors.Add(c.Transistors, HuffmanTransistors(tab.MaxLen(), tab.SymbolBits()))
+		if tab.MaxLen() > c.N {
+			c.N = tab.MaxLen()
+		}
+		c.K += tab.Entries()
+		if tab.SymbolBits() > c.M {
+			c.M = tab.SymbolBits()
+		}
+	}
+	return c
+}
+
+// TailoredTransistors is a rough PLA cost for the tailored decoder: each
+// dictionary entry (opcode mapping or hardwired constant) contributes one
+// product term driving up to `signalBits` outputs at two transistors per
+// (term, output) pair. It exists to quantify the paper's claim that the
+// tailored ISA needs "very little additional hardware" next to any
+// Huffman decoder.
+func TailoredTransistors(dictEntries, signalBits int) *big.Int {
+	t := int64(dictEntries) * int64(2*signalBits)
+	return big.NewInt(t)
+}

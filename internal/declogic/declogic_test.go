@@ -1,0 +1,85 @@
+package declogic
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/huffman"
+)
+
+func TestEquationSmallCases(t *testing.T) {
+	// n=1, m=1: T = 2(2-1) + 4(2-1-1) + 2 = 2 + 0 + 2 = 4.
+	if got := HuffmanTransistors(1, 1); got.Cmp(big.NewInt(4)) != 0 {
+		t.Errorf("T(1,1) = %v, want 4", got)
+	}
+	// n=2, m=1: T = 2(4-1) + 4(4-2-1) + 4 = 6 + 4 + 4 = 14.
+	if got := HuffmanTransistors(2, 1); got.Cmp(big.NewInt(14)) != 0 {
+		t.Errorf("T(2,1) = %v, want 14", got)
+	}
+	// n=3, m=8: T = 16(8-1) + 32(8-4-1) + 6 = 112 + 96 + 6 = 214.
+	if got := HuffmanTransistors(3, 8); got.Cmp(big.NewInt(214)) != 0 {
+		t.Errorf("T(3,8) = %v, want 214", got)
+	}
+}
+
+func TestEquationClampsBadInput(t *testing.T) {
+	if got := HuffmanTransistors(0, 0); got.Sign() <= 0 {
+		t.Errorf("T(0,0) = %v, want positive", got)
+	}
+}
+
+func TestMonotonicInN(t *testing.T) {
+	prev := HuffmanTransistors(1, 8)
+	for n := 2; n <= 40; n++ {
+		cur := HuffmanTransistors(n, 8)
+		if cur.Cmp(prev) <= 0 {
+			t.Fatalf("T not increasing at n=%d: %v <= %v", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestForTable(t *testing.T) {
+	tab, err := huffman.Build(map[uint64]int64{0: 10, 1: 5, 2: 3, 300: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ForTable("test", tab)
+	if c.N != tab.MaxLen() || c.K != 4 || c.M != tab.SymbolBits() {
+		t.Errorf("ForTable stats wrong: %+v", c)
+	}
+	if c.Transistors.Sign() <= 0 {
+		t.Error("non-positive transistor count")
+	}
+	if c.Log10Transistors() <= 0 {
+		t.Error("Log10Transistors <= 0")
+	}
+}
+
+func TestForTablesSums(t *testing.T) {
+	t1, _ := huffman.Build(map[uint64]int64{0: 4, 1: 2, 2: 1})
+	t2, _ := huffman.Build(map[uint64]int64{0: 9, 1: 1})
+	c := ForTables("streams", []*huffman.Table{t1, t2})
+	want := new(big.Int).Add(
+		HuffmanTransistors(t1.MaxLen(), t1.SymbolBits()),
+		HuffmanTransistors(t2.MaxLen(), t2.SymbolBits()))
+	if c.Transistors.Cmp(want) != 0 {
+		t.Errorf("sum = %v, want %v", c.Transistors, want)
+	}
+	if c.K != t1.Entries()+t2.Entries() {
+		t.Errorf("K = %d", c.K)
+	}
+}
+
+func TestTailoredSmall(t *testing.T) {
+	tt := TailoredTransistors(50, 40)
+	// 50 entries * 2 * 40 = 4000 — orders of magnitude below any Full
+	// Huffman decoder.
+	if tt.Cmp(big.NewInt(4000)) != 0 {
+		t.Errorf("tailored cost %v, want 4000", tt)
+	}
+	full := HuffmanTransistors(20, 40)
+	if tt.Cmp(full) >= 0 {
+		t.Error("tailored decoder should be far smaller than a full Huffman decoder")
+	}
+}

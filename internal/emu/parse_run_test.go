@@ -1,0 +1,87 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/sched"
+)
+
+// TestParseAndRunGCD assembles a textual GCD program, schedules it, and
+// executes it on the interpreter — the assembler-to-emulation slice of
+// the paper's toolchain in one test.
+func TestParseAndRunGCD(t *testing.T) {
+	const src = `
+; greatest common divisor by repeated subtraction
+func main
+entry:
+	ldi   #252 -> r1
+	ldi   #105 -> r2
+loop:
+	cmpeq r1, r2 -> p1
+	brct  p1, done ?0.1
+body:
+	cmplt r1, r2 -> p2
+	sub   r2, r1 -> r2 if p2     ; r2 -= r1 when r1 < r2
+	cmpgt r1, r2 -> p3
+	sub   r1, r2 -> r1 if p3     ; r1 -= r2 when r1 > r2
+	br    loop
+done:
+	ret
+`
+	p, err := asm.Parse("gcd", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sched.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine()
+	tr, err := m.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GPR[1] != 21 || m.GPR[2] != 21 {
+		t.Errorf("gcd(252,105): r1=%d r2=%d, want 21", m.GPR[1], m.GPR[2])
+	}
+	if err := tr.Validate(len(sp.Blocks)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParsedProgramThroughCompression pushes a parsed program through the
+// full encode/simulate pipeline.
+func TestParsedProgramThroughCompression(t *testing.T) {
+	const src = `
+func main
+b0:
+	ldi  #7 -> r1
+	ldi  #0 -> r2
+	ldi  #100 -> r3
+	ldi  #1 -> r4
+loop:
+	add  r2, r1 -> r2
+	st   r2 -> [r3]
+	add  r3, r4 -> r3
+	cmplt r3, r1 -> p1
+	brct p1, loop ?0.05
+end:
+	ret
+`
+	p, err := asm.Parse("kern", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sched.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine()
+	if _, err := m.Run(sp); err != nil {
+		t.Fatal(err)
+	}
+	if m.GPR[2] != 7 {
+		t.Errorf("r2 = %d, want 7 (single loop iteration)", m.GPR[2])
+	}
+}

@@ -1,0 +1,119 @@
+// Package emu produces dynamic execution traces from scheduled TEPIC
+// programs, standing in for the paper's YULA emulation tool. It offers two
+// generators:
+//
+//   - StochasticTrace walks the control-flow graph using the per-block
+//     profile annotations (branch taken probabilities) with a seeded PRNG.
+//     It scales to benchmark-sized programs and is what the paper-figure
+//     experiments use.
+//   - Interpreter executes TEPIC operation semantics (registers, memory,
+//     predication) and emits the trace of what actually ran. It validates
+//     the ISA end to end and runs the example kernels.
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// StochasticTrace walks the program's CFG for maxBlocks block executions,
+// sampling conditional-branch outcomes from the profile's taken
+// probabilities. Calls push the fall-through block on a return stack;
+// returns pop it. When execution falls off the end of the current phase
+// function, the walk restarts at the next phase entry — rotating through
+// the first `phases` functions, which models a driver loop invoking the
+// application's phases in turn (phases < 2 pins the walk to main).
+// Deterministic for a given (program, seed, maxBlocks, phases).
+func StochasticTrace(sp *sched.Program, seed int64, maxBlocks, phases int) (*trace.Trace, error) {
+	if len(sp.Blocks) == 0 || len(sp.FuncEntries) == 0 {
+		return nil, fmt.Errorf("emu: empty program")
+	}
+	if phases < 1 {
+		phases = 1
+	}
+	if phases > len(sp.FuncEntries) {
+		phases = len(sp.FuncEntries)
+	}
+	r := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{Name: sp.Name}
+	tr.Events = make([]trace.Event, 0, maxBlocks)
+
+	// A phase ends when its entry function returns or when its time slice
+	// expires (loop nests can make a single phase outlast the whole
+	// window); either way the walk jumps to a randomly chosen phase entry.
+	// Frequent, randomly ordered phase interleaving is how the large
+	// applications behave (gcc cycles its passes per function compiled;
+	// interpreters hop between handler clusters), and it is what gives
+	// them instruction working sets that genuinely stress the ICache.
+	phaseSlice := maxBlocks
+	if phases > 1 {
+		// Short slices: large applications hop between code regions every
+		// hundred-odd blocks (per-function pass cycling in gcc, handler
+		// dispatch in the interpreters), which is what keeps their
+		// instruction fetch continuously under capacity pressure.
+		phaseSlice = 120
+	}
+
+	var stack []int
+	inPhase := 0
+	cur := sp.FuncEntries[0]
+	for len(tr.Events) < maxBlocks {
+		b := sp.Blocks[cur]
+		tr.Ops += int64(b.NumOps())
+		tr.MOPs += int64(b.NumMOPs())
+
+		next, taken := successor(sp, b, r, &stack)
+		inPhase++
+		// Slice expiry never interrupts a call transfer, so "a call is
+		// always followed by its callee's entry" holds in every trace.
+		if next == trace.End || (phases > 1 && inPhase >= phaseSlice && !b.EndsInCall()) {
+			// Phase finished (or its slice expired): jump to a random
+			// phase entry.
+			stack = stack[:0]
+			next = sp.FuncEntries[r.Intn(phases)]
+			inPhase = 0
+		}
+		tr.Events = append(tr.Events, trace.Event{Block: cur, Taken: taken, Next: next})
+		cur = next
+	}
+	// The final event has no successor within the trace window.
+	tr.Events[len(tr.Events)-1].Next = trace.End
+	return tr, nil
+}
+
+// successor resolves one dynamic control transfer.
+func successor(sp *sched.Program, b *sched.Block, r *rand.Rand, stack *[]int) (int, bool) {
+	if len(b.Ops) == 0 {
+		return b.FallTarget, false
+	}
+	last := b.Ops[len(b.Ops)-1]
+	if last.Type != isa.TypeBranch {
+		return b.FallTarget, false
+	}
+	switch last.Code {
+	case isa.OpBR, isa.OpBRLC:
+		return b.TakenTarget, true
+	case isa.OpBRCT, isa.OpBRCF:
+		if r.Float64() < b.TakenProb {
+			return b.TakenTarget, true
+		}
+		return b.FallTarget, false
+	case isa.OpCALL:
+		if b.FallTarget != trace.End {
+			*stack = append(*stack, b.FallTarget)
+		}
+		return sp.FuncEntries[b.Callee], true
+	case isa.OpRET:
+		if len(*stack) == 0 {
+			return trace.End, true
+		}
+		ret := (*stack)[len(*stack)-1]
+		*stack = (*stack)[:len(*stack)-1]
+		return ret, true
+	}
+	return b.FallTarget, false
+}

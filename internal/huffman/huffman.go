@@ -1,0 +1,394 @@
+// Package huffman implements canonical Huffman coding over arbitrary
+// integer symbol alphabets, including the length-limited ("bounded")
+// variant the paper requires when plain Huffman would emit codes too long
+// for the IFetch hardware (§2.2; compare Wolfe's Bounded Huffman codes).
+//
+// Code assignment is canonical: codewords are assigned in increasing
+// (length, symbol) order, so tables are fully determined by the code
+// lengths and decoding needs only per-length first-code offsets. The
+// Decoder implements exactly that structure; its size statistics (longest
+// code n, dictionary entries k, widest dictionary entry m) feed the
+// paper's decoder-complexity model in package declogic.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// MaxCodeLen is the hard ceiling on codeword length accepted by the
+// decoder structures (codes are kept in uint64 accumulators).
+const MaxCodeLen = 57
+
+// Code is one symbol's codeword: the Len low bits of Bits, emitted MSB
+// first.
+type Code struct {
+	Bits uint64
+	Len  int
+}
+
+// Table is a built Huffman code for one alphabet.
+type Table struct {
+	codes   map[uint64]Code
+	syms    []uint64 // canonical order (by length, then symbol value)
+	lens    []int    // code length per canonical symbol
+	maxLen  int
+	symBits int   // width of the widest symbol in bits (the "m" of the paper)
+	total   int64 // total weight the table was built from
+	bits    int64 // total encoded bits at those weights
+}
+
+// Errors returned by table construction.
+var (
+	ErrEmpty    = errors.New("huffman: empty frequency table")
+	ErrTooLong  = errors.New("huffman: code length limit unreachable")
+	ErrBadLimit = errors.New("huffman: invalid length limit")
+)
+
+// Build constructs an optimal (unbounded) canonical Huffman table from
+// symbol frequencies. Frequencies must be positive.
+func Build(freq map[uint64]int64) (*Table, error) {
+	return build(freq, 0)
+}
+
+// BuildLimited constructs an optimal length-limited canonical Huffman
+// table using the package-merge algorithm: no codeword exceeds maxLen
+// bits. It degrades gracefully to Build's result when the limit is slack.
+func BuildLimited(freq map[uint64]int64, maxLen int) (*Table, error) {
+	if maxLen < 1 || maxLen > MaxCodeLen {
+		return nil, fmt.Errorf("%w: %d", ErrBadLimit, maxLen)
+	}
+	return build(freq, maxLen)
+}
+
+func build(freq map[uint64]int64, limit int) (*Table, error) {
+	if len(freq) == 0 {
+		return nil, ErrEmpty
+	}
+	syms := make([]uint64, 0, len(freq))
+	for s, f := range freq {
+		if f <= 0 {
+			return nil, fmt.Errorf("huffman: non-positive frequency %d for symbol %d", f, s)
+		}
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	if limit > 0 && 1<<uint(limit) < len(syms) {
+		return nil, fmt.Errorf("%w: %d symbols cannot fit in %d-bit codes",
+			ErrTooLong, len(syms), limit)
+	}
+
+	var lens map[uint64]int
+	if len(syms) == 1 {
+		lens = map[uint64]int{syms[0]: 1}
+	} else if limit == 0 {
+		lens = optimalLengths(syms, freq)
+	} else {
+		lens = packageMerge(syms, freq, limit)
+	}
+
+	return newCanonical(syms, lens, freq)
+}
+
+// optimalLengths runs the classic heap-based Huffman construction and
+// returns code lengths per symbol.
+func optimalLengths(syms []uint64, freq map[uint64]int64) map[uint64]int {
+	type node struct {
+		w           int64
+		sym         uint64
+		leaf        bool
+		left, right int
+		order       int // deterministic tie-break
+	}
+	nodes := make([]node, 0, 2*len(syms))
+	var h nodeHeap
+	for i, s := range syms {
+		nodes = append(nodes, node{w: freq[s], sym: s, leaf: true, order: i})
+		h.push(item{w: freq[s], idx: i, order: i})
+	}
+	order := len(syms)
+	for h.Len() > 1 {
+		a := h.pop()
+		b := h.pop()
+		nodes = append(nodes, node{w: a.w + b.w, left: a.idx, right: b.idx, order: order})
+		h.push(item{w: a.w + b.w, idx: len(nodes) - 1, order: order})
+		order++
+	}
+	root := h.pop().idx
+	lens := make(map[uint64]int, len(syms))
+	// Iterative depth-first traversal.
+	type frame struct{ idx, depth int }
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := nodes[f.idx]
+		if n.leaf {
+			d := f.depth
+			if d == 0 {
+				d = 1
+			}
+			lens[n.sym] = d
+			continue
+		}
+		stack = append(stack, frame{n.left, f.depth + 1}, frame{n.right, f.depth + 1})
+	}
+	return lens
+}
+
+type item struct {
+	w     int64
+	idx   int
+	order int
+}
+
+type nodeHeap []item
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w < h[j].w
+	}
+	return h[i].order < h[j].order
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+func (h *nodeHeap) push(it item) { heap.Push(h, it) }
+func (h *nodeHeap) pop() item    { return heap.Pop(h).(item) }
+
+// packageMerge computes optimal length-limited code lengths (Larmore &
+// Hirschberg). Symbols are the leaves; the number of times a leaf appears
+// in the final solution set equals its code length. Packages are
+// represented as binary trees so merging is O(1) and leaf multiplicities
+// are recovered with one traversal at the end.
+func packageMerge(syms []uint64, freq map[uint64]int64, limit int) map[uint64]int {
+	type pmNode struct {
+		w           int64
+		sym         uint64
+		leaf        bool
+		left, right *pmNode
+	}
+	ordered := make([]uint64, len(syms))
+	copy(ordered, syms)
+	sort.Slice(ordered, func(i, j int) bool {
+		if freq[ordered[i]] != freq[ordered[j]] {
+			return freq[ordered[i]] < freq[ordered[j]]
+		}
+		return ordered[i] < ordered[j]
+	})
+	leafList := make([]*pmNode, len(ordered))
+	for i, s := range ordered {
+		leafList[i] = &pmNode{w: freq[s], sym: s, leaf: true}
+	}
+
+	merge := func(a, b []*pmNode) []*pmNode {
+		out := make([]*pmNode, 0, len(a)+len(b))
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i].w <= b[j].w {
+				out = append(out, a[i])
+				i++
+			} else {
+				out = append(out, b[j])
+				j++
+			}
+		}
+		out = append(out, a[i:]...)
+		out = append(out, b[j:]...)
+		return out
+	}
+	pair := func(l []*pmNode) []*pmNode {
+		out := make([]*pmNode, 0, len(l)/2)
+		for i := 0; i+1 < len(l); i += 2 {
+			out = append(out, &pmNode{w: l[i].w + l[i+1].w, left: l[i], right: l[i+1]})
+		}
+		return out
+	}
+
+	list := append([]*pmNode(nil), leafList...)
+	for level := 1; level < limit; level++ {
+		list = merge(leafList, pair(list))
+	}
+	// Count leaf occurrences in the first 2n-2 packages of the final list.
+	need := 2*len(syms) - 2
+	lens := make(map[uint64]int, len(syms))
+	var stack []*pmNode
+	for i := 0; i < need && i < len(list); i++ {
+		stack = append(stack[:0], list[i])
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n.leaf {
+				lens[n.sym]++
+				continue
+			}
+			stack = append(stack, n.left, n.right)
+		}
+	}
+	return lens
+}
+
+// newCanonical assigns canonical codewords given per-symbol lengths.
+func newCanonical(syms []uint64, lens map[uint64]int, freq map[uint64]int64) (*Table, error) {
+	t := &Table{codes: make(map[uint64]Code, len(syms))}
+	order := append([]uint64(nil), syms...)
+	sort.Slice(order, func(i, j int) bool {
+		if lens[order[i]] != lens[order[j]] {
+			return lens[order[i]] < lens[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	code := uint64(0)
+	prevLen := 0
+	for _, s := range order {
+		l := lens[s]
+		if l > MaxCodeLen {
+			return nil, fmt.Errorf("%w: code length %d", ErrTooLong, l)
+		}
+		code <<= uint(l - prevLen)
+		t.codes[s] = Code{Bits: code, Len: l}
+		t.syms = append(t.syms, s)
+		t.lens = append(t.lens, l)
+		code++
+		prevLen = l
+		if l > t.maxLen {
+			t.maxLen = l
+		}
+		if w := bitsFor(s); w > t.symBits {
+			t.symBits = w
+		}
+		t.total += freq[s]
+		t.bits += freq[s] * int64(l)
+	}
+	return t, nil
+}
+
+func bitsFor(v uint64) int {
+	n := 1
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// CodeFor returns the codeword for a symbol.
+func (t *Table) CodeFor(sym uint64) (Code, bool) {
+	c, ok := t.codes[sym]
+	return c, ok
+}
+
+// Encode appends a symbol's codeword to the bit stream.
+func (t *Table) Encode(w *bitio.Writer, sym uint64) error {
+	c, ok := t.codes[sym]
+	if !ok {
+		return fmt.Errorf("huffman: symbol %d not in table", sym)
+	}
+	w.WriteBits(c.Bits, c.Len)
+	return nil
+}
+
+// EncodedBits returns the codeword length of a symbol; 0 if absent.
+func (t *Table) EncodedBits(sym uint64) int { return t.codes[sym].Len }
+
+// Entries returns the dictionary size k.
+func (t *Table) Entries() int { return len(t.syms) }
+
+// MaxLen returns the longest codeword length n.
+func (t *Table) MaxLen() int { return t.maxLen }
+
+// SymbolBits returns the widest dictionary entry m in bits.
+func (t *Table) SymbolBits() int { return t.symBits }
+
+// TotalBits returns the encoded size, in bits, of the corpus the table
+// was built from.
+func (t *Table) TotalBits() int64 { return t.bits }
+
+// TotalWeight returns the corpus size (sum of frequencies).
+func (t *Table) TotalWeight() int64 { return t.total }
+
+// MeanLen returns the weighted mean codeword length in bits.
+func (t *Table) MeanLen() float64 {
+	if t.total == 0 {
+		return 0
+	}
+	return float64(t.bits) / float64(t.total)
+}
+
+// EntropyOf computes the Shannon entropy in bits/symbol of a frequency map.
+func EntropyOf(freq map[uint64]int64) float64 {
+	var total int64
+	for _, f := range freq {
+		total += f
+	}
+	if total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, f := range freq {
+		p := float64(f) / float64(total)
+		e -= p * math.Log2(p)
+	}
+	return e
+}
+
+// NewDecoder builds the canonical decoder for the table.
+func (t *Table) NewDecoder() *Decoder {
+	d := &Decoder{maxLen: t.maxLen}
+	d.count = make([]int, t.maxLen+1)
+	for _, l := range t.lens {
+		d.count[l]++
+	}
+	d.first = make([]uint64, t.maxLen+2)
+	d.offset = make([]int, t.maxLen+2)
+	code := uint64(0)
+	idx := 0
+	for l := 1; l <= t.maxLen; l++ {
+		d.first[l] = code
+		d.offset[l] = idx
+		code = (code + uint64(d.count[l])) << 1
+		idx += d.count[l]
+	}
+	d.syms = t.syms // canonical order already
+	return d
+}
+
+// Decoder decodes canonical Huffman codewords bit by bit.
+type Decoder struct {
+	maxLen int
+	count  []int
+	first  []uint64
+	offset []int
+	syms   []uint64
+}
+
+// Decode reads one symbol from the bit stream.
+func (d *Decoder) Decode(r *bitio.Reader) (uint64, error) {
+	code := uint64(0)
+	for l := 1; l <= d.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint64(b)
+		if d.count[l] > 0 && code-d.first[l] < uint64(d.count[l]) {
+			return d.syms[d.offset[l]+int(code-d.first[l])], nil
+		}
+	}
+	return 0, fmt.Errorf("huffman: invalid codeword 0b%b", code)
+}
+
+// MaxLen returns the longest codeword the decoder accepts.
+func (d *Decoder) MaxLen() int { return d.maxLen }

@@ -1,0 +1,330 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+func randFreq(r *rand.Rand, n int, skew bool) map[uint64]int64 {
+	freq := map[uint64]int64{}
+	for len(freq) < n {
+		sym := uint64(r.Intn(4 * n))
+		f := int64(1 + r.Intn(100))
+		if skew {
+			f = int64(1 + int(1000*math.Pow(r.Float64(), 4)))
+		}
+		freq[sym] = f
+	}
+	return freq
+}
+
+func roundTrip(t *testing.T, tab *Table, freq map[uint64]int64) {
+	t.Helper()
+	var syms []uint64
+	for s, f := range freq {
+		for i := int64(0); i < f%7+1; i++ {
+			syms = append(syms, s)
+		}
+	}
+	var w bitio.Writer
+	for _, s := range syms {
+		if err := tab.Encode(&w, s); err != nil {
+			t.Fatalf("Encode(%d): %v", s, err)
+		}
+	}
+	dec := tab.NewDecoder()
+	r := bitio.NewReader(w.Bytes())
+	for i, want := range syms {
+		got, err := dec.Decode(r)
+		if err != nil {
+			t.Fatalf("Decode #%d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("Decode #%d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBuildRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		freq := randFreq(r, 2+r.Intn(200), trial%2 == 0)
+		tab, err := Build(freq)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		roundTrip(t, tab, freq)
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	tab, err := Build(map[uint64]int64{42: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := tab.CodeFor(42)
+	if !ok || c.Len != 1 {
+		t.Errorf("single-symbol code = %+v, want 1-bit", c)
+	}
+	roundTrip(t, tab, map[uint64]int64{42: 10})
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); err != ErrEmpty {
+		t.Errorf("Build(nil) = %v, want ErrEmpty", err)
+	}
+	if _, err := Build(map[uint64]int64{1: 0}); err == nil {
+		t.Error("Build accepted zero frequency")
+	}
+	if _, err := BuildLimited(map[uint64]int64{1: 1, 2: 1}, 0); err == nil {
+		t.Error("BuildLimited accepted limit 0")
+	}
+	if _, err := BuildLimited(map[uint64]int64{1: 1, 2: 1, 3: 1}, 1); err == nil {
+		t.Error("BuildLimited accepted 3 symbols in 1-bit codes")
+	}
+}
+
+// Kraft inequality: sum 2^-len <= 1 with equality for optimal codes over
+// >= 2 symbols.
+func TestKraft(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		freq := randFreq(r, 2+r.Intn(300), true)
+		tab, err := Build(freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for s := range freq {
+			c, _ := tab.CodeFor(s)
+			sum += math.Pow(2, -float64(c.Len))
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Kraft sum = %g, want 1", sum)
+		}
+	}
+}
+
+// Optimality: mean code length within [H, H+1).
+func TestNearEntropy(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		freq := randFreq(r, 2+r.Intn(200), true)
+		tab, err := Build(freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := EntropyOf(freq)
+		if tab.MeanLen() < h-1e-9 {
+			t.Fatalf("mean length %.4f below entropy %.4f", tab.MeanLen(), h)
+		}
+		if tab.MeanLen() >= h+1 {
+			t.Fatalf("mean length %.4f not within 1 bit of entropy %.4f",
+				tab.MeanLen(), h)
+		}
+	}
+}
+
+// Prefix-freeness: no codeword is a prefix of another.
+func TestPrefixFree(t *testing.T) {
+	freq := randFreq(rand.New(rand.NewSource(10)), 120, true)
+	tab, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cw struct {
+		bits uint64
+		len  int
+	}
+	var codes []cw
+	for s := range freq {
+		c, _ := tab.CodeFor(s)
+		codes = append(codes, cw{c.Bits, c.Len})
+	}
+	for i := range codes {
+		for j := range codes {
+			if i == j {
+				continue
+			}
+			a, b := codes[i], codes[j]
+			if a.len <= b.len && b.bits>>(uint(b.len-a.len)) == a.bits {
+				t.Fatalf("code %b/%d is a prefix of %b/%d", a.bits, a.len, b.bits, b.len)
+			}
+		}
+	}
+}
+
+func TestLimitedRespectsBound(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(300)
+		freq := randFreq(r, n, true)
+		// Tight but feasible limit.
+		minLen := bitsNeeded(n)
+		limit := minLen + r.Intn(4)
+		tab, err := BuildLimited(freq, limit)
+		if err != nil {
+			t.Fatalf("BuildLimited(n=%d, limit=%d): %v", n, limit, err)
+		}
+		if tab.MaxLen() > limit {
+			t.Fatalf("max code length %d exceeds limit %d", tab.MaxLen(), limit)
+		}
+		roundTrip(t, tab, freq)
+	}
+}
+
+func bitsNeeded(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// Length-limited codes satisfy Kraft (decodability) and cost at least as
+// much as the unbounded optimum.
+func TestLimitedVsUnbounded(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		freq := randFreq(r, 2+r.Intn(120), true)
+		opt, err := Build(freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lim, err := BuildLimited(freq, max(4, opt.MaxLen()-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lim.TotalBits() < opt.TotalBits() {
+			t.Fatalf("limited code (%d bits) beats optimal (%d bits)",
+				lim.TotalBits(), opt.TotalBits())
+		}
+		// A slack limit must reproduce the optimal cost.
+		slack, err := BuildLimited(freq, MaxCodeLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slack.TotalBits() != opt.TotalBits() {
+			t.Fatalf("slack-limited code %d bits != optimal %d bits",
+				slack.TotalBits(), opt.TotalBits())
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Property: arbitrary small frequency maps always round-trip.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		freq := map[uint64]int64{}
+		for _, b := range raw {
+			freq[uint64(b)]++
+		}
+		tab, err := Build(freq)
+		if err != nil {
+			return false
+		}
+		var w bitio.Writer
+		for _, b := range raw {
+			if err := tab.Encode(&w, uint64(b)); err != nil {
+				return false
+			}
+		}
+		dec := tab.NewDecoder()
+		r := bitio.NewReader(w.Bytes())
+		for _, b := range raw {
+			got, err := dec.Decode(r)
+			if err != nil || got != uint64(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	freq := map[uint64]int64{0: 100, 1: 50, 2: 25, 1023: 1}
+	tab, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Entries() != 4 {
+		t.Errorf("Entries = %d, want 4", tab.Entries())
+	}
+	if tab.SymbolBits() != 10 {
+		t.Errorf("SymbolBits = %d, want 10 (symbol 1023)", tab.SymbolBits())
+	}
+	if tab.TotalWeight() != 176 {
+		t.Errorf("TotalWeight = %d, want 176", tab.TotalWeight())
+	}
+	// Frequent symbol must get the shortest code.
+	c0, _ := tab.CodeFor(0)
+	c1023, _ := tab.CodeFor(1023)
+	if c0.Len >= c1023.Len {
+		t.Errorf("frequent symbol len %d >= rare symbol len %d", c0.Len, c1023.Len)
+	}
+	if tab.EncodedBits(0) != c0.Len {
+		t.Error("EncodedBits mismatch")
+	}
+	if tab.EncodedBits(999) != 0 {
+		t.Error("EncodedBits of absent symbol should be 0")
+	}
+}
+
+func TestEncodeUnknownSymbol(t *testing.T) {
+	tab, _ := Build(map[uint64]int64{1: 1, 2: 1})
+	var w bitio.Writer
+	if err := tab.Encode(&w, 99); err == nil {
+		t.Error("Encode accepted unknown symbol")
+	}
+}
+
+func TestDecodeInvalidStream(t *testing.T) {
+	// Craft a table with max length > 1, then feed a stream of an invalid
+	// prefix followed by EOF.
+	tab, _ := Build(map[uint64]int64{0: 8, 1: 4, 2: 2, 3: 1, 4: 1})
+	dec := tab.NewDecoder()
+	r := bitio.NewReader(nil)
+	if _, err := dec.Decode(r); err == nil {
+		t.Error("Decode succeeded on empty stream")
+	}
+}
+
+func TestDeterministicTables(t *testing.T) {
+	freq := randFreq(rand.New(rand.NewSource(13)), 200, true)
+	t1, _ := Build(freq)
+	t2, _ := Build(freq)
+	for s := range freq {
+		c1, _ := t1.CodeFor(s)
+		c2, _ := t2.CodeFor(s)
+		if c1 != c2 {
+			t.Fatalf("non-deterministic code for symbol %d: %+v vs %+v", s, c1, c2)
+		}
+	}
+}
+
+func TestEntropyOf(t *testing.T) {
+	// Uniform over 4 symbols = 2 bits.
+	freq := map[uint64]int64{0: 5, 1: 5, 2: 5, 3: 5}
+	if h := EntropyOf(freq); math.Abs(h-2) > 1e-12 {
+		t.Errorf("EntropyOf uniform-4 = %g, want 2", h)
+	}
+	if EntropyOf(nil) != 0 {
+		t.Error("EntropyOf(nil) != 0")
+	}
+}

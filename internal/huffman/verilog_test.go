@@ -1,0 +1,80 @@
+package huffman
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmitVerilog(t *testing.T) {
+	tab, err := Build(map[uint64]int64{0: 8, 1: 4, 2: 2, 3: 1, 200: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.EmitVerilog(&sb, "huff_test"); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{"module huff_test", "endmodule", "casez (window)", "valid"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// One case arm per dictionary entry.
+	if got := strings.Count(v, "valid = 1'b1"); got != tab.Entries() {
+		t.Errorf("%d case arms for %d entries", got, tab.Entries())
+	}
+	// Every pattern must be unique (prefix-free codes left-aligned in the
+	// window cannot collide).
+	seen := map[string]bool{}
+	for _, line := range strings.Split(v, "\n") {
+		if i := strings.Index(line, "'b"); i >= 0 && strings.Contains(line, "begin symbol") {
+			pat := line[i:strings.Index(line, ":")]
+			if seen[pat] {
+				t.Errorf("duplicate pattern %s", pat)
+			}
+			seen[pat] = true
+		}
+	}
+}
+
+func TestEmitVerilogBound(t *testing.T) {
+	freq := map[uint64]int64{}
+	for i := uint64(0); i < MaxVerilogEntries+1; i++ {
+		freq[i] = int64(i%97 + 1)
+	}
+	tab, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.EmitVerilog(&sb, "too_big"); err == nil {
+		t.Error("emitted a decoder beyond the synthesis bound")
+	}
+}
+
+func TestEmitVerilogShortestFirst(t *testing.T) {
+	tab, err := Build(map[uint64]int64{10: 100, 11: 1, 12: 1, 13: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.EmitVerilog(&sb, "prio"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	first := -1
+	for i, l := range lines {
+		if strings.Contains(l, "begin symbol") {
+			first = i
+			break
+		}
+	}
+	if first == -1 {
+		t.Fatal("no case arms")
+	}
+	// The hot symbol (10) has the shortest code and must decode first.
+	if !strings.Contains(lines[first], "symbol = 4'd10") {
+		t.Errorf("first arm is %q, want symbol 10", lines[first])
+	}
+}

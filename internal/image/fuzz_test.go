@@ -1,0 +1,33 @@
+package image
+
+import "testing"
+
+// FuzzParseATT: arbitrary bytes never panic the ATT parser; accepted
+// tables re-serialize to a prefix-compatible stream.
+func FuzzParseATT(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 5}, 1)
+	f.Add(SerializeATT([]ATTEntry{{Orig: 0, Enc: 0, Ops: 3, MOPs: 2, Bytes: 15},
+		{Orig: 15, Enc: 8, Ops: 4, MOPs: 2, Bytes: 20}}), 2)
+	f.Fuzz(func(t *testing.T, raw []byte, n int) {
+		if n < 0 || n > 1024 {
+			return
+		}
+		entries, err := ParseATT(raw, n)
+		if err != nil {
+			return
+		}
+		if len(entries) != n {
+			t.Fatalf("parsed %d entries, asked for %d", len(entries), n)
+		}
+		back := SerializeATT(entries)
+		re, err := ParseATT(back, n)
+		if err != nil {
+			t.Fatalf("re-serialized table rejected: %v", err)
+		}
+		for i := range re {
+			if re[i] != entries[i] {
+				t.Fatalf("entry %d changed across round-trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the program's control-flow graph in Graphviz DOT form:
+// one cluster per function, one node per basic block (labelled with its
+// instruction count and taken probability), solid edges for taken
+// branches, dashed for fall-through, dotted for calls. Useful for
+// inspecting generated workloads and verifying structured-region
+// generation.
+func (p *Program) WriteDOT(w io.Writer) error {
+	pr := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+	pr("digraph %q {", sanitize(p.Name))
+	pr("  node [shape=box, fontsize=10];")
+	for fi, f := range p.Funcs {
+		pr("  subgraph cluster_%d {", fi)
+		pr("    label=%q;", f.Name)
+		for _, b := range f.Blocks {
+			label := fmt.Sprintf("B%d\\n%d ops", b.ID, len(b.Instrs))
+			if t := b.Terminator(); t != nil {
+				label += fmt.Sprintf("\\n%s", t.Info().Name)
+				if b.TakenProb > 0 && b.TakenProb < 1 {
+					label += fmt.Sprintf(" p=%.2f", b.TakenProb)
+				}
+			}
+			pr("    b%d [label=\"%s\"];", b.ID, label)
+		}
+		pr("  }")
+	}
+	for _, b := range p.Blocks() {
+		if b.FallTarget != NoTarget {
+			pr("  b%d -> b%d [style=dashed];", b.ID, b.FallTarget)
+		}
+		if b.TakenTarget != NoTarget {
+			pr("  b%d -> b%d;", b.ID, b.TakenTarget)
+		}
+		if t := b.Terminator(); t != nil && b.Callee != NoTarget && b.Callee >= 0 &&
+			b.Callee < len(p.Funcs) && t.Info().Name == "call" {
+			pr("  b%d -> b%d [style=dotted, color=gray];",
+				b.ID, p.Funcs[b.Callee].Entry().ID)
+		}
+	}
+	pr("}")
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,44 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p := tinyProgram()
+	var sb strings.Builder
+	if err := p.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{
+		"digraph", "cluster_0", "cluster_1", "b0", "b3",
+		"style=dashed", "style=dotted", "}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// One node per block.
+	if got := strings.Count(dot, "[label=\"B"); got != p.NumBlocks() {
+		t.Errorf("%d node declarations for %d blocks", got, p.NumBlocks())
+	}
+	// Balanced braces.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestWriteDOTSanitizesName(t *testing.T) {
+	p := tinyProgram()
+	p.Name = "we\"ird\nname"
+	var sb strings.Builder
+	if err := p.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(sb.String(), "\n", 2)[0]
+	if strings.Count(first, "\"") != 2 {
+		t.Errorf("graph name not sanitized: %q", first)
+	}
+}

@@ -1,0 +1,88 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Stats summarizes a program's static characteristics. The workload
+// generator's tests use it to confirm profiles are honored, and the report
+// tooling prints it next to compression results.
+type Stats struct {
+	Funcs     int
+	Blocks    int
+	Ops       int
+	ByType    [4]int // indexed by isa.OpType
+	Branches  int
+	CondBr    int
+	Calls     int
+	MaxGPR    int // highest GPR index used + 1
+	MaxFPR    int
+	MaxPred   int
+	Immediate int // count of load-immediate ops
+	AvgBlock  float64
+}
+
+// Collect computes Stats for a program.
+func Collect(p *Program) Stats {
+	var s Stats
+	s.Funcs = len(p.Funcs)
+	s.Blocks = p.NumBlocks()
+	bump := func(r Reg) {
+		switch r.Class {
+		case ClassGPR:
+			if r.N+1 > s.MaxGPR {
+				s.MaxGPR = r.N + 1
+			}
+		case ClassFPR:
+			if r.N+1 > s.MaxFPR {
+				s.MaxFPR = r.N + 1
+			}
+		case ClassPred:
+			if r.N+1 > s.MaxPred {
+				s.MaxPred = r.N + 1
+			}
+		}
+	}
+	for _, b := range p.Blocks() {
+		s.Ops += len(b.Instrs)
+		for _, in := range b.Instrs {
+			s.ByType[in.Type]++
+			bump(in.Src1)
+			bump(in.Src2)
+			bump(in.Dest)
+			bump(in.Pred)
+			switch {
+			case in.IsBranch():
+				s.Branches++
+				if in.Code == isa.OpBRCT || in.Code == isa.OpBRCF {
+					s.CondBr++
+				}
+				if in.Code == isa.OpCALL {
+					s.Calls++
+				}
+			case in.Code == isa.OpLDI || in.Code == isa.OpLDIH:
+				if in.Type == isa.TypeInt {
+					s.Immediate++
+				}
+			}
+		}
+	}
+	if s.Blocks > 0 {
+		s.AvgBlock = float64(s.Ops) / float64(s.Blocks)
+	}
+	return s
+}
+
+// String renders the stats as a compact single-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "funcs=%d blocks=%d ops=%d avgBlock=%.2f", s.Funcs, s.Blocks, s.Ops, s.AvgBlock)
+	fmt.Fprintf(&b, " int=%d fp=%d mem=%d br=%d(cond %d, call %d)",
+		s.ByType[isa.TypeInt], s.ByType[isa.TypeFloat], s.ByType[isa.TypeMemory],
+		s.Branches, s.CondBr, s.Calls)
+	fmt.Fprintf(&b, " regs(r/f/p)=%d/%d/%d", s.MaxGPR, s.MaxFPR, s.MaxPred)
+	return b.String()
+}

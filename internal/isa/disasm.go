@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the operation in TINKER-style assembly, e.g.
+//
+//	add   r3, r7 -> r12 if p0 [t]
+//
+// The "[t]" suffix marks a tail bit (end of MOP).
+func (o *Op) String() string {
+	info, ok := Lookup(o.Type, o.Code)
+	name := "???"
+	if ok {
+		name = info.Name
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", name)
+	switch o.Format() {
+	case FmtIntALU:
+		fmt.Fprintf(&b, "r%d, r%d -> r%d", o.Src1, o.Src2, o.Dest)
+	case FmtIntCmpp:
+		fmt.Fprintf(&b, "r%d, r%d -> p%d", o.Src1, o.Src2, o.Dest)
+	case FmtLoadImm:
+		fmt.Fprintf(&b, "#%d -> r%d", o.Imm, o.Dest)
+	case FmtFloat:
+		fmt.Fprintf(&b, "f%d, f%d -> f%d", o.Src1, o.Src2, o.Dest)
+	case FmtLoad:
+		reg := "r"
+		if o.Code == OpFLD {
+			reg = "f"
+		}
+		fmt.Fprintf(&b, "[r%d] -> %s%d (lat %d)", o.Src1, reg, o.Dest, o.Lat)
+	case FmtStore:
+		reg := "r"
+		if o.Code == OpFST {
+			reg = "f"
+		}
+		fmt.Fprintf(&b, "%s%d -> [r%d]", reg, o.Src2, o.Src1)
+	case FmtBranch:
+		fmt.Fprintf(&b, "r%d, c%d", o.Src1, o.Counter)
+	}
+	if o.Pred != PredAlways {
+		fmt.Fprintf(&b, " if p%d", o.Pred)
+	}
+	if o.Spec {
+		b.WriteString(" <spec>")
+	}
+	if o.Tail {
+		b.WriteString(" [t]")
+	}
+	return b.String()
+}
+
+// DisasmMOP renders a MOP as a bracketed group of operations, one per line.
+func DisasmMOP(m MOP) string {
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i := range m {
+		fmt.Fprintf(&b, "  %s\n", m[i].String())
+	}
+	b.WriteString("}")
+	return b.String()
+}

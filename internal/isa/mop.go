@@ -1,0 +1,103 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+)
+
+// MOP is one VLIW MultiOp: the set of operations issued together in a
+// single cycle. Under the zero-NOP encoding only real operations are
+// stored; the tail bit of the last operation delimits the group.
+type MOP []Op
+
+// Validate checks issue-width and unit constraints for the modeled core
+// (at most IssueWidth operations, at most MemUnits memory operations) and
+// that tail bits are set on exactly the last operation.
+func (m MOP) Validate() error {
+	if len(m) == 0 {
+		return fmt.Errorf("%w: empty MOP", ErrBadOp)
+	}
+	if len(m) > IssueWidth {
+		return fmt.Errorf("%w: MOP has %d ops, issue width is %d",
+			ErrBadOp, len(m), IssueWidth)
+	}
+	mem := 0
+	for i := range m {
+		if IsMemory(m[i].Type) {
+			mem++
+		}
+		wantTail := i == len(m)-1
+		if m[i].Tail != wantTail {
+			return fmt.Errorf("%w: op %d tail bit is %v, want %v",
+				ErrBadOp, i, m[i].Tail, wantTail)
+		}
+		if err := m[i].Validate(); err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	if mem > MemUnits {
+		return fmt.Errorf("%w: MOP has %d memory ops, only %d memory units",
+			ErrBadOp, mem, MemUnits)
+	}
+	return nil
+}
+
+// SealTails sets the tail bit on the last operation and clears it on all
+// others, making the slice a well-formed MOP in place.
+func (m MOP) SealTails() {
+	for i := range m {
+		m[i].Tail = i == len(m)-1
+	}
+}
+
+// Bits returns the MOP's size in the baseline encoding.
+func (m MOP) Bits() int { return len(m) * OpBits }
+
+// PackOps serializes a sequence of operations (typically one basic block's
+// worth of MOPs, flattened) into a byte stream, 40 bits per op, packed
+// bit-contiguously and zero-padded to a whole byte at the end. Blocks are
+// byte-aligned in ROM, so padding occurs only once per block.
+func PackOps(ops []Op) []byte {
+	var bw bitio.Writer
+	for i := range ops {
+		bw.WriteBits(ops[i].Encode(), OpBits)
+	}
+	return bw.Bytes()
+}
+
+// UnpackOps decodes n operations from a bit-contiguous byte stream
+// produced by PackOps.
+func UnpackOps(data []byte, n int) ([]Op, error) {
+	br := bitio.NewReader(data)
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		w, err := br.ReadBits(OpBits)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		op, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// SplitMOPs cuts a flat op sequence into MOPs at tail bits. It returns an
+// error if the sequence does not end on a tail bit.
+func SplitMOPs(ops []Op) ([]MOP, error) {
+	var mops []MOP
+	start := 0
+	for i := range ops {
+		if ops[i].Tail {
+			mops = append(mops, MOP(ops[start:i+1]))
+			start = i + 1
+		}
+	}
+	if start != len(ops) {
+		return nil, fmt.Errorf("%w: trailing ops without tail bit", ErrBadOp)
+	}
+	return mops, nil
+}

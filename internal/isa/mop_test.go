@@ -1,0 +1,113 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mkMOP(ops ...Op) MOP {
+	m := MOP(ops)
+	m.SealTails()
+	return m
+}
+
+func TestMOPValidate(t *testing.T) {
+	add := Op{Type: TypeInt, Code: OpADD}
+	ld := Op{Type: TypeMemory, Code: OpLD}
+
+	if err := mkMOP(add, add, add).Validate(); err != nil {
+		t.Errorf("valid MOP rejected: %v", err)
+	}
+	if err := (MOP{}).Validate(); err == nil {
+		t.Error("empty MOP accepted")
+	}
+	if err := mkMOP(add, add, add, add, add, add, add).Validate(); err == nil {
+		t.Error("7-wide MOP accepted (issue width 6)")
+	}
+	if err := mkMOP(ld, ld, ld).Validate(); err == nil {
+		t.Error("MOP with 3 memory ops accepted (2 memory units)")
+	}
+	// Tail on a non-last op.
+	m := mkMOP(add, add)
+	m[0].Tail = true
+	if err := m.Validate(); err == nil {
+		t.Error("MOP with interior tail bit accepted")
+	}
+	// Missing final tail.
+	m = mkMOP(add, add)
+	m[1].Tail = false
+	if err := m.Validate(); err == nil {
+		t.Error("MOP without final tail bit accepted")
+	}
+}
+
+func TestPackUnpackOps(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(40)
+		ops := make([]Op, n)
+		for i := range ops {
+			ops[i] = RandomOp(r)
+		}
+		data := PackOps(ops)
+		wantLen := (n*OpBits + 7) / 8
+		if len(data) != wantLen {
+			t.Fatalf("PackOps(%d ops) = %d bytes, want %d", n, len(data), wantLen)
+		}
+		back, err := UnpackOps(data, n)
+		if err != nil {
+			t.Fatalf("UnpackOps: %v", err)
+		}
+		for i := range ops {
+			if back[i] != ops[i] {
+				t.Fatalf("op %d mismatch after pack/unpack", i)
+			}
+		}
+	}
+}
+
+func TestUnpackOpsTruncated(t *testing.T) {
+	ops := []Op{{Type: TypeInt, Code: OpADD}}
+	data := PackOps(ops)
+	if _, err := UnpackOps(data[:len(data)-1], 1); err == nil {
+		t.Error("UnpackOps accepted truncated stream")
+	}
+}
+
+func TestSplitMOPs(t *testing.T) {
+	add := Op{Type: TypeInt, Code: OpADD}
+	tail := add
+	tail.Tail = true
+	ops := []Op{add, add, tail, tail, add, tail}
+	mops, err := SplitMOPs(ops)
+	if err != nil {
+		t.Fatalf("SplitMOPs: %v", err)
+	}
+	if len(mops) != 3 {
+		t.Fatalf("got %d MOPs, want 3", len(mops))
+	}
+	sizes := []int{3, 1, 2}
+	for i, m := range mops {
+		if len(m) != sizes[i] {
+			t.Errorf("MOP %d has %d ops, want %d", i, len(m), sizes[i])
+		}
+	}
+	if _, err := SplitMOPs([]Op{add}); err == nil {
+		t.Error("SplitMOPs accepted sequence without final tail")
+	}
+}
+
+func TestMOPBits(t *testing.T) {
+	m := mkMOP(Op{Type: TypeInt, Code: OpADD}, Op{Type: TypeInt, Code: OpSUB})
+	if m.Bits() != 80 {
+		t.Errorf("MOP.Bits() = %d, want 80", m.Bits())
+	}
+}
+
+func TestDisasmMOP(t *testing.T) {
+	m := mkMOP(Op{Type: TypeInt, Code: OpADD}, Op{Type: TypeBranch, Code: OpBR})
+	s := DisasmMOP(m)
+	if s == "" || s[0] != '{' {
+		t.Errorf("DisasmMOP rendered %q", s)
+	}
+}

@@ -1,0 +1,135 @@
+// Package layout implements the compile-time code-placement half of the
+// paper's §3.3: "first, new code layout and new target addresses are
+// generated ... then on the second pass, new addresses are inserted".
+// Because branch targets here resolve dynamically through the ATT/ATB
+// (the paper's other §3.3 option) and every block is an atomic fetch unit
+// addressed by translation, re-laying out code needs no target patching
+// and no physical-adjacency constraint — only the image addresses move.
+//
+// The pass packs hot code together: blocks are grouped into greedy
+// fall-path chains and chains are ordered by measured (or annotated)
+// heat, hottest functions and paths first. Hot code then shares cache
+// lines with hot code, so fewer lines hold the dynamic working set —
+// worth real miss-rate points at the paper's 16–20 KB cache sizes.
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Order is a permutation of the program's blocks: the ROM placement
+// order. Block IDs (and so all control-flow metadata and traces) are
+// unaffected — only where each block's bytes land in the image.
+type Order []int
+
+// Identity returns the program's original layout order.
+func Identity(sp *sched.Program) Order {
+	o := make(Order, len(sp.Blocks))
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// Validate checks the order is a permutation of the program's blocks.
+func (o Order) Validate(sp *sched.Program) error {
+	if len(o) != len(sp.Blocks) {
+		return fmt.Errorf("layout: order has %d entries for %d blocks", len(o), len(sp.Blocks))
+	}
+	seen := make([]bool, len(o))
+	for p, id := range o {
+		if id < 0 || id >= len(o) || seen[id] {
+			return fmt.Errorf("layout: not a permutation at position %d", p)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// HotLayout computes a placement from per-block execution counts
+// (typically emu.MeasureProfile's Exec column or a trace's block counts;
+// any non-negative weights work). Blocks are chained greedily along
+// fall-through edges (a chain ends when the successor is already placed
+// or belongs to another function), chains sort by heat within their
+// function, and functions sort by total heat — entry chains stay first in
+// their function so images remain readable.
+func HotLayout(sp *sched.Program, exec []int64) (Order, error) {
+	if len(exec) != len(sp.Blocks) {
+		return nil, fmt.Errorf("layout: %d weights for %d blocks", len(exec), len(sp.Blocks))
+	}
+	type chain struct {
+		fn     int
+		blocks []int
+		heat   int64
+		first  int // original position, for stable ties
+		entry  bool
+	}
+	entryOf := map[int]int{}
+	for fi, e := range sp.FuncEntries {
+		entryOf[e] = fi
+	}
+
+	consumed := make([]bool, len(sp.Blocks))
+	var chains []chain
+	// Seed chains from function entries first (so entries head their
+	// chains), then from any block not yet consumed, in ID order.
+	seed := make([]int, 0, len(sp.Blocks))
+	seed = append(seed, sp.FuncEntries...)
+	for id := range sp.Blocks {
+		seed = append(seed, id)
+	}
+	for _, start := range seed {
+		if consumed[start] {
+			continue
+		}
+		b := sp.Blocks[start]
+		c := chain{fn: b.Fn, first: start}
+		if fi, ok := entryOf[start]; ok && fi == b.Fn {
+			c.entry = true
+		}
+		for id := start; id >= 0 && !consumed[id] && sp.Blocks[id].Fn == c.fn; id = sp.Blocks[id].FallTarget {
+			consumed[id] = true
+			c.blocks = append(c.blocks, id)
+			c.heat += exec[id]
+		}
+		chains = append(chains, c)
+	}
+
+	fnHeat := map[int]int64{}
+	for _, c := range chains {
+		fnHeat[c.fn] += c.heat
+	}
+	sort.SliceStable(chains, func(i, j int) bool {
+		a, b := chains[i], chains[j]
+		if a.fn != b.fn {
+			if fnHeat[a.fn] != fnHeat[b.fn] {
+				return fnHeat[a.fn] > fnHeat[b.fn]
+			}
+			return a.fn < b.fn
+		}
+		if a.entry != b.entry {
+			return a.entry
+		}
+		if a.heat != b.heat {
+			return a.heat > b.heat
+		}
+		return a.first < b.first
+	})
+	var order Order
+	for _, c := range chains {
+		order = append(order, c.blocks...)
+	}
+	if err := order.Validate(sp); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// FromTrace is HotLayout fed by a trace's block counts.
+func FromTrace(sp *sched.Program, tr *trace.Trace) (Order, error) {
+	return HotLayout(sp, tr.BlockCounts(len(sp.Blocks)))
+}

@@ -1,0 +1,187 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/compress"
+	"repro/internal/emu"
+	"repro/internal/image"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func compile(t testing.TB, name string) *sched.Program {
+	t.Helper()
+	p, err := workload.GenerateBenchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regalloc.Allocate(p); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sched.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestIdentity(t *testing.T) {
+	sp := compile(t, "compress")
+	o := Identity(sp)
+	if err := o.Validate(sp); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range o {
+		if i != id {
+			t.Fatalf("identity order broken at %d", i)
+		}
+	}
+}
+
+func TestValidateRejectsBadOrders(t *testing.T) {
+	sp := compile(t, "compress")
+	o := Identity(sp)
+	o[0] = o[1] // duplicate entry
+	if err := o.Validate(sp); err == nil {
+		t.Error("accepted duplicate")
+	}
+	if err := (Order{0}).Validate(sp); err == nil {
+		t.Error("accepted short order")
+	}
+}
+
+func TestHotLayoutIsPermutation(t *testing.T) {
+	for _, name := range workload.Benchmarks {
+		sp := compile(t, name)
+		prof := workload.MustProfile(name)
+		tr, err := emu.StochasticTrace(sp, prof.Seed, 50000, prof.Phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := FromTrace(sp, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := o.Validate(sp); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestHotBlocksMoveForward(t *testing.T) {
+	sp := compile(t, "gcc")
+	prof := workload.MustProfile("gcc")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 100000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := FromTrace(sp, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.BlockCounts(len(sp.Blocks))
+	// Mean position of executed blocks must be well ahead of the mean
+	// position of never-executed blocks.
+	pos := make([]int, len(o))
+	for p, id := range o {
+		pos[id] = p
+	}
+	var hotSum, hotN, coldSum, coldN float64
+	for id, c := range counts {
+		if c > 0 {
+			hotSum += float64(pos[id])
+			hotN++
+		} else {
+			coldSum += float64(pos[id])
+			coldN++
+		}
+	}
+	if hotN == 0 || coldN == 0 {
+		t.Skip("degenerate trace")
+	}
+	if hotSum/hotN >= coldSum/coldN {
+		t.Errorf("hot blocks not ahead: hot mean pos %.0f, cold %.0f",
+			hotSum/hotN, coldSum/coldN)
+	}
+}
+
+// TestHotLayoutImprovesBaseCache: the §3.3 layout pass must reduce the
+// base organization's miss rate on a capacity-stressed benchmark.
+func TestHotLayoutImprovesBaseCache(t *testing.T) {
+	sp := compile(t, "vortex")
+	prof := workload.MustProfile("vortex")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 150000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := compress.NewBase()
+	run := func(order Order) cache.Result {
+		im, err := image.BuildOrdered(sp, enc, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := cache.NewSim(cache.OrgBase, cache.DefaultConfig(cache.OrgBase), im, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run(tr)
+	}
+	natural := run(nil)
+	hot, err := FromTrace(sp, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := run(hot)
+	if tuned.MissRate() >= natural.MissRate() {
+		t.Errorf("hot layout did not reduce misses: %.4f vs %.4f",
+			tuned.MissRate(), natural.MissRate())
+	}
+	if tuned.IPC() < natural.IPC() {
+		t.Errorf("hot layout reduced IPC: %.4f vs %.4f", tuned.IPC(), natural.IPC())
+	}
+	t.Logf("vortex base: miss %.2f%% -> %.2f%%, IPC %.3f -> %.3f",
+		100*natural.MissRate(), 100*tuned.MissRate(), natural.IPC(), tuned.IPC())
+}
+
+func TestBuildOrderedRoundTrip(t *testing.T) {
+	sp := compile(t, "compress")
+	enc, err := compress.NewFullHuffman(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 20000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := FromTrace(sp, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := image.BuildOrdered(sp, enc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placement must not change what decodes out of the image.
+	if err := image.VerifyRoundTrip(im, sp, enc); err != nil {
+		t.Fatal(err)
+	}
+	// Same bytes total, different placement.
+	natural, err := image.Build(sp, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.CodeBytes != natural.CodeBytes {
+		t.Errorf("layout changed code size: %d vs %d", im.CodeBytes, natural.CodeBytes)
+	}
+}
+
+func TestHotLayoutWeightsMismatch(t *testing.T) {
+	sp := compile(t, "compress")
+	if _, err := HotLayout(sp, make([]int64, 3)); err == nil {
+		t.Error("accepted mismatched weights")
+	}
+}

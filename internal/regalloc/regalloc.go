@@ -1,0 +1,259 @@
+// Package regalloc performs linear-scan register allocation, mapping the
+// IR's unbounded virtual registers onto the TEPIC architectural files
+// (32 GPRs, 32 FPRs, 32 predicate registers, with p0 reserved as the
+// hardwired always-true predicate).
+//
+// Allocation scans each function's registers in a per-function preference
+// order: a deterministic permutation of the file seeded by the function
+// index. Within a function the same few registers are reused heavily
+// (which is what the paper's tailored encoding and whole-op Huffman
+// compression exploit), while across functions assignments differ the way
+// real allocators' do — keeping program-wide per-field entropy realistic
+// for the byte- and stream-based alphabets. Low pressure still means few
+// distinct registers per function, preserving the paper's "if no more
+// than four registers of some type are live at the same time ... it needs
+// only two bits" effect at function scope.
+//
+// When pressure exceeds the file size the allocator reassigns the
+// register whose current owner's live range ends furthest in the future
+// (a steal). Steals are counted in the Result; the synthetic workloads
+// are generated with bounded working sets precisely so steals stay rare.
+package regalloc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Result reports allocation statistics for one program.
+type Result struct {
+	GPRUsed     int // distinct physical GPRs assigned
+	FPRUsed     int
+	PredUsed    int // distinct predicate registers assigned (excluding p0)
+	Steals      int // pressure-overflow reassignments
+	MaxPressure struct {
+		GPR, FPR, Pred int // peak simultaneous live registers
+	}
+}
+
+// Allocate rewrites every virtual register in the program to an
+// architectural register, function by function, and returns aggregate
+// statistics. The program is modified in place.
+func Allocate(p *ir.Program) (Result, error) {
+	var res Result
+	for _, f := range p.Funcs {
+		fr, err := allocateFunc(f)
+		if err != nil {
+			return res, fmt.Errorf("regalloc: function %s: %w", f.Name, err)
+		}
+		res.Steals += fr.Steals
+		res.GPRUsed = max(res.GPRUsed, fr.GPRUsed)
+		res.FPRUsed = max(res.FPRUsed, fr.FPRUsed)
+		res.PredUsed = max(res.PredUsed, fr.PredUsed)
+		res.MaxPressure.GPR = max(res.MaxPressure.GPR, fr.MaxPressure.GPR)
+		res.MaxPressure.FPR = max(res.MaxPressure.FPR, fr.MaxPressure.FPR)
+		res.MaxPressure.Pred = max(res.MaxPressure.Pred, fr.MaxPressure.Pred)
+	}
+	return res, nil
+}
+
+type vkey struct {
+	class ir.RegClass
+	n     int
+}
+
+// classFile describes one register file's allocation state.
+type classFile struct {
+	size    int
+	first   int   // first allocatable register (1 for predicates: p0 reserved)
+	pref    []int // assignment preference order over [first, size)
+	owner   []vkey
+	inUse   []bool
+	lastUse map[vkey]int
+	mapping map[vkey]int
+	live    int
+	peak    int
+	used    map[int]bool
+	steals  int
+}
+
+func newClassFile(size, first int, seed int64) *classFile {
+	cf := &classFile{
+		size: size, first: first,
+		owner: make([]vkey, size), inUse: make([]bool, size),
+		lastUse: map[vkey]int{}, mapping: map[vkey]int{},
+		used: map[int]bool{},
+	}
+	cf.pref = make([]int, 0, size-first)
+	for r := first; r < size; r++ {
+		cf.pref = append(cf.pref, r)
+	}
+	// Deterministic per-function permutation (xorshift-based
+	// Fisher–Yates); seed 0 keeps the identity order.
+	if seed != 0 {
+		s := uint64(seed)
+		for i := len(cf.pref) - 1; i > 0; i-- {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			j := int(s % uint64(i+1))
+			cf.pref[i], cf.pref[j] = cf.pref[j], cf.pref[i]
+		}
+	}
+	return cf
+}
+
+// assign gives a fresh definition a physical register, stealing the
+// furthest-ending live register when the file is full.
+func (cf *classFile) assign(v vkey) int {
+	for _, r := range cf.pref {
+		if !cf.inUse[r] {
+			cf.inUse[r] = true
+			cf.owner[r] = v
+			cf.mapping[v] = r
+			cf.used[r] = true
+			cf.live++
+			if cf.live > cf.peak {
+				cf.peak = cf.live
+			}
+			return r
+		}
+	}
+	// Steal: evict the owner whose last use is furthest away.
+	best, bestEnd := cf.first, -1
+	for r := cf.first; r < cf.size; r++ {
+		if end := cf.lastUse[cf.owner[r]]; end > bestEnd {
+			best, bestEnd = r, end
+		}
+	}
+	cf.steals++
+	cf.owner[best] = v
+	cf.mapping[v] = best
+	cf.peak = cf.size
+	return best
+}
+
+// release frees a register at its owner's last use.
+func (cf *classFile) release(v vkey, idx int) {
+	r, ok := cf.mapping[v]
+	if !ok || cf.owner[r] != v || cf.lastUse[v] != idx {
+		return
+	}
+	if cf.inUse[r] {
+		cf.inUse[r] = false
+		cf.live--
+	}
+}
+
+func allocateFunc(f *ir.Func) (Result, error) {
+	seed := int64(f.ID)*2654435761 + 1
+	gpr := newClassFile(isa.NumGPR, 0, seed)
+	fpr := newClassFile(isa.NumFPR, 0, seed+1)
+	// The predicate file keeps the identity (lowest-first) order: real
+	// predicated code concentrates on a handful of predicate registers
+	// program-wide, which is what lets the paper's tailored encoding
+	// shrink the PREDICATE field to two or three bits (its Figure 4).
+	prd := newClassFile(isa.NumPred, isa.PredAlways+1, 0)
+	fileFor := func(c ir.RegClass) *classFile {
+		switch c {
+		case ir.ClassGPR:
+			return gpr
+		case ir.ClassFPR:
+			return fpr
+		case ir.ClassPred:
+			return prd
+		}
+		return nil
+	}
+
+	// Pass 1: last-use positions over the function's linear order.
+	idx := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses() {
+				if cf := fileFor(u.Class); cf != nil {
+					cf.lastUse[vkey{u.Class, u.N}] = idx
+				}
+			}
+			// A def with no later use dies immediately.
+			if d := in.Def(); d.IsValid() {
+				if cf := fileFor(d.Class); cf != nil {
+					k := vkey{d.Class, d.N}
+					if _, seen := cf.lastUse[k]; !seen {
+						cf.lastUse[k] = idx
+					}
+				}
+			}
+			idx++
+		}
+	}
+
+	// Pass 2: scan, rewrite, free.
+	idx = 0
+	rewrite := func(r *ir.Reg) error {
+		if !r.IsValid() || (r.Class == ir.ClassPred && r.N == isa.PredAlways) {
+			return nil
+		}
+		cf := fileFor(r.Class)
+		phys, ok := cf.mapping[vkey{r.Class, r.N}]
+		if !ok {
+			return fmt.Errorf("use of %v before definition", *r)
+		}
+		r.N = phys
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			// Collect original use keys before rewriting mutates them.
+			type useRef struct {
+				key vkey
+				cf  *classFile
+			}
+			var refs []useRef
+			for _, u := range in.Uses() {
+				if cf := fileFor(u.Class); cf != nil && !(u.Class == ir.ClassPred && u.N == isa.PredAlways) {
+					refs = append(refs, useRef{vkey{u.Class, u.N}, cf})
+				}
+			}
+			if err := rewrite(&in.Src1); err != nil {
+				return Result{}, err
+			}
+			if err := rewrite(&in.Src2); err != nil {
+				return Result{}, err
+			}
+			if err := rewrite(&in.Pred); err != nil {
+				return Result{}, err
+			}
+			for _, ref := range refs {
+				ref.cf.release(ref.key, idx)
+			}
+			if d := in.Def(); d.IsValid() {
+				cf := fileFor(d.Class)
+				k := vkey{d.Class, d.N}
+				phys := cf.assign(k)
+				in.Dest.N = phys
+				cf.release(k, idx) // dead-on-arrival defs free immediately
+			}
+			idx++
+		}
+	}
+
+	var res Result
+	res.GPRUsed = len(gpr.used)
+	res.FPRUsed = len(fpr.used)
+	res.PredUsed = len(prd.used)
+	res.Steals = gpr.steals + fpr.steals + prd.steals
+	res.MaxPressure.GPR = gpr.peak
+	res.MaxPressure.FPR = fpr.peak
+	res.MaxPressure.Pred = prd.peak
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

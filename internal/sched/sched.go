@@ -1,0 +1,394 @@
+// Package sched implements VLIW instruction scheduling for the TEPIC
+// backend: it packs a register-allocated IR program's RISC-like operations
+// into MultiOps (MOPs) under the modeled core's resource constraints
+// (6-issue, at most 2 memory operations per MOP) and emits tail bits for
+// the zero-NOP encoding.
+//
+// The paper schedules with treegions (trees of basic blocks) and then
+// decomposes to basic blocks; the IFetch study itself operates purely on
+// basic blocks. This package performs dependence-driven list scheduling
+// within each basic block — the part of the flow the experiments consume —
+// and preserves the block-level control structure and profile annotations
+// needed by the trace generator and the ATT builder.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Block is one scheduled basic block: its MOPs, the flattened operation
+// sequence with tail bits, and the control-flow metadata carried over from
+// the IR.
+type Block struct {
+	ID   int
+	Fn   int
+	MOPs []isa.MOP
+	Ops  []isa.Op // MOPs flattened; Ops[i].Tail delimits MOP boundaries
+
+	TakenTarget int // global block ID of the taken edge (ir.NoTarget if none)
+	FallTarget  int
+	Callee      int // callee function index for call terminators
+	TakenProb   float64
+}
+
+// NumOps returns the operation count of the block.
+func (b *Block) NumOps() int { return len(b.Ops) }
+
+// NumMOPs returns the MOP (fetch-cycle) count of the block.
+func (b *Block) NumMOPs() int { return len(b.MOPs) }
+
+// EndsInCall reports whether the block's terminator is a subroutine call.
+func (b *Block) EndsInCall() bool {
+	return len(b.Ops) > 0 && b.Ops[len(b.Ops)-1].Type == isa.TypeBranch &&
+		b.Ops[len(b.Ops)-1].Code == isa.OpCALL
+}
+
+// EndsInReturn reports whether the block's terminator is a return.
+func (b *Block) EndsInReturn() bool {
+	return len(b.Ops) > 0 && b.Ops[len(b.Ops)-1].Type == isa.TypeBranch &&
+		b.Ops[len(b.Ops)-1].Code == isa.OpRET
+}
+
+// HasCondBranch reports whether the block ends in a conditional branch.
+func (b *Block) HasCondBranch() bool {
+	if len(b.Ops) == 0 {
+		return false
+	}
+	last := b.Ops[len(b.Ops)-1]
+	return last.Type == isa.TypeBranch &&
+		(last.Code == isa.OpBRCT || last.Code == isa.OpBRCF)
+}
+
+// Program is a scheduled program: blocks in ROM layout order plus the
+// entry block of every function (for call-edge resolution).
+type Program struct {
+	Name        string
+	Blocks      []*Block
+	FuncEntries []int // FuncEntries[f] = global block ID of function f's entry
+}
+
+// TotalOps returns the static operation count.
+func (p *Program) TotalOps() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Ops)
+	}
+	return n
+}
+
+// TotalMOPs returns the static MOP count.
+func (p *Program) TotalMOPs() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.MOPs)
+	}
+	return n
+}
+
+// Density returns the average ops per MOP — the ceiling on delivered IPC.
+func (p *Program) Density() float64 {
+	if p.TotalMOPs() == 0 {
+		return 0
+	}
+	return float64(p.TotalOps()) / float64(p.TotalMOPs())
+}
+
+// Schedule packs a register-allocated program into MOPs. The input must
+// already be register-allocated: any register number outside the
+// architectural files is rejected.
+func Schedule(p *ir.Program) (*Program, error) {
+	sp := &Program{Name: p.Name}
+	for _, f := range p.Funcs {
+		sp.FuncEntries = append(sp.FuncEntries, f.Entry().ID)
+	}
+	for _, b := range p.Blocks() {
+		sb, err := scheduleBlock(b)
+		if err != nil {
+			return nil, fmt.Errorf("sched: block %d: %w", b.ID, err)
+		}
+		sp.Blocks = append(sp.Blocks, sb)
+	}
+	return sp, nil
+}
+
+// dep tracks the dependence graph node for one instruction.
+type depNode struct {
+	in     *ir.Instr
+	preds  []int // indices this node depends on
+	nsucc  int
+	height int // critical-path height (priority)
+	ready  bool
+	done   bool
+	pos    int // original position, for stable tie-breaking
+}
+
+func scheduleBlock(b *ir.Block) (*Block, error) {
+	sb := &Block{
+		ID:          b.ID,
+		Fn:          b.Fn,
+		TakenTarget: b.TakenTarget,
+		FallTarget:  b.FallTarget,
+		Callee:      b.Callee,
+		TakenProb:   b.TakenProb,
+	}
+	n := len(b.Instrs)
+	if n == 0 {
+		return sb, nil
+	}
+
+	nodes := buildDeps(b.Instrs)
+
+	// Critical-path heights by reverse topological sweep (positions are a
+	// topological order because dependences always point backward).
+	for i := n - 1; i >= 0; i-- {
+		h := nodes[i].in.Info().Latency
+		nodes[i].height = h
+	}
+	for i := n - 1; i >= 0; i-- {
+		for _, p := range nodes[i].preds {
+			if nodes[p].height < nodes[i].height+nodes[p].in.Info().Latency {
+				nodes[p].height = nodes[i].height + nodes[p].in.Info().Latency
+			}
+		}
+	}
+
+	scheduled := 0
+	branchIdx := -1
+	if b.Instrs[n-1].IsBranch() {
+		branchIdx = n - 1
+	}
+
+	for scheduled < n {
+		// Collect ready nodes: all predecessors issued (latency collapses
+		// to MOP ordering; the fetch-side model streams one MOP per cycle).
+		var ready []int
+		for i := range nodes {
+			if nodes[i].done {
+				continue
+			}
+			ok := true
+			for _, p := range nodes[i].preds {
+				if !nodes[p].done {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// The branch issues only once everything else has issued or is
+			// issuing in this final MOP; handled below by scheduling it
+			// last within the ready set.
+			ready = append(ready, i)
+		}
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("dependence cycle among %d unscheduled ops", n-scheduled)
+		}
+		sort.Slice(ready, func(x, y int) bool {
+			a, c := nodes[ready[x]], nodes[ready[y]]
+			if a.height != c.height {
+				return a.height > c.height
+			}
+			return a.pos < c.pos
+		})
+
+		var mop isa.MOP
+		mem := 0
+		issuedThis := map[int]bool{}
+		for _, i := range ready {
+			if len(mop) == isa.IssueWidth {
+				break
+			}
+			in := nodes[i].in
+			if in.IsMemory() && mem == isa.MemUnits {
+				continue
+			}
+			if i == branchIdx {
+				// Branch must land in the final MOP: only issue it if every
+				// other op is done or issuing right now.
+				allIn := true
+				for j := range nodes {
+					if j != i && !nodes[j].done && !issuedThis[j] {
+						allIn = false
+						break
+					}
+				}
+				if !allIn {
+					continue
+				}
+			}
+			op, err := ToISA(in)
+			if err != nil {
+				return nil, err
+			}
+			mop = append(mop, op)
+			issuedThis[i] = true
+			if in.IsMemory() {
+				mem++
+			}
+		}
+		if len(mop) == 0 {
+			return nil, fmt.Errorf("no issuable ops despite %d ready", len(ready))
+		}
+		mop.SealTails()
+		for i := range issuedThis {
+			nodes[i].done = true
+		}
+		scheduled += len(mop)
+		sb.MOPs = append(sb.MOPs, mop)
+	}
+
+	for _, m := range sb.MOPs {
+		sb.Ops = append(sb.Ops, m...)
+	}
+	return sb, nil
+}
+
+// buildDeps constructs the intra-block dependence edges: register RAW, WAR
+// and WAW; stores ordered against all memory operations; the terminating
+// branch after everything (enforced at issue time).
+func buildDeps(instrs []*ir.Instr) []*depNode {
+	n := len(instrs)
+	nodes := make([]*depNode, n)
+	for i, in := range instrs {
+		nodes[i] = &depNode{in: in, pos: i}
+	}
+	type rk struct {
+		class ir.RegClass
+		n     int
+	}
+	lastDef := map[rk]int{}
+	lastUses := map[rk][]int{}
+	lastStore := -1
+	lastMem := -1
+	addDep := func(i, p int) {
+		if p < 0 || p == i {
+			return
+		}
+		nodes[i].preds = append(nodes[i].preds, p)
+	}
+	for i, in := range instrs {
+		for _, u := range in.Uses() {
+			k := rk{u.Class, u.N}
+			if d, ok := lastDef[k]; ok {
+				addDep(i, d) // RAW
+			}
+			lastUses[k] = append(lastUses[k], i)
+		}
+		if d := in.Def(); d.IsValid() {
+			k := rk{d.Class, d.N}
+			if pd, ok := lastDef[k]; ok {
+				addDep(i, pd) // WAW
+			}
+			for _, u := range lastUses[k] {
+				addDep(i, u) // WAR
+			}
+			lastDef[k] = i
+			lastUses[k] = nil
+		}
+		if in.IsMemory() {
+			if in.Code == isa.OpST || in.Code == isa.OpFST {
+				// Stores are ordered after every prior memory op.
+				addDep(i, lastMem)
+				addDep(i, lastStore)
+				lastStore = i
+			} else {
+				// Loads are ordered after prior stores only.
+				addDep(i, lastStore)
+			}
+			lastMem = i
+		}
+	}
+	return nodes
+}
+
+// ToISA lowers one register-allocated IR instruction to its TEPIC
+// operation. Tail bits are left clear; MOP sealing sets them.
+func ToISA(in *ir.Instr) (isa.Op, error) {
+	info, ok := isa.Lookup(in.Type, in.Code)
+	if !ok {
+		return isa.Op{}, fmt.Errorf("sched: undefined opcode %v/%d", in.Type, in.Code)
+	}
+	o := isa.Op{Type: in.Type, Code: in.Code, Spec: in.Spec}
+	if in.Pred.IsValid() {
+		if in.Pred.N < 0 || in.Pred.N >= isa.NumPred {
+			return isa.Op{}, fmt.Errorf("sched: unallocated predicate %v", in.Pred)
+		}
+		o.Pred = uint8(in.Pred.N)
+	}
+	reg := func(r ir.Reg) (uint8, error) {
+		if !r.IsValid() {
+			return 0, nil
+		}
+		if r.N < 0 || r.N >= 32 {
+			return 0, fmt.Errorf("sched: unallocated register %v", r)
+		}
+		return uint8(r.N), nil
+	}
+	var err error
+	switch info.Format {
+	case isa.FmtIntALU:
+		if o.Src1, err = reg(in.Src1); err != nil {
+			return o, err
+		}
+		if o.Src2, err = reg(in.Src2); err != nil {
+			return o, err
+		}
+		if o.Dest, err = reg(in.Dest); err != nil {
+			return o, err
+		}
+		o.BHWX = in.BHWX
+	case isa.FmtIntCmpp:
+		if o.Src1, err = reg(in.Src1); err != nil {
+			return o, err
+		}
+		if o.Src2, err = reg(in.Src2); err != nil {
+			return o, err
+		}
+		if o.Dest, err = reg(in.Dest); err != nil {
+			return o, err
+		}
+		o.BHWX = in.BHWX
+	case isa.FmtLoadImm:
+		o.Imm = uint32(in.Imm) & (1<<20 - 1)
+		if o.Dest, err = reg(in.Dest); err != nil {
+			return o, err
+		}
+	case isa.FmtFloat:
+		if o.Src1, err = reg(in.Src1); err != nil {
+			return o, err
+		}
+		if o.Src2, err = reg(in.Src2); err != nil {
+			return o, err
+		}
+		if o.Dest, err = reg(in.Dest); err != nil {
+			return o, err
+		}
+	case isa.FmtLoad:
+		if o.Src1, err = reg(in.Src1); err != nil {
+			return o, err
+		}
+		if o.Dest, err = reg(in.Dest); err != nil {
+			return o, err
+		}
+		o.BHWX = in.BHWX
+		o.Lat = uint8(info.Latency)
+	case isa.FmtStore:
+		if o.Src1, err = reg(in.Src1); err != nil {
+			return o, err
+		}
+		if o.Src2, err = reg(in.Src2); err != nil {
+			return o, err
+		}
+		o.BHWX = in.BHWX
+	case isa.FmtBranch:
+		if o.Src1, err = reg(in.Src1); err != nil {
+			return o, err
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/regalloc"
+	"repro/internal/workload"
+)
+
+func gpr(n int) ir.Reg { return ir.Reg{Class: ir.ClassGPR, N: n} }
+
+func oneBlockProgram(instrs []*ir.Instr) *ir.Program {
+	b := &ir.Block{
+		Instrs:      instrs,
+		TakenTarget: ir.NoTarget, FallTarget: ir.NoTarget, Callee: ir.NoTarget,
+	}
+	return ir.NewProgram("t", []*ir.Func{{Name: "main", Blocks: []*ir.Block{b}}})
+}
+
+func TestScheduleIndependentOpsPack(t *testing.T) {
+	// Six independent adds (distinct dests, shared sources defined by two
+	// preceding ldis) must pack densely.
+	instrs := []*ir.Instr{
+		{Type: isa.TypeInt, Code: isa.OpLDI, Imm: 1, Dest: gpr(0), Pred: ir.PredTrue},
+		{Type: isa.TypeInt, Code: isa.OpLDI, Imm: 2, Dest: gpr(1), Pred: ir.PredTrue},
+	}
+	for i := 2; i < 8; i++ {
+		instrs = append(instrs, &ir.Instr{
+			Type: isa.TypeInt, Code: isa.OpADD,
+			Src1: gpr(0), Src2: gpr(1), Dest: gpr(i), Pred: ir.PredTrue,
+		})
+	}
+	sp, err := Schedule(oneBlockProgram(instrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sp.Blocks[0]
+	if b.NumOps() != 8 {
+		t.Fatalf("scheduled %d ops, want 8", b.NumOps())
+	}
+	// ldis in MOP 0, six adds fit in one 6-wide MOP.
+	if b.NumMOPs() != 2 {
+		t.Fatalf("got %d MOPs, want 2: %v", b.NumMOPs(), b.MOPs)
+	}
+	if len(b.MOPs[1]) != 6 {
+		t.Errorf("second MOP has %d ops, want 6", len(b.MOPs[1]))
+	}
+}
+
+func TestScheduleRespectsRAW(t *testing.T) {
+	// A chain of dependent adds cannot co-issue.
+	instrs := []*ir.Instr{
+		{Type: isa.TypeInt, Code: isa.OpLDI, Imm: 1, Dest: gpr(0), Pred: ir.PredTrue},
+		{Type: isa.TypeInt, Code: isa.OpADD, Src1: gpr(0), Src2: gpr(0), Dest: gpr(1), Pred: ir.PredTrue},
+		{Type: isa.TypeInt, Code: isa.OpADD, Src1: gpr(1), Src2: gpr(1), Dest: gpr(2), Pred: ir.PredTrue},
+		{Type: isa.TypeInt, Code: isa.OpADD, Src1: gpr(2), Src2: gpr(2), Dest: gpr(3), Pred: ir.PredTrue},
+	}
+	sp, err := Schedule(oneBlockProgram(instrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Blocks[0].NumMOPs(); got != 4 {
+		t.Errorf("dependent chain scheduled in %d MOPs, want 4", got)
+	}
+}
+
+func TestScheduleMemUnitLimit(t *testing.T) {
+	// Four independent loads: only two memory units, so two MOPs.
+	instrs := []*ir.Instr{
+		{Type: isa.TypeInt, Code: isa.OpLDI, Imm: 1, Dest: gpr(0), Pred: ir.PredTrue},
+	}
+	for i := 1; i <= 4; i++ {
+		instrs = append(instrs, &ir.Instr{
+			Type: isa.TypeMemory, Code: isa.OpLD,
+			Src1: gpr(0), Dest: gpr(i), Pred: ir.PredTrue, BHWX: isa.SizeWord,
+		})
+	}
+	sp, err := Schedule(oneBlockProgram(instrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sp.Blocks[0].MOPs {
+		mem := 0
+		for _, op := range m {
+			if isa.IsMemory(op.Type) {
+				mem++
+			}
+		}
+		if mem > isa.MemUnits {
+			t.Errorf("MOP carries %d memory ops, limit %d", mem, isa.MemUnits)
+		}
+	}
+}
+
+func TestScheduleStoreOrdering(t *testing.T) {
+	// store; load — the load must not be hoisted above the store.
+	instrs := []*ir.Instr{
+		{Type: isa.TypeInt, Code: isa.OpLDI, Imm: 8, Dest: gpr(0), Pred: ir.PredTrue},
+		{Type: isa.TypeMemory, Code: isa.OpST, Src1: gpr(0), Src2: gpr(0), Pred: ir.PredTrue, BHWX: isa.SizeWord},
+		{Type: isa.TypeMemory, Code: isa.OpLD, Src1: gpr(0), Dest: gpr(1), Pred: ir.PredTrue, BHWX: isa.SizeWord},
+	}
+	sp, err := Schedule(oneBlockProgram(instrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sp.Blocks[0]
+	stIdx, ldIdx := -1, -1
+	for i, op := range b.Ops {
+		switch op.Code {
+		case isa.OpST:
+			stIdx = i
+		case isa.OpLD:
+			ldIdx = i
+		}
+	}
+	// Same MOP is also illegal for a dependent pair; require strictly after
+	// in the flattened order and not in the same MOP.
+	if ldIdx <= stIdx {
+		t.Errorf("load at %d not after store at %d", ldIdx, stIdx)
+	}
+	mopOf := func(idx int) int {
+		m := 0
+		for i := 0; i < idx; i++ {
+			if b.Ops[i].Tail {
+				m++
+			}
+		}
+		return m
+	}
+	if mopOf(ldIdx) == mopOf(stIdx) {
+		t.Error("store and dependent load share a MOP")
+	}
+}
+
+func TestScheduleBranchLast(t *testing.T) {
+	p, err := workload.GenerateBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regalloc.Allocate(p); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range sp.Blocks {
+		for i, op := range b.Ops {
+			if isa.IsBranch(op.Type) && i != len(b.Ops)-1 {
+				t.Fatalf("block %d: branch at %d of %d", b.ID, i, len(b.Ops))
+			}
+		}
+	}
+}
+
+func TestScheduleAllBenchmarks(t *testing.T) {
+	for _, name := range workload.Benchmarks {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := workload.GenerateBenchmark(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := regalloc.Allocate(p); err != nil {
+				t.Fatal(err)
+			}
+			sp, err := Schedule(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp.TotalOps() != p.NumOps() {
+				t.Fatalf("op count changed: %d -> %d", p.NumOps(), sp.TotalOps())
+			}
+			for _, b := range sp.Blocks {
+				for _, m := range b.MOPs {
+					if err := m.Validate(); err != nil {
+						t.Fatalf("block %d: %v", b.ID, err)
+					}
+				}
+			}
+			d := sp.Density()
+			if d < 1.2 || d > float64(isa.IssueWidth) {
+				t.Errorf("%s: implausible MOP density %.2f", name, d)
+			}
+			if len(sp.FuncEntries) == 0 {
+				t.Error("no function entries recorded")
+			}
+		})
+	}
+}
+
+func TestToISAErrors(t *testing.T) {
+	if _, err := ToISA(&ir.Instr{Type: isa.TypeInt, Code: isa.OpADD,
+		Src1: gpr(99), Pred: ir.PredTrue}); err == nil {
+		t.Error("ToISA accepted unallocated register r99")
+	}
+	if _, err := ToISA(&ir.Instr{Type: isa.TypeBranch, Code: 31,
+		Pred: ir.PredTrue}); err == nil {
+		t.Error("ToISA accepted undefined opcode")
+	}
+}
+
+func TestToISACarriesFields(t *testing.T) {
+	op, err := ToISA(&ir.Instr{
+		Type: isa.TypeMemory, Code: isa.OpLD,
+		Src1: gpr(4), Dest: gpr(5), Pred: ir.Reg{Class: ir.ClassPred, N: 3},
+		BHWX: isa.SizeByte,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Src1 != 4 || op.Dest != 5 || op.Pred != 3 || op.BHWX != isa.SizeByte {
+		t.Errorf("fields dropped: %+v", op)
+	}
+	if op.Lat != 2 {
+		t.Errorf("load latency field %d, want 2", op.Lat)
+	}
+}

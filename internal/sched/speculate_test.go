@@ -1,0 +1,225 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/regalloc"
+	"repro/internal/workload"
+)
+
+func pred(n int) ir.Reg { return ir.Reg{Class: ir.ClassPred, N: n} }
+
+// diamondProgram builds (with architectural registers):
+//
+//	A: ldi r1,#5; ldi r2,#9; cmplt p1,r1,r2; brct p1 -> C
+//	B: add r3,r1,r2; mul r4,r3,r3        <- hoist candidates
+//	C: mov r5,r1; ret
+//
+// r3 and r4 are dead on the taken path (C reads only r1), so both of B's
+// leading ops can hoist into A speculatively.
+func diamondProgram() *ir.Program {
+	mk := func() []*ir.Block {
+		a := &ir.Block{
+			Instrs: []*ir.Instr{
+				{Type: isa.TypeInt, Code: isa.OpLDI, Imm: 5, Dest: gpr(1), Pred: ir.PredTrue},
+				{Type: isa.TypeInt, Code: isa.OpLDI, Imm: 9, Dest: gpr(2), Pred: ir.PredTrue},
+				{Type: isa.TypeInt, Code: isa.OpCMPLT, Src1: gpr(1), Src2: gpr(2), Dest: pred(1), Pred: ir.PredTrue},
+				{Type: isa.TypeBranch, Code: isa.OpBRCT, Src1: gpr(0), Pred: pred(1)},
+			},
+			TakenProb: 0.5, Callee: ir.NoTarget,
+		}
+		b := &ir.Block{
+			Instrs: []*ir.Instr{
+				{Type: isa.TypeInt, Code: isa.OpADD, Src1: gpr(1), Src2: gpr(2), Dest: gpr(3), Pred: ir.PredTrue, BHWX: isa.SizeDouble},
+				{Type: isa.TypeInt, Code: isa.OpMUL, Src1: gpr(3), Src2: gpr(3), Dest: gpr(4), Pred: ir.PredTrue, BHWX: isa.SizeDouble},
+			},
+			Callee: ir.NoTarget,
+		}
+		// C redefines r3/r4 before returning, so they are dead at its
+		// entry despite the conservative everything-live-at-ret rule.
+		c := &ir.Block{
+			Instrs: []*ir.Instr{
+				{Type: isa.TypeInt, Code: isa.OpMOV, Src1: gpr(1), Src2: gpr(1), Dest: gpr(5), Pred: ir.PredTrue, BHWX: isa.SizeDouble},
+				{Type: isa.TypeInt, Code: isa.OpLDI, Imm: 0, Dest: gpr(3), Pred: ir.PredTrue},
+				{Type: isa.TypeInt, Code: isa.OpLDI, Imm: 0, Dest: gpr(4), Pred: ir.PredTrue},
+				{Type: isa.TypeBranch, Code: isa.OpRET, Pred: ir.PredTrue},
+			},
+			Callee: ir.NoTarget,
+		}
+		return []*ir.Block{a, b, c}
+	}
+	blocks := mk()
+	p := ir.NewProgram("diamond", []*ir.Func{{Name: "main", Blocks: blocks}})
+	blocks[0].TakenTarget = blocks[2].ID
+	blocks[0].FallTarget = blocks[1].ID
+	blocks[1].TakenTarget = ir.NoTarget
+	blocks[1].FallTarget = blocks[2].ID
+	blocks[2].TakenTarget = ir.NoTarget
+	blocks[2].FallTarget = ir.NoTarget
+	return p
+}
+
+func TestSpeculateHoistsDeadOnTakenPath(t *testing.T) {
+	p := diamondProgram()
+	n, err := Speculate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("hoisted %d ops, want 2", n)
+	}
+	a := p.Block(0)
+	// A now holds: 3 originals + 2 hoisted + branch.
+	if len(a.Instrs) != 6 {
+		t.Fatalf("block A has %d instrs, want 6", len(a.Instrs))
+	}
+	if !a.Instrs[3].Spec || !a.Instrs[4].Spec {
+		t.Error("hoisted ops not marked speculative")
+	}
+	if !a.Instrs[5].IsBranch() {
+		t.Error("terminator not last after hoisting")
+	}
+	if got := len(p.Block(1).Instrs); got != 0 {
+		t.Errorf("block B still has %d instrs", got)
+	}
+}
+
+func TestSpeculateBlockedByLiveness(t *testing.T) {
+	p := diamondProgram()
+	// Make r3 live on the taken path: C reads it now.
+	c := p.Block(2)
+	c.Instrs[0].Src1 = gpr(3)
+	n, err := Speculate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("hoisted %d ops despite r3 live on taken path", n)
+	}
+}
+
+func TestSpeculateBlockedByTerminatorSource(t *testing.T) {
+	p := diamondProgram()
+	// The branch reads r3 as its target register: clobbering it in A
+	// before the branch would be wrong.
+	p.Block(0).Terminator().Src1 = gpr(3)
+	n, err := Speculate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("hoisted %d ops over a terminator that reads the dest", n)
+	}
+}
+
+func TestSpeculateConvertsLoads(t *testing.T) {
+	p := diamondProgram()
+	b := p.Block(1)
+	b.Instrs = []*ir.Instr{
+		{Type: isa.TypeMemory, Code: isa.OpLD, Src1: gpr(1), Dest: gpr(3),
+			Pred: ir.PredTrue, BHWX: isa.SizeDouble},
+	}
+	n, err := Speculate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("hoisted %d, want 1", n)
+	}
+	hoistedOp := p.Block(0).Instrs[3]
+	if hoistedOp.Code != isa.OpLDS || !hoistedOp.Spec {
+		t.Errorf("hoisted load is %v spec=%v, want lds/spec", hoistedOp.Code, hoistedOp.Spec)
+	}
+}
+
+func TestSpeculateNeverMovesStoresOrBranches(t *testing.T) {
+	p := diamondProgram()
+	b := p.Block(1)
+	b.Instrs = append([]*ir.Instr{
+		{Type: isa.TypeMemory, Code: isa.OpST, Src1: gpr(1), Src2: gpr(2),
+			Pred: ir.PredTrue, BHWX: isa.SizeDouble},
+	}, b.Instrs...)
+	n, err := Speculate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("hoisted %d ops past a store prefix", n)
+	}
+}
+
+func TestSpeculateOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"compress", "go", "gcc"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := workload.GenerateBenchmark(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := regalloc.Allocate(p); err != nil {
+				t.Fatal(err)
+			}
+			plain, err := Schedule(clonedDensityProbe(t, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hoisted, err := Speculate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hoisted == 0 {
+				t.Fatal("no ops hoisted on a whole benchmark")
+			}
+			sp, err := Schedule(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp.TotalOps() != plain.TotalOps() {
+				t.Fatalf("speculation changed op count: %d vs %d",
+					sp.TotalOps(), plain.TotalOps())
+			}
+			// Hoisting moves work upward; density must not regress
+			// materially (whether it improves depends on how often the
+			// receiving block has free issue slots).
+			if sp.Density() < plain.Density()-0.02 {
+				t.Errorf("density regressed: %.3f vs %.3f",
+					sp.Density(), plain.Density())
+			}
+			// Every speculative op is a non-store, non-branch op. Moves
+			// across unconditional fall-through edges are plain code
+			// motion and carry no S bit, so specOps <= hoisted.
+			specOps := 0
+			for _, b := range sp.Blocks {
+				for _, op := range b.Ops {
+					if op.Spec {
+						specOps++
+						if op.Type == isa.TypeBranch ||
+							(op.Type == isa.TypeMemory && op.Code == isa.OpST) {
+							t.Fatalf("illegal speculative op %v", op.String())
+						}
+					}
+				}
+			}
+			if specOps == 0 || specOps > hoisted {
+				t.Errorf("marked %d spec ops, hoisted %d", specOps, hoisted)
+			}
+		})
+	}
+}
+
+// clonedDensityProbe regenerates and allocates the same benchmark (the
+// generator is deterministic, so this is a faithful clone for comparing
+// schedules).
+func clonedDensityProbe(t *testing.T, name string) *ir.Program {
+	t.Helper()
+	p, err := workload.GenerateBenchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regalloc.Allocate(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,168 @@
+package superblock
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func compile(t testing.TB, name string) *sched.Program {
+	t.Helper()
+	p, err := workload.GenerateBenchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regalloc.Allocate(p); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sched.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestBuildCoversEveryBlock(t *testing.T) {
+	sp := compile(t, "compress")
+	plan, err := Build(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(sp.Blocks))
+	for _, u := range plan.Units {
+		for i, id := range u.Blocks {
+			if seen[id] {
+				t.Fatalf("block %d in two units", id)
+			}
+			seen[id] = true
+			if plan.UnitOf(id) != u.ID {
+				t.Fatalf("unitOf(%d) inconsistent", id)
+			}
+			// Chain property: consecutive members are fall-through linked.
+			if i > 0 {
+				prev := sp.Blocks[u.Blocks[i-1]]
+				if prev.FallTarget != id {
+					t.Fatalf("unit %d: block %d does not fall to %d", u.ID, u.Blocks[i-1], id)
+				}
+			}
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("block %d not in any unit", id)
+		}
+	}
+}
+
+func TestBuildFormsMultiBlockUnits(t *testing.T) {
+	sp := compile(t, "gcc")
+	plan, err := Build(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Units) >= len(sp.Blocks) {
+		t.Fatalf("no merging happened: %d units for %d blocks",
+			len(plan.Units), len(sp.Blocks))
+	}
+	multi := 0
+	for _, u := range plan.Units {
+		if len(u.Blocks) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-block units formed")
+	}
+}
+
+func TestNoSideEntrances(t *testing.T) {
+	sp := compile(t, "go")
+	plan, err := Build(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No block may target the *interior* of a unit.
+	interior := map[int]bool{}
+	for _, u := range plan.Units {
+		for i, id := range u.Blocks {
+			if i > 0 {
+				interior[id] = true
+			}
+		}
+	}
+	for _, b := range sp.Blocks {
+		if b.TakenTarget >= 0 && interior[b.TakenTarget] {
+			t.Fatalf("block %d branches into the interior of a unit (block %d)",
+				b.ID, b.TakenTarget)
+		}
+	}
+	for _, e := range sp.FuncEntries {
+		if interior[e] {
+			t.Fatalf("function entry %d is a unit interior", e)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	sp := compile(t, "ijpeg")
+	prof := workload.MustProfile("ijpeg")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 100000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Evaluate(sp, tr)
+	if s.FetchStartsBB != int64(tr.Len()) {
+		t.Errorf("BB fetch starts %d != trace length %d", s.FetchStartsBB, tr.Len())
+	}
+	if s.FetchStartsSB >= s.FetchStartsBB {
+		t.Errorf("superblocks did not reduce fetch starts: %d vs %d",
+			s.FetchStartsSB, s.FetchStartsBB)
+	}
+	if s.FetchReduction() <= 0 || s.FetchReduction() >= 1 {
+		t.Errorf("fetch reduction %.3f implausible", s.FetchReduction())
+	}
+	if s.ATTAfter >= s.ATTBefore {
+		t.Errorf("ATT entries did not shrink: %d vs %d", s.ATTAfter, s.ATTBefore)
+	}
+	if s.AvgUnitOps <= s.AvgBlockOps {
+		t.Errorf("units (%.2f ops) not larger than blocks (%.2f ops)",
+			s.AvgUnitOps, s.AvgBlockOps)
+	}
+	// Side exits must be bounded: the threshold admits at most ~30%-taken
+	// branches inside units, and most unit boundaries are hard edges.
+	if rate := s.SideExitRate(); rate > 0.5 {
+		t.Errorf("side-exit rate %.3f too high for profile-guided formation", rate)
+	}
+}
+
+func TestThresholdMonotonic(t *testing.T) {
+	sp := compile(t, "m88ksim")
+	loose, err := Build(sp, 0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Build(sp, 0.97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Looser chaining merges more aggressively, so it cannot produce more
+	// units than strict chaining.
+	if len(loose.Units) > len(strict.Units) {
+		t.Errorf("loose threshold produced more units (%d) than strict (%d)",
+			len(loose.Units), len(strict.Units))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	sp := compile(t, "compress")
+	if _, err := Build(sp, 1.5); err == nil {
+		t.Error("accepted threshold > 1")
+	}
+}

@@ -1,0 +1,425 @@
+// Package tailor implements the paper's Tailored Encoding (§2.3): a new,
+// uncompressed but compact instruction encoding generated for one
+// particular program. Every field gets exactly the bits the program
+// needs — if only six floating-point opcodes occur, the FP opcode field
+// needs three bits; if the predicate field is always p0, it vanishes
+// entirely; reserved fields are dropped. Decoding a tailored operation
+// yields the core processor's internal signals directly, so no
+// decompression stage is required.
+//
+// Tailoring is *not* compression: operand fields keep their direct binary
+// values, merely narrowed to the width of the largest value the program
+// uses (register allocation compacts register numbers downward precisely
+// to make these widths small). Only the OpType/OpCode prefix is remapped
+// through the regenerated decoder, and fields that are constant across the
+// whole program are dropped and hardwired in the decoder PLA.
+//
+// As the paper prescribes, the Tail bit, OpType and OpCode fields keep a
+// fixed position and size across all formats, which makes decoding a
+// fixed-prefix dispatch. All operations of the same (type, code) have the
+// same size. The compiler-emitted PLA decoder is rendered as synthesizable
+// Verilog by EmitVerilog.
+package tailor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+	"repro/internal/huffman"
+	"repro/internal/isa"
+	"repro/internal/sched"
+)
+
+// slotKey identifies one tailorable field slot: a format and the slot's
+// index within that format's layout.
+type slotKey struct {
+	format isa.Format
+	slot   int
+}
+
+// slotMap is one slot's tailoring decision: either a hardwired constant
+// (width 0) or a direct binary field narrowed to `width` bits.
+type slotMap struct {
+	id       isa.FieldID
+	width    int    // 0 for constant slots
+	constant uint32 // the hardwired value when width == 0
+	maxVal   uint32 // largest value observed (determines width)
+}
+
+// Tailored is a program-specific compact encoding. It implements
+// compress.Encoder.
+type Tailored struct {
+	optWidth int
+	opcWidth int
+	typeOf   map[isa.OpType]uint32 // type -> tailored OPT code
+	types    []isa.OpType          // tailored OPT code -> type
+	opcOf    map[isa.OpType]map[isa.Opcode]uint32
+	opcs     map[isa.OpType][]isa.Opcode
+	slots    map[slotKey]*slotMap
+	opBits   map[opKey]int // cached per-(type,code) op size
+}
+
+type opKey struct {
+	t isa.OpType
+	c isa.Opcode
+}
+
+// tPrefix is the number of leading layout slots replaced by the shared
+// tailored prefix: only the tail bit; OPT/OPCODE slots are skipped by ID.
+const tPrefix = 1
+
+// New analyzes a scheduled program and generates its tailored encoding.
+func New(p *sched.Program) (*Tailored, error) {
+	t := &Tailored{
+		typeOf: map[isa.OpType]uint32{},
+		opcOf:  map[isa.OpType]map[isa.Opcode]uint32{},
+		opcs:   map[isa.OpType][]isa.Opcode{},
+		slots:  map[slotKey]*slotMap{},
+		opBits: map[opKey]int{},
+	}
+
+	// Pass 1: collect the value universe.
+	typeSet := map[isa.OpType]bool{}
+	opcSet := map[isa.OpType]map[isa.Opcode]bool{}
+	type slotStat struct {
+		max      uint32
+		first    uint32
+		seen     bool
+		constant bool
+	}
+	stats := map[slotKey]*slotStat{}
+	for _, b := range p.Blocks {
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			typeSet[op.Type] = true
+			if opcSet[op.Type] == nil {
+				opcSet[op.Type] = map[isa.Opcode]bool{}
+			}
+			opcSet[op.Type][op.Code] = true
+			f := op.Format()
+			layout := isa.Layout(f)
+			vals := op.FieldValues()
+			for s := tPrefix; s < len(layout); s++ {
+				fs := layout[s]
+				if fs.ID == isa.FieldReserved || fs.ID == isa.FieldOpt ||
+					fs.ID == isa.FieldOpcode {
+					continue
+				}
+				k := slotKey{f, s}
+				st := stats[k]
+				if st == nil {
+					st = &slotStat{first: vals[s], constant: true}
+					stats[k] = st
+				}
+				st.seen = true
+				if vals[s] != st.first {
+					st.constant = false
+				}
+				if vals[s] > st.max {
+					st.max = vals[s]
+				}
+			}
+		}
+	}
+	if len(typeSet) == 0 {
+		return nil, fmt.Errorf("tailor: empty program")
+	}
+
+	// Global OPT mapping: fixed position, fixed size.
+	for ty := isa.OpType(0); ty < 4; ty++ {
+		if typeSet[ty] {
+			t.typeOf[ty] = uint32(len(t.types))
+			t.types = append(t.types, ty)
+		}
+	}
+	t.optWidth = bitsFor(len(t.types))
+
+	// Global OPCODE width: the max over types, so the (T, OPT, OPCODE)
+	// prefix has one size everywhere.
+	for ty, set := range opcSet {
+		var codes []isa.Opcode
+		for c := range set {
+			codes = append(codes, c)
+		}
+		sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+		m := map[isa.Opcode]uint32{}
+		for i, c := range codes {
+			m[c] = uint32(i)
+		}
+		t.opcOf[ty] = m
+		t.opcs[ty] = codes
+		if w := bitsFor(len(codes)); w > t.opcWidth {
+			t.opcWidth = w
+		}
+	}
+
+	// Per-slot widths: constants drop to zero bits, everything else keeps
+	// its direct value narrowed to the observed maximum.
+	for k, st := range stats {
+		sm := &slotMap{id: isa.Layout(k.format)[k.slot].ID, maxVal: st.max}
+		if st.constant {
+			sm.width = 0
+			sm.constant = st.first
+		} else {
+			sm.width = bitsFor(int(st.max) + 1)
+		}
+		t.slots[k] = sm
+	}
+
+	// Cache per-opcode sizes.
+	for ty, codes := range t.opcs {
+		for _, c := range codes {
+			f := isa.FormatOf(ty, c)
+			bits := 1 + t.optWidth + t.opcWidth
+			layout := isa.Layout(f)
+			for s := tPrefix; s < len(layout); s++ {
+				fs := layout[s]
+				if fs.ID == isa.FieldReserved || fs.ID == isa.FieldOpt ||
+					fs.ID == isa.FieldOpcode {
+					continue
+				}
+				if sm := t.slots[slotKey{f, s}]; sm != nil {
+					bits += sm.width
+				}
+			}
+			t.opBits[opKey{ty, c}] = bits
+		}
+	}
+	return t, nil
+}
+
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// Name implements compress.Encoder.
+func (*Tailored) Name() string { return "tailored" }
+
+// Tables implements compress.Encoder: the tailored ISA has no Huffman
+// dictionaries (decoding is direct).
+func (*Tailored) Tables() []*huffman.Table { return nil }
+
+// OpBits returns the tailored size of one (type, code) operation.
+func (t *Tailored) OpBits(ty isa.OpType, c isa.Opcode) (int, error) {
+	bits, ok := t.opBits[opKey{ty, c}]
+	if !ok {
+		return 0, fmt.Errorf("tailor: opcode %v/%d not in tailored ISA", ty, c)
+	}
+	return bits, nil
+}
+
+// PrefixWidths returns the fixed (OPT, OPCODE) field widths.
+func (t *Tailored) PrefixWidths() (opt, opc int) { return t.optWidth, t.opcWidth }
+
+// BlockBits implements compress.Encoder.
+func (t *Tailored) BlockBits(ops []isa.Op) int {
+	bits := 0
+	for i := range ops {
+		if b, err := t.OpBits(ops[i].Type, ops[i].Code); err == nil {
+			bits += b
+		}
+	}
+	return bits
+}
+
+// EncodeBlock implements compress.Encoder.
+func (t *Tailored) EncodeBlock(w *bitio.Writer, ops []isa.Op) error {
+	for i := range ops {
+		if err := t.encodeOp(w, &ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tailored) encodeOp(w *bitio.Writer, op *isa.Op) error {
+	optCode, ok := t.typeOf[op.Type]
+	if !ok {
+		return fmt.Errorf("tailor: type %v not in tailored ISA", op.Type)
+	}
+	opcCode, ok := t.opcOf[op.Type][op.Code]
+	if !ok {
+		return fmt.Errorf("tailor: opcode %v/%d not in tailored ISA", op.Type, op.Code)
+	}
+	if op.Tail {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+	w.WriteBits(uint64(optCode), t.optWidth)
+	w.WriteBits(uint64(opcCode), t.opcWidth)
+
+	f := op.Format()
+	layout := isa.Layout(f)
+	vals := op.FieldValues()
+	for s := tPrefix; s < len(layout); s++ {
+		fs := layout[s]
+		if fs.ID == isa.FieldReserved || fs.ID == isa.FieldOpt || fs.ID == isa.FieldOpcode {
+			continue
+		}
+		sm := t.slots[slotKey{f, s}]
+		if sm == nil {
+			if vals[s] != 0 {
+				return fmt.Errorf("tailor: unexpected value %d in unseen slot %v", vals[s], fs.ID)
+			}
+			continue
+		}
+		if sm.width == 0 {
+			if vals[s] != sm.constant {
+				return fmt.Errorf("tailor: value %d of field %v differs from hardwired %d",
+					vals[s], fs.ID, sm.constant)
+			}
+			continue
+		}
+		if vals[s] > sm.maxVal {
+			return fmt.Errorf("tailor: value %d of field %v exceeds tailored max %d",
+				vals[s], fs.ID, sm.maxVal)
+		}
+		w.WriteBits(uint64(vals[s]), sm.width)
+	}
+	return nil
+}
+
+// DecodeBlock implements compress.Encoder.
+func (t *Tailored) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
+	ops := make([]isa.Op, 0, n)
+	for i := 0; i < n; i++ {
+		op, err := t.decodeOp(r)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+func (t *Tailored) decodeOp(r *bitio.Reader) (isa.Op, error) {
+	var op isa.Op
+	tb, err := r.ReadBits(1)
+	if err != nil {
+		return op, err
+	}
+	op.Tail = tb == 1
+	optCode := uint64(0)
+	if t.optWidth > 0 {
+		if optCode, err = r.ReadBits(t.optWidth); err != nil {
+			return op, err
+		}
+	}
+	if int(optCode) >= len(t.types) {
+		return op, fmt.Errorf("tailor: bad OPT code %d", optCode)
+	}
+	ty := t.types[optCode]
+	opcCode := uint64(0)
+	if t.opcWidth > 0 {
+		if opcCode, err = r.ReadBits(t.opcWidth); err != nil {
+			return op, err
+		}
+	}
+	if int(opcCode) >= len(t.opcs[ty]) {
+		return op, fmt.Errorf("tailor: bad OPCODE %d for type %v", opcCode, ty)
+	}
+	code := t.opcs[ty][opcCode]
+	op.Type = ty
+	op.Code = code
+
+	f := isa.FormatOf(ty, code)
+	layout := isa.Layout(f)
+	// Rebuild the original 40-bit word slotwise, then decode through the
+	// baseline decoder so every field lands in the right struct member.
+	var word uint64
+	for s := 0; s < len(layout); s++ {
+		fs := layout[s]
+		var v uint32
+		switch {
+		case fs.ID == isa.FieldT:
+			if op.Tail {
+				v = 1
+			}
+		case fs.ID == isa.FieldOpt:
+			v = uint32(ty)
+		case fs.ID == isa.FieldOpcode:
+			v = uint32(code)
+		case fs.ID == isa.FieldReserved:
+			// zero
+		default:
+			sm := t.slots[slotKey{f, s}]
+			if sm == nil {
+				break // slot never occurred: decode as zero
+			}
+			if sm.width == 0 {
+				v = sm.constant
+				break
+			}
+			raw, err := r.ReadBits(sm.width)
+			if err != nil {
+				return op, err
+			}
+			v = uint32(raw)
+		}
+		word = word<<uint(fs.Width) | uint64(v)
+	}
+	return isa.Decode(word)
+}
+
+// FieldReport describes one tailored slot for reporting and for the
+// Verilog generator.
+type FieldReport struct {
+	Format   isa.Format
+	Field    isa.FieldID
+	Orig     int  // baseline width
+	Width    int  // tailored width (0 = hardwired constant)
+	Constant bool // slot dropped to a hardwired value
+}
+
+// Report returns every tailored slot, ordered by format then position.
+func (t *Tailored) Report() []FieldReport {
+	var out []FieldReport
+	var keys []slotKey
+	for k := range t.slots {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].format != keys[j].format {
+			return keys[i].format < keys[j].format
+		}
+		return keys[i].slot < keys[j].slot
+	})
+	for _, k := range keys {
+		sm := t.slots[k]
+		out = append(out, FieldReport{
+			Format:   k.format,
+			Field:    sm.id,
+			Orig:     isa.Layout(k.format)[k.slot].Width,
+			Width:    sm.width,
+			Constant: sm.width == 0,
+		})
+	}
+	return out
+}
+
+// DictionaryEntries returns the number of (code -> signal) mappings the
+// regenerated PLA decoder holds: one per operation type, one per opcode,
+// one per hardwired constant slot. Direct-value slots need no table —
+// that is what keeps the tailored decoder small compared to any Huffman
+// decoder.
+func (t *Tailored) DictionaryEntries() int {
+	n := len(t.types)
+	for _, codes := range t.opcs {
+		n += len(codes)
+	}
+	for _, sm := range t.slots {
+		if sm.width == 0 {
+			n++
+		}
+	}
+	return n
+}

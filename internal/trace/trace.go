@@ -1,0 +1,70 @@
+// Package trace defines the dynamic block-granular instruction traces the
+// IFetch simulators consume. The paper's compiler annotates code so the
+// YULA emulator emits an instruction address trace; here traces are
+// produced by package emu (either by interpreting TEPIC semantics or by a
+// profile-driven stochastic walk) and carry, per executed basic block, the
+// branch outcome and the successor block.
+package trace
+
+import "fmt"
+
+// End marks the absence of a successor block.
+const End = -1
+
+// Event is one basic-block execution.
+type Event struct {
+	Block int  // global block ID executed
+	Taken bool // terminating branch outcome (false for fall-through)
+	Next  int  // block executed next, or End
+}
+
+// Trace is a sequence of block executions for one program.
+type Trace struct {
+	Name   string
+	Events []Event
+	Ops    int64 // total dynamic operations
+	MOPs   int64 // total dynamic MOPs (fetch cycles at 1 MOP/cycle)
+}
+
+// Len returns the number of block executions.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Validate checks that successor links are consistent.
+func (t *Trace) Validate(numBlocks int) error {
+	for i, e := range t.Events {
+		if e.Block < 0 || e.Block >= numBlocks {
+			return fmt.Errorf("trace: event %d references block %d of %d",
+				i, e.Block, numBlocks)
+		}
+		if i+1 < len(t.Events) && e.Next != t.Events[i+1].Block {
+			return fmt.Errorf("trace: event %d Next=%d but event %d executes %d",
+				i, e.Next, i+1, t.Events[i+1].Block)
+		}
+		if e.Next != End && (e.Next < 0 || e.Next >= numBlocks) {
+			return fmt.Errorf("trace: event %d has bad successor %d", i, e.Next)
+		}
+	}
+	return nil
+}
+
+// BlockCounts returns per-block execution counts.
+func (t *Trace) BlockCounts(numBlocks int) []int64 {
+	counts := make([]int64, numBlocks)
+	for _, e := range t.Events {
+		counts[e.Block]++
+	}
+	return counts
+}
+
+// Footprint returns how many distinct blocks the trace touches.
+func (t *Trace) Footprint(numBlocks int) int {
+	seen := make([]bool, numBlocks)
+	n := 0
+	for _, e := range t.Events {
+		if !seen[e.Block] {
+			seen[e.Block] = true
+			n++
+		}
+	}
+	return n
+}

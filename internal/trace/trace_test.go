@@ -1,0 +1,65 @@
+package trace
+
+import "testing"
+
+func sample() *Trace {
+	return &Trace{
+		Name: "t",
+		Events: []Event{
+			{Block: 0, Taken: false, Next: 1},
+			{Block: 1, Taken: true, Next: 0},
+			{Block: 0, Taken: false, Next: 2},
+			{Block: 2, Taken: true, Next: End},
+		},
+		Ops: 40, MOPs: 16,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	tr := sample()
+	if err := tr.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestValidateBadBlock(t *testing.T) {
+	tr := sample()
+	tr.Events[1].Block = 9
+	if err := tr.Validate(3); err == nil {
+		t.Error("accepted out-of-range block")
+	}
+}
+
+func TestValidateBrokenChain(t *testing.T) {
+	tr := sample()
+	tr.Events[0].Next = 2 // but event 1 executes block 1
+	if err := tr.Validate(3); err == nil {
+		t.Error("accepted inconsistent successor chain")
+	}
+}
+
+func TestValidateBadSuccessor(t *testing.T) {
+	tr := sample()
+	tr.Events[3].Next = 77
+	if err := tr.Validate(3); err == nil {
+		t.Error("accepted out-of-range successor")
+	}
+}
+
+func TestBlockCounts(t *testing.T) {
+	tr := sample()
+	counts := tr.BlockCounts(3)
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	tr := sample()
+	if fp := tr.Footprint(3); fp != 3 {
+		t.Errorf("footprint = %d, want 3", fp)
+	}
+}

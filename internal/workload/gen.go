@@ -1,0 +1,558 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Generate builds a deterministic synthetic program from a profile. Two
+// calls with the same profile produce identical programs.
+func Generate(prof Profile) (*ir.Program, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	g := &gen{
+		prof: prof,
+		r:    rand.New(rand.NewSource(prof.Seed)),
+	}
+	g.buildImmPool()
+	funcs := make([]*ir.Func, prof.Funcs)
+	for fi := 0; fi < prof.Funcs; fi++ {
+		funcs[fi] = g.genFunc(fi)
+	}
+	p := ir.NewProgram(prof.Name, funcs)
+	for _, fx := range g.fixups {
+		if fx.taken {
+			fx.from.TakenTarget = fx.to.ID
+		} else {
+			fx.from.FallTarget = fx.to.ID
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustGenerate is Generate for profiles known to be valid.
+func MustGenerate(prof Profile) *ir.Program {
+	p, err := Generate(prof)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// GenerateBenchmark generates the calibrated program for one of the eight
+// SPECint95 benchmark names.
+func GenerateBenchmark(name string) (*ir.Program, error) {
+	prof, ok := ProfileFor(name)
+	if !ok {
+		return nil, errUnknownBenchmark(name)
+	}
+	return Generate(prof)
+}
+
+type errUnknownBenchmark string
+
+func (e errUnknownBenchmark) Error() string {
+	return "workload: unknown benchmark " + string(e)
+}
+
+// fixup records a control-flow edge to resolve once block IDs exist.
+type fixup struct {
+	from  *ir.Block
+	taken bool
+	to    *ir.Block
+}
+
+// exits collects the dangling edges of a generated region: blocks whose
+// fall-through (or taken) edge must point at whatever comes next.
+type exits struct {
+	fall  []*ir.Block
+	taken []*ir.Block
+}
+
+func (e *exits) merge(o exits) {
+	e.fall = append(e.fall, o.fall...)
+	e.taken = append(e.taken, o.taken...)
+}
+
+type gen struct {
+	prof Profile
+	r    *rand.Rand
+
+	immPool []int32
+	fixups  []fixup
+
+	// Per-function state.
+	fnIdx  int
+	blocks []*ir.Block
+	gpr    *regPool
+	fpr    *regPool
+	prd    *regPool
+	nextV  [4]int // next virtual register number per class
+}
+
+// buildImmPool samples the program's immediate-value pool: a redundant mix
+// of small constants, powers of two and a few arbitrary literals, matching
+// the heavily skewed immediate distributions of real embedded code.
+func (g *gen) buildImmPool() {
+	pool := make([]int32, 0, g.prof.ImmPool)
+	for i := 0; len(pool) < g.prof.ImmPool; i++ {
+		var v int32
+		switch {
+		case i < 8:
+			v = int32(i) // 0..7
+		case i%3 == 0:
+			v = 1 << uint(g.r.Intn(16)) // powers of two
+		case i%3 == 1:
+			v = int32(g.r.Intn(256)) // small constants
+		default:
+			v = int32(g.r.Intn(1 << 20)) // arbitrary 20-bit literal
+		}
+		pool = append(pool, v)
+	}
+	g.immPool = pool
+}
+
+// pickImm draws an immediate with a rank-skewed (Zipf-like) distribution
+// over the pool: low-rank values dominate.
+func (g *gen) pickImm() int32 {
+	u := g.r.Float64()
+	idx := int(u * u * float64(len(g.immPool)))
+	if idx >= len(g.immPool) {
+		idx = len(g.immPool) - 1
+	}
+	return g.immPool[idx]
+}
+
+// regPool models a register working set: a bounded ring of recently
+// defined virtual registers. Picking is biased toward recent definitions,
+// which creates the def-use chains the scheduler sees in real code and the
+// operand redundancy the compression schemes depend on.
+type regPool struct {
+	class ir.RegClass
+	ring  []int
+	r     *rand.Rand
+}
+
+func newRegPool(class ir.RegClass, size int, r *rand.Rand) *regPool {
+	return &regPool{class: class, ring: make([]int, 0, size), r: r}
+}
+
+func (p *regPool) add(n int) {
+	if len(p.ring) == cap(p.ring) {
+		copy(p.ring, p.ring[1:])
+		p.ring[len(p.ring)-1] = n
+		return
+	}
+	p.ring = append(p.ring, n)
+}
+
+func (p *regPool) empty() bool { return len(p.ring) == 0 }
+
+// pick returns a register from the working set, mildly biased toward
+// recent definitions. The bias creates realistic def-use chains without
+// serializing whole blocks (which would crush MOP density).
+func (p *regPool) pick() ir.Reg {
+	if len(p.ring) == 0 {
+		return ir.Reg{Class: p.class, N: 0}
+	}
+	u := p.r.Float64()
+	idx := len(p.ring) - 1 - int(u*math.Sqrt(u)*float64(len(p.ring)))
+	if idx < 0 {
+		idx = 0
+	}
+	return ir.Reg{Class: p.class, N: p.ring[idx]}
+}
+
+// genFunc generates one function body as a sequence of structured regions
+// followed by a return block.
+func (g *gen) genFunc(fi int) *ir.Func {
+	g.fnIdx = fi
+	g.blocks = nil
+	g.gpr = newRegPool(ir.ClassGPR, g.prof.WorkingSet, g.r)
+	g.fpr = newRegPool(ir.ClassFPR, max(2, g.prof.WorkingSet/2), g.r)
+	g.prd = newRegPool(ir.ClassPred, 4, g.r)
+	g.nextV = [4]int{}
+	// Predicate virtual 0 would alias the architectural always-true p0,
+	// so predicate virtual numbering starts at 1.
+	g.nextV[ir.ClassPred] = 1
+
+	// Seed the working sets with "incoming parameter" definitions so the
+	// first blocks have sources to read.
+	seed := g.newBlock()
+	for i := 0; i < 4; i++ {
+		g.emitLdi(seed)
+	}
+	pending := exits{fall: []*ir.Block{seed}}
+
+	// main (function 0) is the workload driver: it is larger and fans out
+	// through extra call sites, so dynamic traces cover a realistic
+	// fraction of the program instead of one small function.
+	n := g.intBetween(g.prof.RegionsPerFunc)
+	if fi == 0 {
+		n *= 3
+	}
+	for i := 0; i < n; i++ {
+		entry, ex := g.genRegion(0)
+		g.patch(pending, entry)
+		pending = ex
+	}
+
+	retb := g.newBlock()
+	g.fillOps(retb, g.intBetween([2]int{1, 3}))
+	retb.Instrs = append(retb.Instrs, &ir.Instr{
+		Type: isa.TypeBranch, Code: isa.OpRET, Pred: ir.PredTrue,
+	})
+	retb.TakenTarget = ir.NoTarget
+	retb.FallTarget = ir.NoTarget
+	g.patch(pending, retb)
+
+	name := "main"
+	if fi > 0 {
+		name = "f" + itoa(fi)
+	}
+	return &ir.Func{Name: name, Blocks: g.blocks}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func (g *gen) newBlock() *ir.Block {
+	b := &ir.Block{
+		TakenTarget: ir.NoTarget,
+		FallTarget:  ir.NoTarget,
+		Callee:      ir.NoTarget,
+	}
+	g.blocks = append(g.blocks, b)
+	return b
+}
+
+func (g *gen) patch(ex exits, to *ir.Block) {
+	for _, b := range ex.fall {
+		g.fixups = append(g.fixups, fixup{from: b, taken: false, to: to})
+	}
+	for _, b := range ex.taken {
+		g.fixups = append(g.fixups, fixup{from: b, taken: true, to: to})
+	}
+}
+
+func (g *gen) intBetween(mm [2]int) int {
+	if mm[1] <= mm[0] {
+		return mm[0]
+	}
+	return mm[0] + g.r.Intn(mm[1]-mm[0]+1)
+}
+
+// genRegion generates one structured region and returns its entry block
+// plus the edges that must be patched to the region's successor.
+func (g *gen) genRegion(depth int) (*ir.Block, exits) {
+	callFrac := g.prof.CallFrac
+	if g.fnIdx == 0 {
+		callFrac *= 2.5 // the driver fans out
+	}
+	u := g.r.Float64()
+	switch {
+	case depth < g.prof.LoopDepthMax && u < g.prof.LoopFrac:
+		return g.genLoop(depth)
+	case u < g.prof.LoopFrac+g.prof.DiamondFrac:
+		return g.genDiamond(depth)
+	case g.fnIdx < g.prof.Funcs-1 && u < g.prof.LoopFrac+g.prof.DiamondFrac+callFrac:
+		return g.genCall()
+	default:
+		return g.genPlain()
+	}
+}
+
+// genPlain: a single straightline block falling through.
+func (g *gen) genPlain() (*ir.Block, exits) {
+	b := g.newBlock()
+	g.fillOps(b, g.intBetween(g.prof.OpsPerBlock))
+	return b, exits{fall: []*ir.Block{b}}
+}
+
+// genDiamond: a conditional block whose taken edge skips a then-region.
+//
+//	C: ...ops... cmpp pN; brct pN -> join
+//	T: ...then region...
+//	join (successor)
+func (g *gen) genDiamond(depth int) (*ir.Block, exits) {
+	c := g.newBlock()
+	g.fillOps(c, g.intBetween(g.prof.OpsPerBlock))
+	g.emitCondBranch(c, g.branchProb())
+
+	tEntry, tEx := g.genRegion(depth + 1)
+	g.fixups = append(g.fixups, fixup{from: c, taken: false, to: tEntry})
+
+	var ex exits
+	ex.taken = append(ex.taken, c) // brct skips the then-region
+	ex.merge(tEx)
+	return c, ex
+}
+
+// genLoop: a body region followed by a latch whose taken edge closes the
+// loop back to the body entry.
+func (g *gen) genLoop(depth int) (*ir.Block, exits) {
+	bodyEntry, bodyEx := g.genRegion(depth + 1)
+	latch := g.newBlock()
+	g.fillOps(latch, g.intBetween(g.prof.OpsPerBlock))
+	// Loop-closing branch: taken with probability 1 - 1/trip.
+	trip := g.prof.AvgTrip * (0.5 + g.r.Float64())
+	if trip < 1.5 {
+		trip = 1.5
+	}
+	g.emitCondBranch(latch, 1-1/trip)
+	g.patch(bodyEx, latch)
+	g.fixups = append(g.fixups, fixup{from: latch, taken: true, to: bodyEntry})
+	return bodyEntry, exits{fall: []*ir.Block{latch}}
+}
+
+// genCall: a block ending in a call to a later (higher-index) function;
+// execution resumes at the fall-through edge.
+func (g *gen) genCall() (*ir.Block, exits) {
+	b := g.newBlock()
+	g.fillOps(b, g.intBetween(g.prof.OpsPerBlock))
+	callee := g.fnIdx + 1 + g.r.Intn(g.prof.Funcs-g.fnIdx-1)
+	b.Instrs = append(b.Instrs, &ir.Instr{
+		Type: isa.TypeBranch, Code: isa.OpCALL,
+		Src1: g.gpr.pick(), Pred: ir.PredTrue,
+	})
+	b.Callee = callee
+	b.TakenTarget = ir.NoTarget
+	return b, exits{fall: []*ir.Block{b}}
+}
+
+// branchProb samples the taken probability of a conditional branch: with
+// probability BiasedFrac the branch is strongly biased (predictable), and
+// otherwise it is close to a coin flip (unpredictable).
+func (g *gen) branchProb() float64 {
+	if g.r.Float64() < g.prof.BiasedFrac {
+		p := g.prof.BiasedProb + 0.04*(g.r.Float64()-0.5)
+		if g.r.Intn(2) == 0 {
+			p = 1 - p // biased not-taken is just as predictable
+		}
+		return clamp01(p)
+	}
+	return clamp01(0.5 + 0.2*(g.r.Float64()-0.5))
+}
+
+func clamp01(p float64) float64 {
+	if p < 0.02 {
+		return 0.02
+	}
+	if p > 0.98 {
+		return 0.98
+	}
+	return p
+}
+
+// emitCondBranch appends "cmpp -> pN; brct pN" to the block and records
+// the taken probability. The branch-target register is a recently defined
+// GPR, standing in for TEPIC's prepared branch-target registers.
+func (g *gen) emitCondBranch(b *ir.Block, takenProb float64) {
+	p := g.defReg(g.prd, ir.ClassPred)
+	b.Instrs = append(b.Instrs, &ir.Instr{
+		Type: isa.TypeInt, Code: g.pickCmp(),
+		Src1: g.gpr.pick(), Src2: g.gpr.pick(),
+		Dest: p, Pred: ir.PredTrue, BHWX: isa.SizeWord,
+	})
+	b.Instrs = append(b.Instrs, &ir.Instr{
+		Type: isa.TypeBranch, Code: isa.OpBRCT,
+		Src1: g.gpr.pick(), Pred: p,
+	})
+	b.TakenProb = takenProb
+}
+
+// defReg allocates a fresh virtual register of a class and enters it into
+// the working set.
+func (g *gen) defReg(pool *regPool, class ir.RegClass) ir.Reg {
+	n := g.nextV[class]
+	g.nextV[class]++
+	pool.add(n)
+	return ir.Reg{Class: class, N: n}
+}
+
+func (g *gen) emitLdi(b *ir.Block) {
+	b.Instrs = append(b.Instrs, &ir.Instr{
+		Type: isa.TypeInt, Code: isa.OpLDI,
+		Imm:  g.pickImm(),
+		Dest: g.defReg(g.gpr, ir.ClassGPR),
+		Pred: ir.PredTrue,
+	})
+}
+
+// fillOps generates n non-terminator operations into the block, following
+// the profile's operation mix.
+func (g *gen) fillOps(b *ir.Block, n int) {
+	for i := 0; i < n; i++ {
+		u := g.r.Float64()
+		switch {
+		case u < g.prof.LdiFrac:
+			g.emitLdi(b)
+		case u < g.prof.LdiFrac+g.prof.MemFrac:
+			g.emitMem(b)
+		case u < g.prof.LdiFrac+g.prof.MemFrac+g.prof.CmpFrac:
+			b.Instrs = append(b.Instrs, &ir.Instr{
+				Type: isa.TypeInt, Code: g.pickCmp(),
+				Src1: g.gpr.pick(), Src2: g.gpr.pick(),
+				Dest: g.defReg(g.prd, ir.ClassPred),
+				Pred: ir.PredTrue, BHWX: isa.SizeWord,
+			})
+		case u < g.prof.LdiFrac+g.prof.MemFrac+g.prof.CmpFrac+g.prof.FPFrac:
+			g.emitFP(b)
+		default:
+			g.emitIntALU(b)
+		}
+	}
+}
+
+func (g *gen) guard() ir.Reg {
+	if !g.prd.empty() && g.r.Float64() < g.prof.PredGuardFrac {
+		return g.prd.pick()
+	}
+	return ir.PredTrue
+}
+
+func (g *gen) pickBHWX() uint8 {
+	u := g.r.Float64()
+	switch {
+	case u < 0.85:
+		return isa.SizeWord
+	case u < 0.95:
+		return isa.SizeByte
+	default:
+		return isa.SizeHalf
+	}
+}
+
+func (g *gen) emitIntALU(b *ir.Block) {
+	code := g.pickWeighted(intALUWeights)
+	in := &ir.Instr{
+		Type: isa.TypeInt, Code: code,
+		Src1: g.gpr.pick(), Src2: g.gpr.pick(),
+		Dest: g.defReg(g.gpr, ir.ClassGPR),
+		Pred: g.guard(), BHWX: g.pickBHWX(),
+	}
+	b.Instrs = append(b.Instrs, in)
+}
+
+func (g *gen) emitFP(b *ir.Block) {
+	if g.fpr.empty() {
+		// Materialize an FP value first (int->float conversion).
+		b.Instrs = append(b.Instrs, &ir.Instr{
+			Type: isa.TypeFloat, Code: isa.OpFCVT,
+			Src1: g.gpr.pick(),
+			Dest: g.defReg(g.fpr, ir.ClassFPR),
+			Pred: ir.PredTrue,
+		})
+		return
+	}
+	code := g.pickWeighted(fpWeights)
+	b.Instrs = append(b.Instrs, &ir.Instr{
+		Type: isa.TypeFloat, Code: code,
+		Src1: g.fpr.pick(), Src2: g.fpr.pick(),
+		Dest: g.defReg(g.fpr, ir.ClassFPR),
+		Pred: g.guard(),
+	})
+}
+
+func (g *gen) emitMem(b *ir.Block) {
+	u := g.r.Float64()
+	switch {
+	case u < 0.62: // load
+		b.Instrs = append(b.Instrs, &ir.Instr{
+			Type: isa.TypeMemory, Code: isa.OpLD,
+			Src1: g.gpr.pick(),
+			Dest: g.defReg(g.gpr, ir.ClassGPR),
+			Pred: g.guard(), BHWX: g.pickBHWX(),
+		})
+	case u < 0.92: // store
+		b.Instrs = append(b.Instrs, &ir.Instr{
+			Type: isa.TypeMemory, Code: isa.OpST,
+			Src1: g.gpr.pick(), Src2: g.gpr.pick(),
+			Pred: g.guard(), BHWX: g.pickBHWX(),
+		})
+	case g.prof.FPFrac > 0 && !g.fpr.empty() && u < 0.96: // fp store
+		b.Instrs = append(b.Instrs, &ir.Instr{
+			Type: isa.TypeMemory, Code: isa.OpFST,
+			Src1: g.gpr.pick(), Src2: g.fpr.pick(),
+			Pred: ir.PredTrue, BHWX: isa.SizeWord,
+		})
+	case g.prof.FPFrac > 0: // fp load
+		b.Instrs = append(b.Instrs, &ir.Instr{
+			Type: isa.TypeMemory, Code: isa.OpFLD,
+			Src1: g.gpr.pick(),
+			Dest: g.defReg(g.fpr, ir.ClassFPR),
+			Pred: ir.PredTrue, BHWX: isa.SizeWord,
+		})
+	default: // speculative load
+		b.Instrs = append(b.Instrs, &ir.Instr{
+			Type: isa.TypeMemory, Code: isa.OpLDS,
+			Src1: g.gpr.pick(),
+			Dest: g.defReg(g.gpr, ir.ClassGPR),
+			Pred: ir.PredTrue, BHWX: g.pickBHWX(),
+		})
+	}
+}
+
+type opWeight struct {
+	code isa.Opcode
+	w    int
+}
+
+var intALUWeights = []opWeight{
+	{isa.OpADD, 30}, {isa.OpSUB, 10}, {isa.OpMOV, 12}, {isa.OpAND, 5},
+	{isa.OpOR, 5}, {isa.OpXOR, 3}, {isa.OpSHL, 7}, {isa.OpSHR, 5},
+	{isa.OpSRA, 2}, {isa.OpMUL, 5}, {isa.OpNOT, 2}, {isa.OpMIN, 1},
+	{isa.OpMAX, 1}, {isa.OpABS, 1},
+}
+
+var cmpWeights = []opWeight{
+	{isa.OpCMPEQ, 25}, {isa.OpCMPNE, 20}, {isa.OpCMPLT, 25},
+	{isa.OpCMPLE, 8}, {isa.OpCMPGT, 14}, {isa.OpCMPGE, 8},
+}
+
+var fpWeights = []opWeight{
+	{isa.OpFADD, 28}, {isa.OpFSUB, 12}, {isa.OpFMUL, 30}, {isa.OpFDIV, 5},
+	{isa.OpFMOV, 10}, {isa.OpFABS, 3}, {isa.OpFNEG, 3}, {isa.OpFCVT, 9},
+}
+
+func (g *gen) pickWeighted(ws []opWeight) isa.Opcode {
+	total := 0
+	for _, w := range ws {
+		total += w.w
+	}
+	n := g.r.Intn(total)
+	for _, w := range ws {
+		n -= w.w
+		if n < 0 {
+			return w.code
+		}
+	}
+	return ws[len(ws)-1].code
+}
+
+func (g *gen) pickCmp() isa.Opcode { return g.pickWeighted(cmpWeights) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

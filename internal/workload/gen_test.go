@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+func TestGenerateAllBenchmarksValid(t *testing.T) {
+	for _, name := range Benchmarks {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := GenerateBenchmark(name)
+			if err != nil {
+				t.Fatalf("GenerateBenchmark(%s): %v", name, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("generated program invalid: %v", err)
+			}
+			s := ir.Collect(p)
+			if s.Ops < 100 {
+				t.Errorf("%s: only %d ops generated", name, s.Ops)
+			}
+			if s.CondBr == 0 {
+				t.Errorf("%s: no conditional branches", name)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	prof := MustProfile("compress")
+	p1 := MustGenerate(prof)
+	p2 := MustGenerate(prof)
+	if p1.NumBlocks() != p2.NumBlocks() {
+		t.Fatalf("block counts differ: %d vs %d", p1.NumBlocks(), p2.NumBlocks())
+	}
+	for i := 0; i < p1.NumBlocks(); i++ {
+		b1, b2 := p1.Block(i), p2.Block(i)
+		if len(b1.Instrs) != len(b2.Instrs) {
+			t.Fatalf("block %d instr counts differ", i)
+		}
+		for j := range b1.Instrs {
+			if *b1.Instrs[j] != *b2.Instrs[j] {
+				t.Fatalf("block %d instr %d differs: %v vs %v",
+					i, j, b1.Instrs[j], b2.Instrs[j])
+			}
+		}
+		if b1.TakenTarget != b2.TakenTarget || b1.FallTarget != b2.FallTarget ||
+			b1.TakenProb != b2.TakenProb {
+			t.Fatalf("block %d control flow differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	prof := MustProfile("compress")
+	prof2 := prof
+	prof2.Seed++
+	p1 := MustGenerate(prof)
+	p2 := MustGenerate(prof2)
+	if p1.NumBlocks() == p2.NumBlocks() && p1.NumOps() == p2.NumOps() {
+		// Extremely unlikely if the seed is actually used.
+		t.Error("different seeds produced structurally identical programs")
+	}
+}
+
+func TestFootprintOrdering(t *testing.T) {
+	// gcc/vortex/perl must dwarf compress: the Fig. 13 capacity effect
+	// needs large-footprint benchmarks.
+	small := ir.Collect(MustGenerate(MustProfile("compress"))).Ops
+	for _, big := range []string{"gcc", "vortex", "perl"} {
+		n := ir.Collect(MustGenerate(MustProfile(big))).Ops
+		if n < 4*small {
+			t.Errorf("%s has %d ops, want ≥ 4x compress's %d", big, n, small)
+		}
+	}
+}
+
+func TestOpMixTracksProfile(t *testing.T) {
+	prof := MustProfile("ijpeg")
+	p := MustGenerate(prof)
+	s := ir.Collect(p)
+	memFrac := float64(s.ByType[isa.TypeMemory]) / float64(s.Ops)
+	if math.Abs(memFrac-prof.MemFrac) > 0.10 {
+		t.Errorf("memory fraction %.3f, profile wants %.3f", memFrac, prof.MemFrac)
+	}
+	if s.ByType[isa.TypeFloat] == 0 && prof.FPFrac > 0 {
+		t.Error("profile has FP fraction but program has no FP ops")
+	}
+}
+
+func TestBranchProbabilitiesInRange(t *testing.T) {
+	p := MustGenerate(MustProfile("go"))
+	unbiased := 0
+	cond := 0
+	for _, b := range p.Blocks() {
+		term := b.Terminator()
+		if term == nil || (term.Code != isa.OpBRCT && term.Code != isa.OpBRCF) {
+			continue
+		}
+		cond++
+		if b.TakenProb <= 0 || b.TakenProb >= 1 {
+			t.Fatalf("block %d: taken prob %g outside (0,1)", b.ID, b.TakenProb)
+		}
+		if b.TakenProb > 0.3 && b.TakenProb < 0.7 {
+			unbiased++
+		}
+	}
+	if cond == 0 {
+		t.Fatal("no conditional branches generated")
+	}
+	// go's profile is mostly unbiased; at least a quarter of branches
+	// should be near coin flips.
+	if float64(unbiased)/float64(cond) < 0.25 {
+		t.Errorf("go: only %d/%d branches unbiased", unbiased, cond)
+	}
+}
+
+func TestPredicateVirtualsAvoidP0(t *testing.T) {
+	p := MustGenerate(MustProfile("compress"))
+	for _, b := range p.Blocks() {
+		for _, in := range b.Instrs {
+			if in.Dest.Class == ir.ClassPred && in.Dest.N == 0 {
+				t.Fatalf("block %d: instruction defines p0: %v", b.ID, in)
+			}
+		}
+	}
+}
+
+func TestCallsFormDAG(t *testing.T) {
+	p := MustGenerate(MustProfile("vortex"))
+	calls := 0
+	for _, b := range p.Blocks() {
+		if t := b.Terminator(); t != nil && t.Code == isa.OpCALL {
+			calls++
+			if b.Callee <= b.Fn {
+				tFail(b)
+			}
+		}
+	}
+	if calls == 0 {
+		t.Error("vortex generated no calls")
+	}
+}
+
+func tFail(b *ir.Block) {
+	panic("call does not target a later function: block " + itoa(b.ID))
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := MustProfile("compress")
+	bad.WorkingSet = 1
+	if _, err := Generate(bad); err == nil {
+		t.Error("Generate accepted WorkingSet=1")
+	}
+	bad = MustProfile("compress")
+	bad.Funcs = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("Generate accepted Funcs=0")
+	}
+	if _, err := GenerateBenchmark("nonesuch"); err == nil {
+		t.Error("GenerateBenchmark accepted unknown name")
+	}
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, name := range Benchmarks {
+		prof := MustProfile(name)
+		if err := prof.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+		if prof.Name != name {
+			t.Errorf("profile %s has Name %q", name, prof.Name)
+		}
+	}
+}
+
+func TestImmediatePoolRedundancy(t *testing.T) {
+	p := MustGenerate(MustProfile("compress"))
+	seen := map[int32]int{}
+	total := 0
+	for _, b := range p.Blocks() {
+		for _, in := range b.Instrs {
+			if in.Code == isa.OpLDI && in.Type == isa.TypeInt {
+				seen[in.Imm]++
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no load-immediates generated")
+	}
+	prof := MustProfile("compress")
+	if len(seen) > prof.ImmPool {
+		t.Errorf("%d distinct immediates exceed pool size %d", len(seen), prof.ImmPool)
+	}
+}

@@ -1,0 +1,186 @@
+// Package workload generates synthetic SPECint95-class TEPIC programs.
+//
+// The paper compiles the SPECint95 benchmarks with the LEGO optimizing
+// compiler. Those sources and that compiler are not available here, so
+// this package substitutes a profile-driven program generator: for each of
+// the eight benchmark names the paper plots, a Profile captures the
+// statistical structure that the compression and IFetch results actually
+// depend on — operation mix, basic-block size distribution, loop nesting
+// and trip counts, branch bias (predictability), register pressure,
+// immediate-value redundancy, and static code footprint. Generation is
+// fully deterministic given the profile's seed.
+//
+// Profiles are calibrated so the reproduced figures have the paper's shape:
+// compress/go/ijpeg/m88ksim carry poorly-biased branches and modest
+// footprints (so the Compressed scheme's extra misprediction penalty
+// hurts), while gcc/li/perl/vortex carry large footprints and predictable
+// branches (so compressed-cache capacity wins).
+package workload
+
+import "fmt"
+
+// Profile parameterizes the synthetic program generator for one benchmark.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// Static structure.
+	Funcs          int    // number of functions
+	RegionsPerFunc [2]int // min,max structured regions per function body
+	OpsPerBlock    [2]int // min,max non-terminator ops per block
+	LoopDepthMax   int    // maximum loop nesting depth
+	LoopFrac       float64
+	DiamondFrac    float64
+	CallFrac       float64
+
+	// Dynamic behaviour.
+	AvgTrip    float64 // mean loop trip count
+	BiasedFrac float64 // fraction of conditional branches that are strongly biased
+	BiasedProb float64 // taken probability of a biased branch
+	DynBlocks  int     // default dynamic trace length, in blocks
+	// Phases is the number of distinct entry functions the dynamic trace
+	// rotates through when the current phase returns. Kernel-style
+	// benchmarks (compress, ijpeg) run one phase; large applications
+	// (gcc, vortex) cycle through many, which is what gives them their
+	// big dynamic instruction working sets.
+	Phases int
+
+	// Operation mix.
+	FPFrac        float64 // floating-point fraction of compute ops
+	MemFrac       float64 // memory fraction of all ops
+	CmpFrac       float64 // standalone compare-to-predicate fraction
+	LdiFrac       float64 // load-immediate fraction
+	PredGuardFrac float64 // ops guarded by a non-p0 predicate
+
+	// Value structure.
+	WorkingSet int // register working-set size (redundancy knob)
+	ImmPool    int // number of distinct immediate values
+}
+
+// Validate reports obviously inconsistent profiles.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Funcs < 1:
+		return fmt.Errorf("workload: profile %s: Funcs < 1", p.Name)
+	case p.RegionsPerFunc[0] < 1 || p.RegionsPerFunc[1] < p.RegionsPerFunc[0]:
+		return fmt.Errorf("workload: profile %s: bad RegionsPerFunc", p.Name)
+	case p.OpsPerBlock[0] < 1 || p.OpsPerBlock[1] < p.OpsPerBlock[0]:
+		return fmt.Errorf("workload: profile %s: bad OpsPerBlock", p.Name)
+	case p.AvgTrip < 1:
+		return fmt.Errorf("workload: profile %s: AvgTrip < 1", p.Name)
+	case p.WorkingSet < 2:
+		return fmt.Errorf("workload: profile %s: WorkingSet < 2", p.Name)
+	case p.ImmPool < 1:
+		return fmt.Errorf("workload: profile %s: ImmPool < 1", p.Name)
+	case p.DynBlocks < 1:
+		return fmt.Errorf("workload: profile %s: DynBlocks < 1", p.Name)
+	case p.Phases < 1 || p.Phases > p.Funcs:
+		return fmt.Errorf("workload: profile %s: Phases outside [1, Funcs]", p.Name)
+	}
+	return nil
+}
+
+// Benchmarks lists the eight SPECint95 benchmark names used throughout the
+// paper's evaluation, in the order the figures plot them.
+var Benchmarks = []string{
+	"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex",
+}
+
+// profiles holds the calibrated per-benchmark generation parameters.
+var profiles = map[string]Profile{
+	// compress: tiny kernel-ish code, short blocks, data-dependent branches
+	// (poor predictability). Fits the 16 KB cache almost entirely.
+	"compress": {
+		Name: "compress", Seed: 9501,
+		Funcs: 6, RegionsPerFunc: [2]int{4, 8}, OpsPerBlock: [2]int{5, 12},
+		LoopDepthMax: 2, LoopFrac: 0.30, DiamondFrac: 0.45, CallFrac: 0.06,
+		AvgTrip: 14, BiasedFrac: 0.35, BiasedProb: 0.88, DynBlocks: 400000, Phases: 1,
+		FPFrac: 0.00, MemFrac: 0.24, CmpFrac: 0.07, LdiFrac: 0.10,
+		PredGuardFrac: 0.05, WorkingSet: 10, ImmPool: 24,
+	},
+	// gcc: very large footprint, many functions, long-ish blocks, well
+	// biased branches (error paths rarely taken).
+	"gcc": {
+		Name: "gcc", Seed: 9502,
+		Funcs: 120, RegionsPerFunc: [2]int{6, 14}, OpsPerBlock: [2]int{4, 12},
+		LoopDepthMax: 2, LoopFrac: 0.14, DiamondFrac: 0.52, CallFrac: 0.18,
+		AvgTrip: 7, BiasedFrac: 0.86, BiasedProb: 0.94, DynBlocks: 400000, Phases: 36,
+		FPFrac: 0.01, MemFrac: 0.28, CmpFrac: 0.08, LdiFrac: 0.13,
+		PredGuardFrac: 0.08, WorkingSet: 16, ImmPool: 96,
+	},
+	// go: branch-heavy game-tree search with unpredictable outcomes and a
+	// sizable footprint.
+	"go": {
+		Name: "go", Seed: 9503,
+		Funcs: 22, RegionsPerFunc: [2]int{4, 9}, OpsPerBlock: [2]int{5, 12},
+		LoopDepthMax: 2, LoopFrac: 0.18, DiamondFrac: 0.60, CallFrac: 0.10,
+		AvgTrip: 5, BiasedFrac: 0.25, BiasedProb: 0.85, DynBlocks: 400000, Phases: 1,
+		FPFrac: 0.00, MemFrac: 0.22, CmpFrac: 0.10, LdiFrac: 0.11,
+		PredGuardFrac: 0.07, WorkingSet: 14, ImmPool: 64,
+	},
+	// ijpeg: loop nests over image data; branches inside loops are
+	// data-dependent, trips are long; moderate footprint.
+	"ijpeg": {
+		Name: "ijpeg", Seed: 9504,
+		Funcs: 22, RegionsPerFunc: [2]int{5, 10}, OpsPerBlock: [2]int{8, 16},
+		LoopDepthMax: 3, LoopFrac: 0.36, DiamondFrac: 0.35, CallFrac: 0.07,
+		AvgTrip: 24, BiasedFrac: 0.35, BiasedProb: 0.87, DynBlocks: 400000, Phases: 1,
+		FPFrac: 0.04, MemFrac: 0.30, CmpFrac: 0.06, LdiFrac: 0.10,
+		PredGuardFrac: 0.06, WorkingSet: 12, ImmPool: 40,
+	},
+	// li: lisp interpreter — many small functions, heavy call traffic,
+	// biased type-dispatch branches, large-ish footprint.
+	"li": {
+		Name: "li", Seed: 9505,
+		Funcs: 70, RegionsPerFunc: [2]int{3, 8}, OpsPerBlock: [2]int{4, 9},
+		LoopDepthMax: 1, LoopFrac: 0.10, DiamondFrac: 0.58, CallFrac: 0.18,
+		AvgTrip: 4, BiasedFrac: 0.85, BiasedProb: 0.94, DynBlocks: 400000, Phases: 20,
+		FPFrac: 0.00, MemFrac: 0.30, CmpFrac: 0.09, LdiFrac: 0.12,
+		PredGuardFrac: 0.05, WorkingSet: 12, ImmPool: 48,
+	},
+	// m88ksim: CPU simulator main loop — decode switch behaves like
+	// unpredictable indirect-ish branches; modest footprint.
+	"m88ksim": {
+		Name: "m88ksim", Seed: 9506,
+		Funcs: 30, RegionsPerFunc: [2]int{4, 9}, OpsPerBlock: [2]int{5, 12},
+		LoopDepthMax: 2, LoopFrac: 0.20, DiamondFrac: 0.55, CallFrac: 0.09,
+		AvgTrip: 8, BiasedFrac: 0.30, BiasedProb: 0.86, DynBlocks: 400000, Phases: 1,
+		FPFrac: 0.01, MemFrac: 0.26, CmpFrac: 0.09, LdiFrac: 0.12,
+		PredGuardFrac: 0.06, WorkingSet: 13, ImmPool: 56,
+	},
+	// perl: interpreter dispatch plus string loops; large footprint,
+	// fairly predictable dispatch fast paths.
+	"perl": {
+		Name: "perl", Seed: 9507,
+		Funcs: 90, RegionsPerFunc: [2]int{5, 12}, OpsPerBlock: [2]int{4, 10},
+		LoopDepthMax: 2, LoopFrac: 0.16, DiamondFrac: 0.50, CallFrac: 0.20,
+		AvgTrip: 9, BiasedFrac: 0.85, BiasedProb: 0.94, DynBlocks: 400000, Phases: 24,
+		FPFrac: 0.01, MemFrac: 0.29, CmpFrac: 0.08, LdiFrac: 0.13,
+		PredGuardFrac: 0.07, WorkingSet: 15, ImmPool: 80,
+	},
+	// vortex: OO database — the largest footprint, deep call chains,
+	// highly biased validity checks.
+	"vortex": {
+		Name: "vortex", Seed: 9508,
+		Funcs: 140, RegionsPerFunc: [2]int{5, 12}, OpsPerBlock: [2]int{4, 11},
+		LoopDepthMax: 2, LoopFrac: 0.12, DiamondFrac: 0.58, CallFrac: 0.16,
+		AvgTrip: 6, BiasedFrac: 0.88, BiasedProb: 0.95, DynBlocks: 400000, Phases: 24,
+		FPFrac: 0.00, MemFrac: 0.31, CmpFrac: 0.08, LdiFrac: 0.12,
+		PredGuardFrac: 0.06, WorkingSet: 16, ImmPool: 88,
+	},
+}
+
+// ProfileFor returns the calibrated profile for a benchmark name.
+func ProfileFor(name string) (Profile, bool) {
+	p, ok := profiles[name]
+	return p, ok
+}
+
+// MustProfile is ProfileFor for names known to exist; it panics otherwise.
+func MustProfile(name string) Profile {
+	p, ok := ProfileFor(name)
+	if !ok {
+		panic("workload: unknown benchmark " + name)
+	}
+	return p
+}
