@@ -86,3 +86,29 @@ func TestFacadeSuite(t *testing.T) {
 		t.Error("suite subset not honored")
 	}
 }
+
+// TestVerifierCleanPipelines pushes all eight benchmarks through the
+// static verifier across every encoding scheme: the seed pipeline must
+// hold every invariant the verifier knows about.
+func TestVerifierCleanPipelines(t *testing.T) {
+	for _, name := range ccc.Benchmarks {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := ccc.CompileBenchmark(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.Lint(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range rep.Diags {
+				t.Logf("%s", d)
+			}
+			if n := rep.Errors(); n != 0 {
+				t.Errorf("verifier found %d error(s) on a clean pipeline", n)
+			}
+		})
+	}
+}

@@ -40,6 +40,7 @@ func run(args []string, out io.Writer) error {
 	scheme := fs.String("scheme", "full", "encoding scheme")
 	all := fs.Bool("all", false, "report every scheme")
 	speculate := fs.Bool("speculate", false, "run the treegion-style speculative hoisting pass")
+	verifyFlag := fs.Bool("verify", false, "run the static verifier over every stage and fail on errors")
 	verilog := fs.String("verilog", "", "emit tailored decoder Verilog to this file")
 	huffV := fs.String("huffman-verilog", "", "emit the chosen scheme's Huffman decoder Verilog to this file")
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +124,19 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("round-trip verification FAILED: %w", err)
 	}
 	fmt.Fprintln(out, "\nround-trip verification: all built images decode back to the scheduled program")
+
+	if *verifyFlag {
+		rep, err := c.Lint(schemes)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteText(out); err != nil {
+			return err
+		}
+		if !rep.OK() {
+			return fmt.Errorf("static verification FAILED: %d error(s)", rep.Errors())
+		}
+	}
 
 	if *verilog != "" {
 		tl, err := c.Tailored()

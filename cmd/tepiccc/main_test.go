@@ -109,3 +109,13 @@ func TestRunUnknownScheme(t *testing.T) {
 		t.Error("accepted unknown scheme")
 	}
 }
+
+func TestRunWithStaticVerify(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-scheme", "full", "-verify"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0 error(s), 0 warning(s)") {
+		t.Errorf("verifier summary missing:\n%s", sb.String())
+	}
+}

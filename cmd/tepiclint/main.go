@@ -1,0 +1,142 @@
+// Command tepiclint is the pipeline verifier driver: it compiles a
+// benchmark (or every benchmark), builds the requested schemes' encoding
+// artifacts, and runs the static verifier (internal/verify) over the IR,
+// the schedule, the code tables and the program images — LLVM's
+// MachineVerifier recast for a compiler that owns the code image
+// end-to-end. Exit status is nonzero when any invariant fails.
+//
+// Usage:
+//
+//	tepiclint -bench gcc
+//	tepiclint -bench all -scheme tailored
+//	tepiclint -bench compress -hot -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	ccc "repro"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/layout"
+	"repro/internal/verify"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err == errFindings {
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tepiclint:", err)
+		os.Exit(2)
+	}
+}
+
+// errFindings distinguishes "the verifier found errors" (exit 1, already
+// reported) from driver failures (exit 2).
+var errFindings = fmt.Errorf("verifier reported errors")
+
+// run executes the tool against args, writing to out (separated from main
+// for testing).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tepiclint", flag.ContinueOnError)
+	bench := fs.String("bench", "compress", "benchmark name, or \"all\"")
+	scheme := fs.String("scheme", "", "verify only this scheme (default: every scheme)")
+	hot := fs.Bool("hot", false, "additionally verify a trace-driven hot-layout image")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	benches := []string{*bench}
+	if *bench == "all" {
+		benches = ccc.Benchmarks
+	}
+	var schemes []string
+	if *scheme != "" {
+		schemes = []string{*scheme}
+	}
+
+	failed := false
+	for _, name := range benches {
+		rep, err := lintBenchmark(name, schemes, *hot)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if *jsonOut {
+			fmt.Fprintf(out, "// %s\n", name)
+			if err := rep.WriteJSON(out); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(out, "%s:\n", name)
+			if err := rep.WriteText(out); err != nil {
+				return err
+			}
+		}
+		if !rep.OK() {
+			failed = true
+		}
+	}
+	if failed {
+		return errFindings
+	}
+	return nil
+}
+
+// lintBenchmark compiles one benchmark and verifies its pipeline; with
+// hot set it also builds and verifies an image under the trace-driven
+// hot layout (exercising the ordered-placement checks).
+func lintBenchmark(name string, schemes []string, hot bool) (*verify.Report, error) {
+	c, err := ccc.CompileBenchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := c.Lint(schemes)
+	if err != nil {
+		return nil, err
+	}
+	if hot {
+		hotRep, err := lintHotLayout(c, schemes)
+		if err != nil {
+			return nil, err
+		}
+		rep.Merge(hotRep)
+		rep.Sort()
+	}
+	return rep, nil
+}
+
+// lintHotLayout rebuilds the verified schemes' images in trace-hotness
+// order and runs the image pass with the explicit placement.
+func lintHotLayout(c *core.Compiled, schemes []string) (*verify.Report, error) {
+	if len(schemes) == 0 {
+		schemes = ccc.SchemeNames()
+	}
+	tr, err := c.Trace(0)
+	if err != nil {
+		return nil, err
+	}
+	order, err := layout.FromTrace(c.Prog, tr)
+	if err != nil {
+		return nil, err
+	}
+	rep := &verify.Report{}
+	for _, s := range schemes {
+		enc, err := c.Encoder(s)
+		if err != nil {
+			return nil, err
+		}
+		im, err := image.BuildOrdered(c.Prog, enc, order)
+		if err != nil {
+			return nil, err
+		}
+		im.Scheme = s + "+hot"
+		rep.Merge(verify.Image(im, c.Prog, enc, verify.ImageOpts{Order: order}))
+	}
+	return rep, nil
+}

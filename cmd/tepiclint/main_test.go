@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanBenchmark(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "compress:") || !strings.Contains(out, "0 error(s), 0 warning(s)") {
+		t.Errorf("output incomplete:\n%s", out)
+	}
+}
+
+func TestRunSingleSchemeHotLayout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-scheme", "full", "-hot"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0 error(s)") {
+		t.Errorf("hot-layout lint not clean:\n%s", sb.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-scheme", "base", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the leading "// compress" comment line, parse the envelope.
+	out := sb.String()
+	body := out[strings.Index(out, "\n")+1:]
+	var rep struct {
+		Errors int             `json:"errors"`
+		Diags  json.RawMessage `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors on a clean pipeline: %s", out)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "nope"}, &sb); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -25,6 +25,29 @@ type BlockInfo struct {
 	FallTarget int // next sequential block (-1 if none)
 }
 
+// InfosFromFalls builds the per-block table the ATB is loaded with from
+// fall-through targets (one per block, -1 for none).
+func InfosFromFalls(falls []int) []BlockInfo {
+	infos := make([]BlockInfo, len(falls))
+	for i, f := range falls {
+		infos[i] = BlockInfo{FallTarget: f}
+	}
+	return infos
+}
+
+// ValidateInfos checks that every fall-through target names an existing
+// block or is -1 ("none") — a dangling target would make the not-taken
+// prediction point outside the translatable address space.
+func ValidateInfos(infos []BlockInfo) error {
+	for i, info := range infos {
+		if info.FallTarget != -1 && (info.FallTarget < 0 || info.FallTarget >= len(infos)) {
+			return fmt.Errorf("atb: block %d fall target %d outside [0,%d)",
+				i, info.FallTarget, len(infos))
+		}
+	}
+	return nil
+}
+
 // ATB is the translation buffer plus next-block predictor.
 type ATB struct {
 	capacity int

@@ -137,9 +137,13 @@ func newSim(org Org, cfg Config, im *image.Image, sp *sched.Program) (*Sim, erro
 	if err != nil {
 		return nil, err
 	}
-	infos := make([]atb.BlockInfo, len(sp.Blocks))
+	falls := make([]int, len(sp.Blocks))
 	for i, b := range sp.Blocks {
-		infos[i] = atb.BlockInfo{FallTarget: b.FallTarget}
+		falls[i] = b.FallTarget
+	}
+	infos := atb.InfosFromFalls(falls)
+	if err := atb.ValidateInfos(infos); err != nil {
+		return nil, err
 	}
 	var dir atb.DirectionPredictor
 	switch cfg.Predictor {

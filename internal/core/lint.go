@@ -1,0 +1,30 @@
+package core
+
+import (
+	"repro/internal/verify"
+)
+
+// Lint runs the static verifier (internal/verify) over the compilation
+// and the given schemes' encoding artifacts, building any encoder or
+// image not yet cached. A nil or empty scheme list verifies every
+// scheme. The returned report is sorted; an error is returned only when
+// an artifact cannot be built at all — invariant violations land in the
+// report, not the error.
+func (c *Compiled) Lint(schemes []string) (*verify.Report, error) {
+	if len(schemes) == 0 {
+		schemes = SchemeNames()
+	}
+	arts := make([]verify.Artifact, 0, len(schemes))
+	for _, s := range schemes {
+		enc, err := c.Encoder(s)
+		if err != nil {
+			return nil, err
+		}
+		im, err := c.Image(s)
+		if err != nil {
+			return nil, err
+		}
+		arts = append(arts, verify.Artifact{Scheme: s, Enc: enc, Im: im})
+	}
+	return verify.Pipeline(c.IR, c.Prog, arts), nil
+}

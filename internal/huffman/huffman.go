@@ -306,6 +306,18 @@ func (t *Table) EncodedBits(sym uint64) int { return t.codes[sym].Len }
 // Entries returns the dictionary size k.
 func (t *Table) Entries() int { return len(t.syms) }
 
+// Symbols returns the table's symbols in canonical order (by code length,
+// then symbol value). The returned slice is a copy.
+func (t *Table) Symbols() []uint64 {
+	return append([]uint64(nil), t.syms...)
+}
+
+// Lengths returns the code length of each canonical symbol, aligned with
+// Symbols. The returned slice is a copy.
+func (t *Table) Lengths() []int {
+	return append([]int(nil), t.lens...)
+}
+
 // MaxLen returns the longest codeword length n.
 func (t *Table) MaxLen() int { return t.maxLen }
 

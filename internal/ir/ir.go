@@ -174,6 +174,21 @@ func (b *Block) Terminator() *Instr {
 // NumOps returns the static operation count of the block.
 func (b *Block) NumOps() int { return len(b.Instrs) }
 
+// Succs returns the block's successor block IDs: the fall-through target
+// and, for non-call terminators, the taken target. Call edges (the callee
+// entry) are not included — calls resume at FallTarget.
+func (b *Block) Succs() []int {
+	var s []int
+	if b.FallTarget != NoTarget {
+		s = append(s, b.FallTarget)
+	}
+	if t := b.Terminator(); t != nil && t.Code != isa.OpCALL && t.Code != isa.OpRET &&
+		b.TakenTarget != NoTarget && b.TakenTarget != b.FallTarget {
+		s = append(s, b.TakenTarget)
+	}
+	return s
+}
+
 // Func is one function: a contiguous slice of the program's blocks, the
 // first of which is the entry.
 type Func struct {

@@ -217,6 +217,20 @@ func Layout(f Format) []FieldSpec {
 	return formatLayouts[f]
 }
 
+// FieldOffsets returns the starting bit offset of every slot in a
+// format's layout, in layout order. Offsets use the paper's convention:
+// bit 0 is the most significant bit of the 40-bit word (the tail bit).
+func FieldOffsets(f Format) []int {
+	layout := formatLayouts[f]
+	offs := make([]int, len(layout))
+	bit := 0
+	for i, fs := range layout {
+		offs[i] = bit
+		bit += fs.Width
+	}
+	return offs
+}
+
 // LayoutBits returns the total width of a format. It is OpBits for every
 // valid TEPIC format.
 func LayoutBits(f Format) int {

@@ -22,6 +22,7 @@
 package tailor
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -29,6 +30,17 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/isa"
 	"repro/internal/sched"
+)
+
+// Typed encoding failures, so callers (in particular the pipeline
+// verifier) can attribute a rejection to the violated invariant.
+var (
+	// ErrNotInISA marks an operation whose (type, opcode) pair the
+	// tailored ISA was not generated for.
+	ErrNotInISA = errors.New("tailor: operation not in tailored ISA")
+	// ErrWidth marks a field value that does not fit its tailored width
+	// or differs from its hardwired constant.
+	ErrWidth = errors.New("tailor: value does not fit tailored field")
 )
 
 // slotKey identifies one tailorable field slot: a format and the slot's
@@ -240,22 +252,56 @@ func (t *Tailored) EncodeBlock(w *bitio.Writer, ops []isa.Op) error {
 	return nil
 }
 
-func (t *Tailored) encodeOp(w *bitio.Writer, op *isa.Op) error {
-	optCode, ok := t.typeOf[op.Type]
-	if !ok {
-		return fmt.Errorf("tailor: type %v not in tailored ISA", op.Type)
+// ValidateOp checks that an operation is representable under the
+// tailored encoding without writing anything: its (type, opcode) pair
+// must exist (ErrNotInISA) and every field value must fit its tailored
+// width or match its hardwired constant (ErrWidth).
+func (t *Tailored) ValidateOp(op *isa.Op) error {
+	if _, ok := t.typeOf[op.Type]; !ok {
+		return fmt.Errorf("%w: type %v", ErrNotInISA, op.Type)
 	}
-	opcCode, ok := t.opcOf[op.Type][op.Code]
-	if !ok {
-		return fmt.Errorf("tailor: opcode %v/%d not in tailored ISA", op.Type, op.Code)
+	if _, ok := t.opcOf[op.Type][op.Code]; !ok {
+		return fmt.Errorf("%w: opcode %v/%d", ErrNotInISA, op.Type, op.Code)
+	}
+	f := op.Format()
+	layout := isa.Layout(f)
+	vals := op.FieldValues()
+	for s := tPrefix; s < len(layout); s++ {
+		fs := layout[s]
+		if fs.ID == isa.FieldReserved || fs.ID == isa.FieldOpt || fs.ID == isa.FieldOpcode {
+			continue
+		}
+		sm := t.slots[slotKey{f, s}]
+		switch {
+		case sm == nil:
+			if vals[s] != 0 {
+				return fmt.Errorf("%w: unexpected value %d in unseen slot %v",
+					ErrWidth, vals[s], fs.ID)
+			}
+		case sm.width == 0:
+			if vals[s] != sm.constant {
+				return fmt.Errorf("%w: value %d of field %v differs from hardwired %d",
+					ErrWidth, vals[s], fs.ID, sm.constant)
+			}
+		case vals[s] > sm.maxVal:
+			return fmt.Errorf("%w: value %d of field %v exceeds tailored max %d",
+				ErrWidth, vals[s], fs.ID, sm.maxVal)
+		}
+	}
+	return nil
+}
+
+func (t *Tailored) encodeOp(w *bitio.Writer, op *isa.Op) error {
+	if err := t.ValidateOp(op); err != nil {
+		return err
 	}
 	if op.Tail {
 		w.WriteBits(1, 1)
 	} else {
 		w.WriteBits(0, 1)
 	}
-	w.WriteBits(uint64(optCode), t.optWidth)
-	w.WriteBits(uint64(opcCode), t.opcWidth)
+	w.WriteBits(uint64(t.typeOf[op.Type]), t.optWidth)
+	w.WriteBits(uint64(t.opcOf[op.Type][op.Code]), t.opcWidth)
 
 	f := op.Format()
 	layout := isa.Layout(f)
@@ -266,22 +312,8 @@ func (t *Tailored) encodeOp(w *bitio.Writer, op *isa.Op) error {
 			continue
 		}
 		sm := t.slots[slotKey{f, s}]
-		if sm == nil {
-			if vals[s] != 0 {
-				return fmt.Errorf("tailor: unexpected value %d in unseen slot %v", vals[s], fs.ID)
-			}
+		if sm == nil || sm.width == 0 {
 			continue
-		}
-		if sm.width == 0 {
-			if vals[s] != sm.constant {
-				return fmt.Errorf("tailor: value %d of field %v differs from hardwired %d",
-					vals[s], fs.ID, sm.constant)
-			}
-			continue
-		}
-		if vals[s] > sm.maxVal {
-			return fmt.Errorf("tailor: value %d of field %v exceeds tailored max %d",
-				vals[s], fs.ID, sm.maxVal)
 		}
 		w.WriteBits(uint64(vals[s]), sm.width)
 	}

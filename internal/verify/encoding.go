@@ -1,0 +1,165 @@
+package verify
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/bitio"
+	"repro/internal/compress"
+	"repro/internal/huffman"
+	"repro/internal/sched"
+	"repro/internal/tailor"
+)
+
+// Encoding verifies a scheme's encoding artifacts against the scheduled
+// program: every Huffman table must be canonical, prefix-free and
+// Kraft-consistent with all codes inside the length limit; every symbol
+// the program emits must be covered; the encoder's size accounting must
+// match the bits it writes; and tailored field widths must fit every
+// emitted value.
+func Encoding(sp *sched.Program, enc compress.Encoder) *Report {
+	stage := "encoding:" + enc.Name()
+	rep := &Report{}
+
+	for ti, tab := range enc.Tables() {
+		syms := tab.Symbols()
+		codes := make([]huffman.Code, len(syms))
+		for i, s := range syms {
+			codes[i], _ = tab.CodeFor(s)
+		}
+		CheckCodes(stage, ti, syms, codes, compress.CodeLenLimit, rep)
+	}
+
+	tl, _ := enc.(*tailor.Tailored)
+	for _, b := range sp.Blocks {
+		if len(b.Ops) == 0 {
+			continue
+		}
+		if tl != nil {
+			for i := range b.Ops {
+				if err := tl.ValidateOp(&b.Ops[i]); err != nil {
+					check := CheckTailorWidth
+					if errors.Is(err, tailor.ErrNotInISA) {
+						check = CheckTailorOpcode
+					}
+					rep.Errorf(stage, check, AtOp(b.ID, i), "%v", err)
+				}
+			}
+		}
+		var w bitio.Writer
+		if err := enc.EncodeBlock(&w, b.Ops); err != nil {
+			if tl == nil { // tailored failures are already attributed per op
+				rep.Errorf(stage, CheckEncCoverage, At(b.ID),
+					"block not encodable: %v", err)
+			}
+			continue
+		}
+		if got, want := w.BitLen(), enc.BlockBits(b.Ops); got != want {
+			rep.Errorf(stage, CheckEncSize, At(b.ID),
+				"encoder wrote %d bits but BlockBits reports %d", got, want)
+		}
+	}
+	return rep
+}
+
+// CheckCodes verifies one code table given as parallel symbol/codeword
+// slices: symbols unique, lengths within limit, codewords prefix-free,
+// Kraft sum not above 1 (with slack warned about), and the assignment
+// canonical (increasing (length, symbol) order). It is exported so tests
+// and tools can verify tables that did not come from package huffman's
+// constructors. table indexes the scheme's dictionary (0 for
+// single-table schemes).
+func CheckCodes(stage string, table int, syms []uint64, codes []huffman.Code, limit int, rep *Report) {
+	if len(syms) != len(codes) {
+		rep.Errorf(stage, CheckHuffDup, NoPos,
+			"table %d: %d symbols but %d codes", table, len(syms), len(codes))
+		return
+	}
+	if len(syms) == 0 {
+		return
+	}
+
+	seen := map[uint64]int{}
+	kraft := 0.0
+	for i, s := range syms {
+		c := codes[i]
+		if prev, dup := seen[s]; dup {
+			rep.Errorf(stage, CheckHuffDup, Pos{Func: -1, Block: -1, Op: -1, Bit: -1},
+				"table %d: symbol %d appears at entries %d and %d", table, s, prev, i)
+		}
+		seen[s] = i
+		if c.Len < 1 || c.Len > limit {
+			rep.Errorf(stage, CheckHuffMaxLen, NoPos,
+				"table %d: symbol %d has %d-bit code, limit %d", table, s, c.Len, limit)
+			continue
+		}
+		kraft += 1 / float64(uint64(1)<<uint(c.Len))
+	}
+
+	// Prefix-freeness: sort codewords lexicographically (left-aligned);
+	// any prefix relation then appears between neighbours.
+	order := make([]int, len(codes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := codes[order[x]], codes[order[y]]
+		la, lb := a.Bits<<uint(64-a.Len), b.Bits<<uint(64-b.Len)
+		if la != lb {
+			return la < lb
+		}
+		return a.Len < b.Len
+	})
+	for k := 1; k < len(order); k++ {
+		a, b := codes[order[k-1]], codes[order[k]]
+		if a.Len <= b.Len && a.Len > 0 && b.Len <= 64 &&
+			b.Bits>>uint(b.Len-a.Len) == a.Bits {
+			rep.Errorf(stage, CheckHuffPrefix, NoPos,
+				"table %d: code of symbol %d (%0*b) is a prefix of symbol %d's (%0*b)",
+				table, syms[order[k-1]], a.Len, a.Bits, syms[order[k]], b.Len, b.Bits)
+		}
+	}
+
+	if kraft > 1+1e-9 {
+		rep.Errorf(stage, CheckHuffKraftOver, NoPos,
+			"table %d: Kraft sum %.6f exceeds 1", table, kraft)
+	} else if kraft < 1-1e-9 && len(syms) > 1 {
+		rep.Warnf(stage, CheckHuffKraftSlack, NoPos,
+			"table %d: Kraft sum %.6f below 1 wastes code space", table, kraft)
+	}
+
+	checkCanonical(stage, table, syms, codes, rep)
+}
+
+// checkCanonical recomputes the canonical assignment from the code
+// lengths and compares: codewords must be assigned in increasing
+// (length, symbol) order with the standard (code+1)<<Δ recurrence.
+func checkCanonical(stage string, table int, syms []uint64, codes []huffman.Code, rep *Report) {
+	order := make([]int, len(syms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if codes[order[x]].Len != codes[order[y]].Len {
+			return codes[order[x]].Len < codes[order[y]].Len
+		}
+		return syms[order[x]] < syms[order[y]]
+	})
+	code := uint64(0)
+	prevLen := 0
+	for _, i := range order {
+		l := codes[i].Len
+		if l < 1 || l > 64 {
+			return // already reported by the length check
+		}
+		code <<= uint(l - prevLen)
+		if codes[i].Bits != code {
+			rep.Errorf(stage, CheckHuffCanonical, NoPos,
+				"table %d: symbol %d has code %0*b, canonical assignment is %0*b",
+				table, syms[i], l, codes[i].Bits, l, code)
+			return
+		}
+		code++
+		prevLen = l
+	}
+}

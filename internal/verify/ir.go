@@ -1,0 +1,212 @@
+package verify
+
+import (
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// fileSize returns the architectural file size for a register class, or
+// -1 when the class has no file (ClassNone).
+func fileSize(c ir.RegClass) int {
+	switch c {
+	case ir.ClassGPR:
+		return isa.NumGPR
+	case ir.ClassFPR:
+		return isa.NumFPR
+	case ir.ClassPred:
+		return isa.NumPred
+	}
+	return -1
+}
+
+// IR verifies a program's CFG and instruction-level invariants: block
+// identity, opcode definedness, terminator placement, target existence,
+// guard predicates, register classes, probability ranges, per-function
+// entry reachability and (when profile counts are present) flow
+// conservation. With allocated set, register numbers must also fit their
+// architectural files.
+func IR(p *ir.Program, allocated bool) *Report {
+	const stage = "ir"
+	rep := &Report{}
+	nblocks := p.NumBlocks()
+
+	for fi, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			pos := Pos{Func: fi, Block: b.ID, Op: -1, Bit: -1}
+			if b.ID < 0 || b.ID >= nblocks || p.Block(b.ID) != b {
+				rep.Errorf(stage, CheckIRBlockID, pos,
+					"block ID %d does not match its layout index", b.ID)
+				continue
+			}
+			checkInstrs(rep, b, fi, allocated)
+			checkTerminator(rep, p, b, fi)
+			if b.FallTarget != ir.NoTarget && (b.FallTarget < 0 || b.FallTarget >= nblocks) {
+				rep.Errorf(stage, CheckIRFallTarget, pos,
+					"fall target %d outside [0,%d)", b.FallTarget, nblocks)
+			}
+			if b.TakenProb < 0 || b.TakenProb > 1 || math.IsNaN(b.TakenProb) {
+				rep.Errorf(stage, CheckIRProbRange, pos,
+					"taken probability %g outside [0,1]", b.TakenProb)
+			}
+		}
+		checkReachability(rep, p, f, fi)
+	}
+	checkFlow(rep, p)
+	return rep
+}
+
+func checkInstrs(rep *Report, b *ir.Block, fi int, allocated bool) {
+	const stage = "ir"
+	for j, in := range b.Instrs {
+		pos := Pos{Func: fi, Block: b.ID, Op: j, Bit: -1}
+		if _, ok := isa.Lookup(in.Type, in.Code); !ok {
+			rep.Errorf(stage, CheckIROpcode, pos,
+				"undefined opcode %v/%d", in.Type, in.Code)
+			continue
+		}
+		if in.IsBranch() && j != len(b.Instrs)-1 {
+			rep.Errorf(stage, CheckIRBranchNotLast, pos,
+				"branch %s at position %d of %d is not the terminator",
+				in.Info().Name, j, len(b.Instrs))
+		}
+		if in.Pred.IsValid() && in.Pred.Class != ir.ClassPred {
+			rep.Errorf(stage, CheckIRRegClass, pos,
+				"guard predicate %v is not a predicate register", in.Pred)
+		}
+		if in.Info().Format == isa.FmtIntCmpp && in.Dest.IsValid() &&
+			in.Dest.Class != ir.ClassPred {
+			rep.Errorf(stage, CheckIRRegClass, pos,
+				"cmpp destination %v is not a predicate register", in.Dest)
+		}
+		if allocated {
+			for _, r := range [...]ir.Reg{in.Src1, in.Src2, in.Dest, in.Pred} {
+				if !r.IsValid() {
+					continue
+				}
+				if size := fileSize(r.Class); size > 0 && (r.N < 0 || r.N >= size) {
+					rep.Errorf(stage, CheckIRRegBound, pos,
+						"register %v outside the %d-entry %v file", r, size, r.Class)
+				}
+			}
+		}
+	}
+}
+
+func checkTerminator(rep *Report, p *ir.Program, b *ir.Block, fi int) {
+	const stage = "ir"
+	t := b.Terminator()
+	if t == nil {
+		return
+	}
+	pos := Pos{Func: fi, Block: b.ID, Op: len(b.Instrs) - 1, Bit: -1}
+	switch t.Code {
+	case isa.OpBRCT, isa.OpBRCF:
+		if !t.Pred.IsValid() || t.Pred == ir.PredTrue {
+			rep.Errorf(stage, CheckIRCondGuard, pos,
+				"conditional branch %s without a guard predicate", t.Info().Name)
+		}
+	case isa.OpCALL:
+		if b.Callee < 0 || b.Callee >= len(p.Funcs) {
+			rep.Errorf(stage, CheckIRCallee, pos,
+				"call to undefined function %d of %d", b.Callee, len(p.Funcs))
+		}
+	}
+	if t.Code != isa.OpRET && t.Code != isa.OpCALL {
+		if b.TakenTarget < 0 || b.TakenTarget >= p.NumBlocks() {
+			rep.Errorf(stage, CheckIRTakenTarget, pos,
+				"taken target %d outside [0,%d)", b.TakenTarget, p.NumBlocks())
+		}
+	}
+}
+
+// checkReachability walks intra-function edges from the function entry
+// and warns about blocks no path reaches.
+func checkReachability(rep *Report, p *ir.Program, f *ir.Func, fi int) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	inFunc := map[int]bool{}
+	for _, b := range f.Blocks {
+		inFunc[b.ID] = true
+	}
+	seen := map[int]bool{f.Entry().ID: true}
+	work := []int{f.Entry().ID}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		if id < 0 || id >= p.NumBlocks() {
+			continue
+		}
+		for _, s := range p.Block(id).Succs() {
+			if inFunc[s] && !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		if !seen[b.ID] {
+			rep.Warnf("ir", CheckIRUnreachable, Pos{Func: fi, Block: b.ID, Op: -1, Bit: -1},
+				"block unreachable from %s's entry", f.Name)
+		}
+	}
+}
+
+// checkFlow verifies profile-count conservation: each block's execution
+// count should match the probability-weighted inflow from its CFG
+// predecessors. Only meaningful when counts were annotated (all-zero
+// profiles skip the check); entry blocks are exempt (their flow arrives
+// through calls or from outside the program).
+func checkFlow(rep *Report, p *ir.Program) {
+	any := false
+	for _, b := range p.Blocks() {
+		if b.ExecCount != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	entries := map[int]bool{}
+	for _, f := range p.Funcs {
+		if len(f.Blocks) > 0 {
+			entries[f.Entry().ID] = true
+		}
+	}
+	inflow := make([]float64, p.NumBlocks())
+	for _, b := range p.Blocks() {
+		if b.ExecCount == 0 {
+			continue
+		}
+		w := float64(b.ExecCount)
+		hasTaken := false
+		if t := b.Terminator(); t != nil && t.Code != isa.OpCALL && t.Code != isa.OpRET &&
+			b.TakenTarget >= 0 && b.TakenTarget < p.NumBlocks() {
+			inflow[b.TakenTarget] += w * b.TakenProb
+			hasTaken = true
+		}
+		if b.FallTarget != ir.NoTarget && b.FallTarget >= 0 && b.FallTarget < p.NumBlocks() {
+			fw := w
+			if hasTaken {
+				fw = w * (1 - b.TakenProb)
+			}
+			inflow[b.FallTarget] += fw
+		}
+	}
+	for _, b := range p.Blocks() {
+		if entries[b.ID] || b.ExecCount == 0 {
+			continue
+		}
+		got := float64(b.ExecCount)
+		want := inflow[b.ID]
+		// Stochastic profiles are conserved only in expectation; flag
+		// mismatches beyond 10% plus slack for low-count blocks.
+		if diff := math.Abs(got - want); diff > 0.10*got+16 {
+			rep.Warnf("ir", CheckIRFlow, At(b.ID),
+				"execution count %d but predecessor inflow %.0f", b.ExecCount, want)
+		}
+	}
+}

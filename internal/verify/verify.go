@@ -1,0 +1,45 @@
+package verify
+
+import (
+	"repro/internal/compress"
+	"repro/internal/image"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// Artifact bundles one scheme's encoded outputs for Pipeline.
+type Artifact struct {
+	Scheme string
+	Enc    compress.Encoder
+	Im     *image.Image
+	// Order is the block placement Im was built with (nil = natural).
+	Order layout.Order
+}
+
+// Pipeline runs every verifier pass over a compiled pipeline: the IR
+// (when available), the schedule, and each artifact's encoding and
+// image. The base scheme's image is exempt from the ATT requirement —
+// uncompressed code needs no address translation.
+func Pipeline(p *ir.Program, sp *sched.Program, arts []Artifact) *Report {
+	rep := &Report{}
+	if p != nil {
+		rep.Merge(IR(p, true))
+	}
+	if sp != nil {
+		rep.Merge(Schedule(sp, p))
+		for _, a := range arts {
+			if a.Enc != nil {
+				rep.Merge(Encoding(sp, a.Enc))
+			}
+			if a.Im != nil && a.Enc != nil {
+				rep.Merge(Image(a.Im, sp, a.Enc, ImageOpts{
+					Order:      a.Order,
+					RequireATT: a.Scheme != "base",
+				}))
+			}
+		}
+	}
+	rep.Sort()
+	return rep
+}
