@@ -49,7 +49,30 @@ type (
 	Suite = core.Suite
 	// Profile is a synthetic-benchmark generation profile.
 	Profile = workload.Profile
+	// Driver is the concurrent compilation driver with its
+	// content-addressed artifact cache; see core.Driver.
+	Driver = core.Driver
+	// Job is one (benchmark, scheme) build point.
+	Job = core.Job
+	// Built is one completed build job.
+	Built = core.Built
 )
+
+// NewDriver returns a compilation driver with the given worker-pool
+// width (<= 0 selects GOMAXPROCS).
+func NewDriver(workers int) *Driver { return core.NewDriver(workers) }
+
+// NewSuiteWithDriver creates an experiment suite on an existing driver,
+// sharing its worker pool and artifact cache.
+func NewSuiteWithDriver(opt Options, d *Driver) *Suite {
+	return core.NewSuiteWithDriver(opt, d)
+}
+
+// CrossJobs builds the benchmarks × schemes job matrix (nil selects the
+// paper's eight benchmarks / every scheme).
+func CrossJobs(benchmarks, schemes []string) []Job {
+	return core.CrossJobs(benchmarks, schemes)
+}
 
 // CompileBenchmark compiles one of the eight benchmark stand-ins.
 func CompileBenchmark(name string) (*Compiled, error) {

@@ -1,6 +1,9 @@
 // Command tepicbench regenerates the paper's evaluation: every figure's
 // table in one run, plus the design-space sweeps and the related/future
-// work studies behind them.
+// work studies behind them. Builds fan out on the concurrent compilation
+// driver; -json exports a machine-readable benchmark report (stage
+// latencies, cache traffic, throughput) and -check decode-verifies every
+// built image.
 //
 // Usage:
 //
@@ -8,6 +11,10 @@
 //	tepicbench -fig 13              # one figure
 //	tepicbench -blocks 100000       # shorter traces (faster)
 //	tepicbench -benchmarks gcc,go   # subset
+//	tepicbench -par 8               # worker-pool width
+//	tepicbench -json BENCH_all.json # machine-readable report
+//	tepicbench -check               # fail on any decode mismatch
+//	tepicbench -warm                # re-run on the warm cache, report hit rate
 //	tepicbench -sweep streams       # the six stream configurations
 //	tepicbench -sweep related       # §6 comparison (CodePack, Thumb-style)
 //	tepicbench -sweep predictors    # §7 predictor study
@@ -17,15 +24,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	ccc "repro"
 	"repro/internal/core"
+	"repro/internal/stats"
 	"repro/internal/superblock"
 )
 
@@ -33,6 +43,27 @@ func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// benchReport is the machine-readable run summary written by -json: one
+// JSON object per tepicbench invocation, stable field names, suitable
+// for CI artifact upload and regression tracking.
+type benchReport struct {
+	Tool          string                         `json:"tool"`
+	Figure        string                         `json:"figure"`
+	Benchmarks    []string                       `json:"benchmarks"`
+	Parallelism   int                            `json:"parallelism"`
+	WallMS        float64                        `json:"wall_ms"`
+	Stages        map[string]stats.TimerSnapshot `json:"stages"`
+	CacheHits     int64                          `json:"cache_hits"`
+	CacheMisses   int64                          `json:"cache_misses"`
+	CacheHitRate  float64                        `json:"cache_hit_rate"`
+	WarmHitRate   float64                        `json:"warm_hit_rate,omitempty"`
+	BytesBase     int64                          `json:"bytes_base"`
+	BytesEncoded  int64                          `json:"bytes_encoded"`
+	BytesPerSec   float64                        `json:"bytes_per_sec"`
+	DecodeChecked bool                           `json:"decode_checked"`
+	DecodeOK      bool                           `json:"decode_ok"`
 }
 
 // run executes the tool against args, writing to out (separated from main
@@ -43,6 +74,10 @@ func run(args []string, out io.Writer) error {
 	blocks := fs.Int("blocks", 0, "trace length in blocks (0 = profile defaults, 400k)")
 	benchCSV := fs.String("benchmarks", "", "comma-separated benchmark subset")
 	sweep := fs.String("sweep", "", "extra study: streams, related, dict, predictors, superblocks, speculation, layout")
+	par := fs.Int("par", 0, "compilation worker-pool width (0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "", "write a machine-readable benchmark report to this file")
+	check := fs.Bool("check", false, "decode-verify every built image; non-zero exit on mismatch")
+	warm := fs.Bool("warm", false, "re-run the workload on the warm cache and report the hit rate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,13 +86,109 @@ func run(args []string, out io.Writer) error {
 	if *benchCSV != "" {
 		opt.Benchmarks = strings.Split(*benchCSV, ",")
 	}
-	s := ccc.NewSuite(opt)
+	d := ccc.NewDriver(*par)
+	s := ccc.NewSuiteWithDriver(opt, d)
 
-	if *sweep != "" {
-		return runSweep(s, opt, *sweep, out)
+	exec := func(w io.Writer) error {
+		if *sweep != "" {
+			return runSweep(s, opt, *sweep, w)
+		}
+		return runFigures(s, *fig, w)
 	}
 
-	want := func(n string) bool { return *fig == "all" || *fig == n }
+	start := time.Now()
+	if err := exec(out); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	// Warm pass: same workload, same driver. Every artifact request must
+	// resolve in the content-addressed cache.
+	var warmRate float64
+	if *warm {
+		h0 := d.Stats().Counter("artifact.hit").Value()
+		m0 := d.Stats().Counter("artifact.miss").Value()
+		if err := exec(io.Discard); err != nil {
+			return err
+		}
+		dh := d.Stats().Counter("artifact.hit").Value() - h0
+		dm := d.Stats().Counter("artifact.miss").Value() - m0
+		if dh+dm > 0 {
+			warmRate = float64(dh) / float64(dh+dm)
+		}
+		fmt.Fprintf(out, "warm re-run: %d/%d artifact requests served from cache (%.1f%%)\n",
+			dh, dh+dm, 100*warmRate)
+	}
+
+	// Decode check: every image the run built must decode back to the
+	// scheduled program, bit for bit.
+	var checkErr error
+	decodeOK := true
+	if *check {
+		benchmarks := opt.Benchmarks
+		if len(benchmarks) == 0 {
+			benchmarks = ccc.Benchmarks
+		}
+		for _, name := range benchmarks {
+			c, err := s.Compiled(name)
+			if err != nil {
+				return err
+			}
+			if err := c.Verify(); err != nil {
+				decodeOK = false
+				checkErr = fmt.Errorf("decode check %s: %w", name, err)
+				break
+			}
+		}
+		if decodeOK {
+			fmt.Fprintln(out, "decode check: all built images decode back to the scheduled program")
+		}
+	}
+
+	if *jsonPath != "" {
+		snap := d.Stats().Snapshot()
+		figure := *fig
+		if *sweep != "" {
+			figure = "sweep:" + *sweep
+		}
+		benchmarks := opt.Benchmarks
+		if len(benchmarks) == 0 {
+			benchmarks = ccc.Benchmarks
+		}
+		rep := benchReport{
+			Tool:          "tepicbench",
+			Figure:        figure,
+			Benchmarks:    benchmarks,
+			Parallelism:   d.Workers(),
+			WallMS:        float64(wall) / float64(time.Millisecond),
+			Stages:        snap.Stages,
+			CacheHits:     snap.Counters["artifact.hit"],
+			CacheMisses:   snap.Counters["artifact.miss"],
+			CacheHitRate:  d.CacheHitRate(),
+			WarmHitRate:   warmRate,
+			BytesBase:     snap.Counters["bytes.base"],
+			BytesEncoded:  snap.Counters["bytes.encoded"],
+			DecodeChecked: *check,
+			DecodeOK:      decodeOK,
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			rep.BytesPerSec = float64(rep.BytesBase) / secs
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchmark report written to %s\n", *jsonPath)
+	}
+	return checkErr
+}
+
+// runFigures regenerates the requested figure tables.
+func runFigures(s *ccc.Suite, fig string, out io.Writer) error {
+	want := func(n string) bool { return fig == "all" || fig == n }
 	type figure struct {
 		name string
 		gen  func() (interface{ Render() string }, error)
@@ -115,7 +246,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, tab.Render())
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q", *fig)
+		return fmt.Errorf("unknown figure %q", fig)
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -55,6 +58,48 @@ func TestRunPredictorSweep(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("predictor sweep missing %q", want)
 		}
+	}
+}
+
+func TestRunJSONReportAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	jsonFile := filepath.Join(dir, "BENCH_fig5.json")
+	out := benchOut(t, "-fig", "5", "-benchmarks", "compress", "-par", "2",
+		"-json", jsonFile, "-check", "-warm")
+	if !strings.Contains(out, "decode check: all built images decode back") {
+		t.Errorf("decode check summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "warm re-run:") {
+		t.Errorf("warm re-run summary missing:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Tool != "tepicbench" || rep.Figure != "5" || rep.Parallelism != 2 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0] != "compress" {
+		t.Errorf("report benchmarks = %v", rep.Benchmarks)
+	}
+	if rep.WallMS <= 0 || rep.BytesBase <= 0 || rep.BytesEncoded <= 0 || rep.BytesPerSec <= 0 {
+		t.Errorf("report missing throughput data: %+v", rep)
+	}
+	if len(rep.Stages) == 0 {
+		t.Error("report has no stage timings")
+	}
+	if rep.CacheMisses == 0 {
+		t.Error("cold run recorded no cache misses")
+	}
+	if rep.WarmHitRate < 0.9 {
+		t.Errorf("warm hit rate %.2f; want >= 0.9", rep.WarmHitRate)
+	}
+	if !rep.DecodeChecked || !rep.DecodeOK {
+		t.Errorf("decode check not recorded: %+v", rep)
 	}
 }
 

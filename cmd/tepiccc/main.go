@@ -43,10 +43,13 @@ func run(args []string, out io.Writer) error {
 	verifyFlag := fs.Bool("verify", false, "run the static verifier over every stage and fail on errors")
 	verilog := fs.String("verilog", "", "emit tailored decoder Verilog to this file")
 	huffV := fs.String("huffman-verilog", "", "emit the chosen scheme's Huffman decoder Verilog to this file")
+	par := fs.Int("par", 0, "compilation worker-pool width (0 = GOMAXPROCS)")
+	statsFlag := fs.Bool("stats", false, "print pipeline stage timings and cache traffic")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	d := ccc.NewDriver(*par)
 	var (
 		c   *core.Compiled
 		err error
@@ -68,20 +71,19 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "speculation: %d ops hoisted\n", hoisted)
 		}
-		c, err = core.ScheduleOnly(p)
+		if c, err = core.ScheduleOnly(p); err == nil {
+			d.Bind(c)
+		}
 	case *speculate:
 		var hoisted int
 		c, hoisted, err = core.CompileBenchmarkSpeculative(*bench)
 		if err == nil {
 			fmt.Fprintf(out, "speculation: %d ops hoisted\n", hoisted)
+			d.Bind(c)
 		}
 	default:
-		c, err = ccc.CompileBenchmark(*bench)
+		c, err = d.CompileBenchmark(*bench)
 	}
-	if err != nil {
-		return err
-	}
-	base, err := c.Image("base")
 	if err != nil {
 		return err
 	}
@@ -89,6 +91,18 @@ func run(args []string, out io.Writer) error {
 	schemes := []string{*scheme}
 	if *all {
 		schemes = ccc.SchemeNames()
+	}
+
+	// Fan the scheme builds out on the worker pool before the serial
+	// report loop below reads them from the cache.
+	if *all && *asmFile == "" && !*speculate {
+		if _, err := d.BuildAll(ccc.CrossJobs([]string{*bench}, schemes)); err != nil {
+			return err
+		}
+	}
+	base, err := c.Image("base")
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(out, "%-10s %10s %8s %10s %8s  %s\n",
 		"scheme", "code B", "of base", "ATT B", "total B", "decoder")
@@ -183,6 +197,14 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(f)
 		}
 		fmt.Fprintf(out, "Huffman decoder(s) written to %s\n", *huffV)
+	}
+
+	if *statsFlag {
+		fmt.Fprintln(out, d.Stats().Snapshot().Table("pipeline stages").Render())
+		fmt.Fprintf(out, "artifact cache: %d hits / %d misses (%.1f%% hit rate)\n",
+			d.Stats().Counter("artifact.hit").Value(),
+			d.Stats().Counter("artifact.miss").Value(),
+			100*d.CacheHitRate())
 	}
 	return nil
 }

@@ -110,6 +110,19 @@ func TestRunUnknownScheme(t *testing.T) {
 	}
 }
 
+func TestRunWithStats(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-all", "-par", "2", "-stats"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"pipeline stages", "compile.schedule", "artifact cache:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunWithStaticVerify(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-bench", "compress", "-scheme", "full", "-verify"}, &sb); err != nil {

@@ -1,0 +1,122 @@
+package bitio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// field is one (width, value) write in a synthesized stream.
+type field struct {
+	width int
+	value uint64
+}
+
+// parseFields derives a write plan from arbitrary bytes: a width byte
+// (clamped to the reader's 57-bit window) followed by enough bytes to
+// fill the value.
+func parseFields(data []byte) []field {
+	var fs []field
+	i := 0
+	for i < len(data) {
+		w := int(data[i]) % 58
+		i++
+		var v uint64
+		for j := 0; j < (w+7)/8 && i < len(data); j++ {
+			v = v<<8 | uint64(data[i])
+			i++
+		}
+		if w < 64 {
+			v &= 1<<uint(w) - 1
+		}
+		fs = append(fs, field{width: w, value: v})
+	}
+	return fs
+}
+
+// roundTrip writes the fields, reads them back, and reports the first
+// discrepancy. Returning an empty string means the stream round-tripped.
+func roundTrip(fields []field) string {
+	var w Writer
+	total := 0
+	for _, f := range fields {
+		w.WriteBits(f.value, f.width)
+		total += f.width
+	}
+	if w.BitLen() != total {
+		return "BitLen mismatch before flush"
+	}
+	data := w.Bytes()
+	if len(data) != (total+7)/8 {
+		return "flushed byte count mismatch"
+	}
+	r := NewReader(data)
+	for i, f := range fields {
+		v, err := r.ReadBits(f.width)
+		if err != nil {
+			return "read error at field " + string(rune('0'+i%10)) + ": " + err.Error()
+		}
+		if v != f.value {
+			return "value mismatch"
+		}
+	}
+	if r.Offset() != total {
+		return "reader offset mismatch"
+	}
+	return ""
+}
+
+// TestWriterReaderQuick is the property form of the round-trip: any
+// sequence of (width, value) writes reads back verbatim, MSB first.
+func TestWriterReaderQuick(t *testing.T) {
+	prop := func(raw []byte) bool {
+		return roundTrip(parseFields(raw)) == ""
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReaderSeekAfterRoundTrip checks that byte-aligned seeks land on the
+// bits written there: the stream is written twice with an alignment
+// between, and the second copy is read via SeekBit.
+func TestReaderSeekAfterRoundTrip(t *testing.T) {
+	prop := func(raw []byte) bool {
+		fields := parseFields(raw)
+		var w Writer
+		for _, f := range fields {
+			w.WriteBits(f.value, f.width)
+		}
+		w.AlignByte()
+		mark := w.BitLen()
+		for _, f := range fields {
+			w.WriteBits(f.value, f.width)
+		}
+		r := NewReader(w.Bytes())
+		if err := r.SeekBit(mark); err != nil {
+			return false
+		}
+		for _, f := range fields {
+			v, err := r.ReadBits(f.width)
+			if err != nil || v != f.value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzBitioRoundTrip fuzzes the same property over arbitrary payloads.
+func FuzzBitioRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xff})
+	f.Add([]byte{40, 0xde, 0xad, 0xbe, 0xef, 0x42})
+	f.Add([]byte{57, 1, 2, 3, 4, 5, 6, 7, 8, 0, 33, 0xaa, 0x55})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if msg := roundTrip(parseFields(raw)); msg != "" {
+			t.Fatalf("round trip failed: %s (input %x)", msg, raw)
+		}
+	})
+}

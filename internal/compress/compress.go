@@ -12,6 +12,7 @@ package compress
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bitio"
 	"repro/internal/huffman"
@@ -175,6 +176,19 @@ func (c StreamConfig) Validate() error {
 		prev = cut
 	}
 	return nil
+}
+
+// Key returns the configuration's canonical content descriptor — the
+// exact cut points, independent of the display name — for use in
+// artifact-cache keys: two configurations with the same cuts produce
+// identical encoders for the same program.
+func (c StreamConfig) Key() string {
+	var b strings.Builder
+	b.WriteString("stream")
+	for _, cut := range c.Cuts {
+		fmt.Fprintf(&b, "/%d", cut)
+	}
+	return b.String()
 }
 
 // StreamConfigs are the six stream-boundary configurations explored for

@@ -1,0 +1,130 @@
+package compress_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// fuzzSchemes covers every encoder family behind the common interface.
+var fuzzSchemes = []string{"base", "byte", "stream", "stream_1", "full", "tailored"}
+
+var pool struct {
+	once sync.Once
+	ops  []isa.Op
+	encs map[string]compress.Encoder
+	err  error
+}
+
+// loadPool compiles the "compress" benchmark once and exposes its
+// operation pool and trained encoders. Fuzzed blocks draw operations
+// from the pool, so every symbol is present in the Huffman tables and
+// the tailored dictionary — any sequence of them is a legal block.
+func loadPool(t testing.TB) ([]isa.Op, map[string]compress.Encoder) {
+	pool.once.Do(func() {
+		c, err := core.CompileBenchmark("compress")
+		if err != nil {
+			pool.err = err
+			return
+		}
+		for _, b := range c.Prog.Blocks {
+			pool.ops = append(pool.ops, b.Ops...)
+		}
+		pool.encs = map[string]compress.Encoder{}
+		for _, scheme := range fuzzSchemes {
+			enc, err := c.Encoder(scheme)
+			if err != nil {
+				pool.err = err
+				return
+			}
+			pool.encs[scheme] = enc
+		}
+	})
+	if pool.err != nil {
+		t.Fatal(pool.err)
+	}
+	return pool.ops, pool.encs
+}
+
+// blockFromBytes maps arbitrary fuzz bytes to a block of pool operations.
+func blockFromBytes(ops []isa.Op, data []byte) []isa.Op {
+	if len(data) == 0 {
+		return nil
+	}
+	n := int(data[0])%64 + 1
+	block := make([]isa.Op, 0, n)
+	h := 2166136261 // FNV-style mix of the payload selects pool indices
+	for i := 0; i < n; i++ {
+		h = h*16777619 ^ int(data[(i+1)%len(data)])
+		j := h % len(ops)
+		if j < 0 {
+			j = -j
+		}
+		block = append(block, ops[j])
+	}
+	return block
+}
+
+// checkRoundTrip encodes the block under every scheme and decodes it
+// back, asserting bit-exact operations and that BlockBits agrees with
+// the bits actually written.
+func checkRoundTrip(t *testing.T, encs map[string]compress.Encoder, block []isa.Op) {
+	t.Helper()
+	for scheme, enc := range encs {
+		var w bitio.Writer
+		before := w.BitLen()
+		if err := enc.EncodeBlock(&w, block); err != nil {
+			t.Fatalf("%s: encode: %v", scheme, err)
+		}
+		if got, want := w.BitLen()-before, enc.BlockBits(block); got != want {
+			t.Errorf("%s: wrote %d bits, BlockBits predicts %d", scheme, got, want)
+		}
+		r := bitio.NewReader(w.Bytes())
+		dec, err := enc.DecodeBlock(r, len(block))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", scheme, err)
+		}
+		if len(dec) != len(block) {
+			t.Fatalf("%s: decoded %d ops, want %d", scheme, len(dec), len(block))
+		}
+		for i := range dec {
+			if dec[i] != block[i] {
+				t.Fatalf("%s: op %d: %s != %s", scheme, i, dec[i].String(), block[i].String())
+			}
+		}
+	}
+}
+
+// TestEncodeDecodeArbitraryBlocks sweeps deterministic pseudo-random
+// blocks of every size class through all encoders.
+func TestEncodeDecodeArbitraryBlocks(t *testing.T) {
+	ops, encs := loadPool(t)
+	seed := []byte{0}
+	for n := 1; n <= 48; n += 7 {
+		seed[0] = byte(n)
+		block := make([]isa.Op, 0, n)
+		for i := 0; i < n; i++ {
+			block = append(block, ops[(i*2654435761+n*97)%len(ops)])
+		}
+		checkRoundTrip(t, encs, block)
+	}
+	// Empty blocks must also round-trip (some CFG blocks are fallthrough
+	// only).
+	checkRoundTrip(t, encs, nil)
+}
+
+// FuzzEncodeDecodeRoundTrip fuzzes encode→decode over arbitrary block
+// compositions for every scheme.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{8, 0, 1, 2, 3})
+	f.Add([]byte{63, 0xff, 0x80, 0x41, 0x07, 0xc3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, encs := loadPool(t)
+		checkRoundTrip(t, encs, blockFromBytes(ops, data))
+	})
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/image"
+	"repro/internal/ir"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Driver is the concurrent compilation driver: a bounded worker pool
+// that fans out over (benchmark, encoding-scheme) build jobs, backed by
+// a content-addressed artifact cache. Every artifact — compiled
+// program, encoder (Huffman tables / tailored dictionary), image with
+// ATT, stochastic trace — is keyed by a hash of its exact inputs
+// (program content, scheme configuration, cache version; see key.go),
+// built once under single-flight, and shared by every job that asks for
+// it. Stage latencies and cache traffic are recorded in a stats.Registry
+// so drivers of the driver (tepicbench, tepiccc) can export them.
+//
+// All methods are safe for concurrent use.
+type Driver struct {
+	workers int
+	obs     *stats.Registry
+	sem     chan struct{}
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one single-flight artifact build: the first requester builds
+// while later requesters block on done and share the result.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewDriver returns a driver with the given worker-pool width; width <= 0
+// selects GOMAXPROCS.
+func NewDriver(workers int) *Driver {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Driver{
+		workers: workers,
+		obs:     stats.NewRegistry(),
+		sem:     make(chan struct{}, workers),
+		flights: map[string]*flight{},
+	}
+}
+
+// Workers returns the worker-pool width.
+func (d *Driver) Workers() int { return d.workers }
+
+// Stats returns the driver's observability registry: stage timers
+// ("compile.generate", "encode.full", "image.base", ...) and counters
+// ("artifact.hit", "artifact.miss", "bytes.base", "bytes.encoded").
+func (d *Driver) Stats() *stats.Registry { return d.obs }
+
+// CacheHitRate returns hits / (hits + misses) over the driver's
+// lifetime, or 0 before the first artifact request.
+func (d *Driver) CacheHitRate() float64 {
+	hits := d.obs.Counter("artifact.hit").Value()
+	misses := d.obs.Counter("artifact.miss").Value()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// memo returns the artifact stored under key, building it with build on
+// first request. Concurrent requests for one key are deduplicated: one
+// goroutine builds, the rest wait. A failed build is cached too — the
+// inputs are content-hashed, so retrying cannot succeed.
+func (d *Driver) memo(key string, build func() (any, error)) (any, error) {
+	d.mu.Lock()
+	f, ok := d.flights[key]
+	if !ok {
+		f = &flight{done: make(chan struct{})}
+		d.flights[key] = f
+	}
+	d.mu.Unlock()
+	if ok {
+		d.obs.Counter("artifact.hit").Add(1)
+		<-f.done
+		return f.val, f.err
+	}
+	d.obs.Counter("artifact.miss").Add(1)
+	f.val, f.err = build()
+	close(f.done)
+	return f.val, f.err
+}
+
+// memoAs is the typed face of memo.
+func memoAs[T any](d *Driver, key string, build func() (T, error)) (T, error) {
+	v, err := d.memo(key, func() (any, error) { return build() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// mapN runs fn(0..n-1) on the worker pool and collects results in index
+// order; the first error (by index) wins. Task functions may build
+// artifacts — builds run on the caller's worker slot — but must not call
+// mapN themselves, which could exhaust the pool with waiting parents.
+func mapN[T any](d *Driver, n int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		d.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-d.sem }()
+			out[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Compile pushes a workload profile through the compiler substrate,
+// returning the cached compilation when the profile was seen before.
+// The returned *Compiled is shared: all its artifact builders are safe
+// for concurrent use and route through the driver's cache.
+func (d *Driver) Compile(prof workload.Profile) (*Compiled, error) {
+	return memoAs(d, profileKey(prof), func() (*Compiled, error) {
+		var (
+			p     *ir.Program
+			alloc regalloc.Result
+			sp    *sched.Program
+			err   error
+		)
+		if err = d.obs.Timer("compile.generate").Time(func() error {
+			p, err = workload.Generate(prof)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if err = d.obs.Timer("compile.regalloc").Time(func() error {
+			alloc, err = regalloc.Allocate(p)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if err = d.obs.Timer("compile.schedule").Time(func() error {
+			sp, err = sched.Schedule(p)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		c := newCompiled(p, sp, alloc)
+		c.Profile = &prof
+		c.drv = d
+		return c, nil
+	})
+}
+
+// CompileBenchmark compiles one of the eight benchmark stand-ins through
+// the driver's cache.
+func (d *Driver) CompileBenchmark(name string) (*Compiled, error) {
+	prof, ok := workload.ProfileFor(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q", name)
+	}
+	return d.Compile(prof)
+}
+
+// Bind attaches an independently compiled program (asm input,
+// ScheduleOnly, CompileIR) to the driver so its artifact builds share
+// the content-addressed cache and report stage timings. It returns c.
+func (d *Driver) Bind(c *Compiled) *Compiled {
+	c.drv = d
+	return c
+}
+
+// Job names one (benchmark, scheme) point of the build matrix.
+type Job struct {
+	Benchmark string
+	Scheme    string
+}
+
+// Built is one completed job: the shared compilation and the scheme's
+// image (with ATT for non-base schemes).
+type Built struct {
+	Job      Job
+	Compiled *Compiled
+	Image    *image.Image
+}
+
+// CrossJobs builds the benchmarks × schemes job matrix in deterministic
+// order. Nil selects the paper's eight benchmarks / every scheme.
+func CrossJobs(benchmarks, schemes []string) []Job {
+	if len(benchmarks) == 0 {
+		benchmarks = workload.Benchmarks
+	}
+	if len(schemes) == 0 {
+		schemes = SchemeNames()
+	}
+	jobs := make([]Job, 0, len(benchmarks)*len(schemes))
+	for _, b := range benchmarks {
+		for _, s := range schemes {
+			jobs = append(jobs, Job{Benchmark: b, Scheme: s})
+		}
+	}
+	return jobs
+}
+
+// BuildAll fans the job list out over the worker pool. Each benchmark
+// compiles once and each (program, scheme) artifact builds once
+// regardless of how many jobs share it; results come back in job order.
+func (d *Driver) BuildAll(jobs []Job) ([]Built, error) {
+	return mapN(d, len(jobs), func(i int) (Built, error) {
+		c, err := d.CompileBenchmark(jobs[i].Benchmark)
+		if err != nil {
+			return Built{}, err
+		}
+		im, err := c.Image(jobs[i].Scheme)
+		if err != nil {
+			return Built{}, err
+		}
+		return Built{Job: jobs[i], Compiled: c, Image: im}, nil
+	})
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// driverSchemes is the scheme set the driver tests build; it covers every
+// encoder family without the four extra stream configurations.
+var driverSchemes = []string{"base", "byte", "stream", "stream_1", "full", "tailored"}
+
+func TestCrossJobs(t *testing.T) {
+	jobs := CrossJobs([]string{"compress", "go"}, []string{"base", "full"})
+	want := []Job{
+		{"compress", "base"}, {"compress", "full"},
+		{"go", "base"}, {"go", "full"},
+	}
+	if len(jobs) != len(want) {
+		t.Fatalf("got %d jobs, want %d", len(jobs), len(want))
+	}
+	for i := range want {
+		if jobs[i] != want[i] {
+			t.Errorf("job %d = %v, want %v", i, jobs[i], want[i])
+		}
+	}
+	if n := len(CrossJobs(nil, nil)); n != 8*len(SchemeNames()) {
+		t.Errorf("default matrix has %d jobs, want %d", n, 8*len(SchemeNames()))
+	}
+}
+
+func TestDriverBuildAllAndWarmCache(t *testing.T) {
+	d := NewDriver(4)
+	jobs := CrossJobs([]string{"compress"}, driverSchemes)
+
+	cold, err := d.BuildAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(cold), len(jobs))
+	}
+	for i, b := range cold {
+		if b.Job != jobs[i] {
+			t.Errorf("result %d out of order: %v != %v", i, b.Job, jobs[i])
+		}
+		if b.Image == nil || b.Image.CodeBytes == 0 {
+			t.Errorf("job %v: empty image", b.Job)
+		}
+	}
+	misses := d.Stats().Counter("artifact.miss").Value()
+	if misses == 0 {
+		t.Fatal("cold pass recorded no cache misses")
+	}
+
+	// Warm pass: everything must come from the cache, bit-identical.
+	warm, err := d.BuildAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Counter("artifact.miss").Value(); got != misses {
+		t.Errorf("warm pass built %d new artifacts; want 0", got-misses)
+	}
+	for i := range warm {
+		if warm[i].Image != cold[i].Image {
+			t.Errorf("job %v: warm image is not the cached object", warm[i].Job)
+		}
+	}
+	if rate := d.CacheHitRate(); rate < 0.5 {
+		t.Errorf("lifetime hit rate %.2f after warm pass; want >= 0.5", rate)
+	}
+
+	// A cold driver rebuilds from scratch to byte-identical artifacts.
+	d2 := NewDriver(2)
+	cold2, err := d2.BuildAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold2 {
+		if !bytes.Equal(cold2[i].Image.Data, cold[i].Image.Data) {
+			t.Errorf("job %v: cold rebuild differs from first build", cold2[i].Job)
+		}
+	}
+}
+
+func TestDriverSingleFlight(t *testing.T) {
+	d := NewDriver(8)
+	builds := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := memoAs(d, "k", func() (int, error) {
+				builds++ // safe: single-flight runs this exactly once
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("memo = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Errorf("build ran %d times; want 1", builds)
+	}
+	hits := d.Stats().Counter("artifact.hit").Value()
+	misses := d.Stats().Counter("artifact.miss").Value()
+	if misses != 1 || hits != 15 {
+		t.Errorf("hit/miss = %d/%d, want 15/1", hits, misses)
+	}
+}
+
+func TestDriverSharesCompilation(t *testing.T) {
+	d := NewDriver(2)
+	c1, err := d.CompileBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := d.CompileBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("same benchmark compiled twice through one driver")
+	}
+	e1, err := c1.Encoder("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c2.Encoder("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("full encoder not shared through the content cache")
+	}
+}
+
+// TestDriverParallelDeterminism is the race/determinism gate: the same
+// build matrix at parallelism 1 and N must produce byte-identical images
+// and a stable static-verification report. CI runs this under -race.
+func TestDriverParallelDeterminism(t *testing.T) {
+	benchmarks := []string{"compress", "go"}
+	jobs := CrossJobs(benchmarks, driverSchemes)
+
+	build := func(par int) ([]Built, string) {
+		d := NewDriver(par)
+		built, err := d.BuildAll(jobs)
+		if err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		var lint strings.Builder
+		for _, name := range benchmarks {
+			c, err := d.CompileBenchmark(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.Lint(driverSchemes)
+			if err != nil {
+				t.Fatalf("par %d: lint %s: %v", par, name, err)
+			}
+			if err := rep.WriteText(&lint); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return built, lint.String()
+	}
+
+	serial, serialLint := build(1)
+	parallel, parallelLint := build(8)
+	for i := range serial {
+		if !bytes.Equal(serial[i].Image.Data, parallel[i].Image.Data) {
+			t.Errorf("job %v: image differs between parallelism 1 and 8", serial[i].Job)
+		}
+		if serial[i].Image.CodeBytes != parallel[i].Image.CodeBytes {
+			t.Errorf("job %v: size differs", serial[i].Job)
+		}
+	}
+	if serialLint != parallelLint {
+		t.Errorf("verify output differs between parallelism 1 and 8:\n--- par 1 ---\n%s\n--- par 8 ---\n%s",
+			serialLint, parallelLint)
+	}
+}
+
+func TestDriverErrorPropagation(t *testing.T) {
+	d := NewDriver(2)
+	if _, err := d.CompileBenchmark("nonesuch"); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+	if _, err := d.BuildAll([]Job{{Benchmark: "compress", Scheme: "nonesuch"}}); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+}
+
+func TestContentKeys(t *testing.T) {
+	d := NewDriver(1)
+	c, err := d.CompileBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.contentKey() == "" || c.contentKey() != c.contentKey() {
+		t.Error("content key unstable")
+	}
+	// A different program must hash differently.
+	c2, err := d.CompileBenchmark("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.contentKey() == c2.contentKey() {
+		t.Error("distinct programs share a content key")
+	}
+	// Scheme keys describe configuration content, not display names.
+	if schemeKey("stream") == schemeKey("stream_1") {
+		t.Error("distinct stream configurations share a scheme key")
+	}
+	if !strings.Contains(c.encoderKey("full"), ArtifactCacheVersion) {
+		t.Error("cache version not folded into artifact keys")
+	}
+}

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/declogic"
@@ -28,59 +28,48 @@ func (o Options) benchmarks() []string {
 	return o.Benchmarks
 }
 
-// Suite compiles benchmarks once and serves every experiment. Methods
-// are safe for concurrent use; the trace-driven studies fan out across
-// benchmarks internally.
+// Suite compiles benchmarks once and serves every experiment. All state
+// lives in the compilation driver — compilations, encoding artifacts and
+// memoized experiment results are content-cached there under
+// single-flight, so Suite methods are safe for concurrent use without
+// any locking of their own. The per-benchmark studies fan out on the
+// driver's bounded worker pool.
 type Suite struct {
-	opt      Options
-	mu       sync.Mutex
-	programs map[string]*Compiled
-
-	fig13Mu sync.Mutex
-	fig13   *Fig13Result // cached: Figure 14 reuses these simulations
+	opt Options
+	drv *Driver
 }
 
-// NewSuite returns an empty suite; programs compile lazily.
-func NewSuite(opt Options) *Suite {
-	return &Suite{opt: opt, programs: map[string]*Compiled{}}
+// NewSuite returns an empty suite on a fresh driver sized to GOMAXPROCS;
+// programs compile lazily.
+func NewSuite(opt Options) *Suite { return NewSuiteWithDriver(opt, NewDriver(0)) }
+
+// NewSuiteWithDriver returns a suite running on an existing driver,
+// sharing its worker pool and artifact cache (e.g. for warm re-runs or
+// several concurrent suites).
+func NewSuiteWithDriver(opt Options, d *Driver) *Suite {
+	return &Suite{opt: opt, drv: d}
 }
+
+// Driver returns the suite's compilation driver.
+func (s *Suite) Driver() *Driver { return s.drv }
 
 // Compiled returns (compiling if needed) one benchmark.
 func (s *Suite) Compiled(name string) (*Compiled, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.programs[name]; ok {
-		return c, nil
-	}
-	c, err := CompileBenchmark(name)
-	if err != nil {
-		return nil, err
-	}
-	s.programs[name] = c
-	return c, nil
+	return s.drv.CompileBenchmark(name)
 }
 
-// forEachBenchmark runs fn for every benchmark concurrently and collects
-// the results in benchmark order. The first error wins.
+// resultKey namespaces a memoized experiment result by the options that
+// shape it.
+func (s *Suite) resultKey(kind string) string {
+	return fmt.Sprintf("result/%s/%s/blocks=%d",
+		kind, strings.Join(s.opt.benchmarks(), ","), s.opt.TraceBlocks)
+}
+
+// forEachBenchmark runs fn for every benchmark on the driver's worker
+// pool and collects the results in benchmark order. The first error wins.
 func forEachBenchmark[T any](s *Suite, fn func(name string) (T, error)) ([]T, error) {
 	names := s.opt.benchmarks()
-	out := make([]T, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			out[i], errs[i] = fn(name)
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return mapN(s.drv, len(names), func(i int) (T, error) { return fn(names[i]) })
 }
 
 // ---------------------------------------------------------------------
@@ -100,29 +89,32 @@ type Fig5Result struct {
 	Rows    []Fig5Row
 }
 
-// Figure5 measures the code-segment compression ratio of every scheme.
+// Figure5 measures the code-segment compression ratio of every scheme,
+// fanning out across benchmarks on the driver's worker pool.
 func (s *Suite) Figure5() (*Fig5Result, error) {
-	res := &Fig5Result{Schemes: Figure5Schemes}
-	for _, name := range s.opt.benchmarks() {
+	rows, err := forEachBenchmark(s, func(name string) (Fig5Row, error) {
 		c, err := s.Compiled(name)
 		if err != nil {
-			return nil, err
+			return Fig5Row{}, err
 		}
 		base, err := c.Image("base")
 		if err != nil {
-			return nil, err
+			return Fig5Row{}, err
 		}
 		row := Fig5Row{Benchmark: name, BaseBytes: base.CodeBytes, Ratio: map[string]float64{}}
-		for _, scheme := range res.Schemes {
+		for _, scheme := range Figure5Schemes {
 			im, err := c.Image(scheme)
 			if err != nil {
-				return nil, err
+				return Fig5Row{}, err
 			}
 			row.Ratio[scheme] = im.Ratio(base)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig5Result{Schemes: Figure5Schemes, Rows: rows}, nil
 }
 
 // Average returns the mean ratio of one scheme across benchmarks.
@@ -174,10 +166,10 @@ type Fig7Result struct {
 }
 
 // Figure7 measures total ROM size including the compressed ATT for the
-// two headline schemes (full and tailored).
+// two headline schemes (full and tailored), fanning out across
+// benchmarks on the driver's worker pool.
 func (s *Suite) Figure7() (*Fig7Result, error) {
-	res := &Fig7Result{}
-	for _, name := range s.opt.benchmarks() {
+	perBench, err := forEachBenchmark(s, func(name string) ([]Fig7Row, error) {
 		c, err := s.Compiled(name)
 		if err != nil {
 			return nil, err
@@ -186,12 +178,13 @@ func (s *Suite) Figure7() (*Fig7Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		var rows []Fig7Row
 		for _, scheme := range []string{"full", "tailored"} {
 			im, err := c.Image(scheme)
 			if err != nil {
 				return nil, err
 			}
-			res.Rows = append(res.Rows, Fig7Row{
+			rows = append(rows, Fig7Row{
 				Benchmark:   name,
 				Scheme:      scheme,
 				CodeBytes:   im.CodeBytes,
@@ -200,6 +193,14 @@ func (s *Suite) Figure7() (*Fig7Result, error) {
 				ATTOverhead: float64(im.ATT.CompressedBytes) / float64(base.CodeBytes),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{}
+	for _, rows := range perBench {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }
@@ -245,33 +246,37 @@ type Fig10Result struct {
 }
 
 // Figure10 evaluates the transistor-count model for every Huffman
-// decoder, plus the tailored PLA estimate for contrast.
+// decoder, plus the tailored PLA estimate for contrast, fanning out
+// across benchmarks on the driver's worker pool.
 func (s *Suite) Figure10() (*Fig10Result, error) {
-	res := &Fig10Result{Schemes: []string{"byte", "stream", "stream_1", "full"}}
-	for _, name := range s.opt.benchmarks() {
+	schemes := []string{"byte", "stream", "stream_1", "full"}
+	rows, err := forEachBenchmark(s, func(name string) (Fig10Row, error) {
 		c, err := s.Compiled(name)
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
 		row := Fig10Row{Benchmark: name, Complexity: map[string]declogic.Complexity{}}
-		for _, scheme := range res.Schemes {
+		for _, scheme := range schemes {
 			enc, err := c.Encoder(scheme)
 			if err != nil {
-				return nil, err
+				return Fig10Row{}, err
 			}
 			row.Complexity[scheme] = declogic.ForTables(scheme, enc.Tables())
 		}
 		tl, err := c.Tailored()
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
 		row.Tailored = declogic.Complexity{
 			Scheme:      "tailored",
 			Transistors: declogic.TailoredTransistors(tl.DictionaryEntries(), isa.OpBits),
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig10Result{Schemes: schemes, Rows: rows}, nil
 }
 
 // Table renders the figure (log10 transistors, as in the paper's plot).
@@ -323,53 +328,49 @@ type Fig13Result struct {
 
 // Figure13 runs the full trace-driven cache study: 16 KB 2-way caches
 // (20 KB effective for Base), Table 1 timing, per-block ATB predictor.
-// Benchmarks simulate concurrently; the result is cached on the suite
-// (Figure 14 reads the same runs).
+// Benchmarks simulate concurrently on the driver's pool; the result is
+// memoized in the driver under single-flight (Figure 14 reads the same
+// runs, concurrent callers share one study).
 func (s *Suite) Figure13() (*Fig13Result, error) {
-	s.fig13Mu.Lock()
-	defer s.fig13Mu.Unlock()
-	if s.fig13 != nil {
-		return s.fig13, nil
-	}
-	rows, err := forEachBenchmark(s, func(name string) (Fig13Row, error) {
-		c, err := s.Compiled(name)
-		if err != nil {
-			return Fig13Row{}, err
-		}
-		// Images must exist before the per-org fan-out: Compiled's caches
-		// are not safe for concurrent mutation.
-		for _, scheme := range OrgSchemes {
-			if _, err := c.Image(scheme); err != nil {
-				return Fig13Row{}, err
-			}
-		}
-		tr, err := c.Trace(s.opt.TraceBlocks)
-		if err != nil {
-			return Fig13Row{}, err
-		}
-		row := Fig13Row{
-			Benchmark: name,
-			Ideal:     cache.RunIdeal(tr).IPC(),
-			Results:   map[string]cache.Result{},
-		}
-		for org, scheme := range OrgSchemes {
-			im, err := c.Image(scheme)
+	return memoAs(s.drv, s.resultKey("fig13"), func() (*Fig13Result, error) {
+		simTimer := s.drv.Stats().Timer("sim")
+		rows, err := forEachBenchmark(s, func(name string) (Fig13Row, error) {
+			c, err := s.Compiled(name)
 			if err != nil {
 				return Fig13Row{}, err
 			}
-			sim, err := cache.NewSim(org, cache.DefaultConfig(org), im, c.Prog)
+			tr, err := c.Trace(s.opt.TraceBlocks)
 			if err != nil {
 				return Fig13Row{}, err
 			}
-			row.Results[org.String()] = sim.Run(tr)
+			row := Fig13Row{
+				Benchmark: name,
+				Ideal:     cache.RunIdeal(tr).IPC(),
+				Results:   map[string]cache.Result{},
+			}
+			for org, scheme := range OrgSchemes {
+				im, err := c.Image(scheme)
+				if err != nil {
+					return Fig13Row{}, err
+				}
+				sim, err := cache.NewSim(org, cache.DefaultConfig(org), im, c.Prog)
+				if err != nil {
+					return Fig13Row{}, err
+				}
+				if err := simTimer.Time(func() error {
+					row.Results[org.String()] = sim.Run(tr)
+					return nil
+				}); err != nil {
+					return Fig13Row{}, err
+				}
+			}
+			return row, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		return row, nil
+		return &Fig13Result{Rows: rows}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	s.fig13 = &Fig13Result{Rows: rows}
-	return s.fig13, nil
 }
 
 // Averages returns mean IPC per column (Ideal, Base, Compressed,
@@ -484,38 +485,52 @@ type StreamSweepRow struct {
 
 // StreamSweep evaluates all six stream configurations — the exploration
 // behind the paper's choice of "stream" (smallest decoder) and "stream_1"
-// (best size).
+// (best size) — fanning out across benchmarks on the driver's pool.
 func (s *Suite) StreamSweep() ([]StreamSweepRow, error) {
-	agg := map[string][]float64{}
-	aggT := map[string][]float64{}
-	var names []string
-	for _, name := range s.opt.benchmarks() {
+	type benchPoint struct {
+		ratio  map[string]float64
+		log10T map[string]float64
+	}
+	points, err := forEachBenchmark(s, func(name string) (benchPoint, error) {
 		c, err := s.Compiled(name)
 		if err != nil {
-			return nil, err
+			return benchPoint{}, err
 		}
 		base, err := c.Image("base")
 		if err != nil {
-			return nil, err
+			return benchPoint{}, err
 		}
+		pt := benchPoint{ratio: map[string]float64{}, log10T: map[string]float64{}}
 		for _, cfgName := range SchemeNames() {
 			if cfgName == "base" || cfgName == "byte" || cfgName == "full" || cfgName == "tailored" {
 				continue
 			}
 			im, err := c.Image(cfgName)
 			if err != nil {
-				return nil, err
+				return benchPoint{}, err
 			}
 			enc, err := c.Encoder(cfgName)
 			if err != nil {
-				return nil, err
+				return benchPoint{}, err
 			}
+			pt.ratio[cfgName] = im.Ratio(base)
+			pt.log10T[cfgName] = declogic.ForTables(cfgName, enc.Tables()).Log10Transistors()
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := map[string][]float64{}
+	aggT := map[string][]float64{}
+	var names []string
+	for _, pt := range points {
+		for cfgName, r := range pt.ratio {
 			if _, seen := agg[cfgName]; !seen {
 				names = append(names, cfgName)
 			}
-			agg[cfgName] = append(agg[cfgName], im.Ratio(base))
-			aggT[cfgName] = append(aggT[cfgName],
-				declogic.ForTables(cfgName, enc.Tables()).Log10Transistors())
+			agg[cfgName] = append(agg[cfgName], r)
+			aggT[cfgName] = append(aggT[cfgName], pt.log10T[cfgName])
 		}
 	}
 	sort.Strings(names)

@@ -160,17 +160,17 @@ type SpecRow struct {
 
 // SpeculationStudy compiles each benchmark twice — with and without the
 // speculative hoisting pass — and compares schedule density and the two
-// headline compression ratios.
+// headline compression ratios. Benchmarks fan out on the driver's pool;
+// the plain compilation comes from the shared artifact cache.
 func (s *Suite) SpeculationStudy() ([]SpecRow, error) {
-	var rows []SpecRow
-	for _, name := range s.opt.benchmarks() {
-		plain, err := CompileBenchmark(name)
+	return forEachBenchmark(s, func(name string) (SpecRow, error) {
+		plain, err := s.Compiled(name)
 		if err != nil {
-			return nil, err
+			return SpecRow{}, err
 		}
 		spec, hoisted, err := CompileBenchmarkSpeculative(name)
 		if err != nil {
-			return nil, err
+			return SpecRow{}, err
 		}
 		ratio := func(c *Compiled, scheme string) (float64, error) {
 			base, err := c.Image("base")
@@ -190,20 +190,19 @@ func (s *Suite) SpeculationStudy() ([]SpecRow, error) {
 			DensitySpec:  spec.Prog.Density(),
 		}
 		if row.FullPlain, err = ratio(plain, "full"); err != nil {
-			return nil, err
+			return SpecRow{}, err
 		}
 		if row.FullSpec, err = ratio(spec, "full"); err != nil {
-			return nil, err
+			return SpecRow{}, err
 		}
 		if row.TailoredPlain, err = ratio(plain, "tailored"); err != nil {
-			return nil, err
+			return SpecRow{}, err
 		}
 		if row.TailoredSpec, err = ratio(spec, "tailored"); err != nil {
-			return nil, err
+			return SpecRow{}, err
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // SpeculationTable renders the study.

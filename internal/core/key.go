@@ -1,0 +1,102 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// ArtifactCacheVersion is folded into every artifact-cache key. Bump it
+// when a build stage changes behaviour without any of its hashed inputs
+// changing (a new encoder layout, a different ATT serialization, ...):
+// the version change invalidates every previously cached artifact at
+// once. Input-driven invalidation needs no version bump — a changed
+// program or scheme configuration already produces a different key.
+const ArtifactCacheVersion = "v1"
+
+// profileKey fingerprints a workload profile. Generation is fully
+// deterministic given the profile, so the profile's field values are the
+// complete input of the compile stage.
+func profileKey(p workload.Profile) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", p)))
+	return "prog/" + ArtifactCacheVersion + "/" + hex.EncodeToString(h[:16])
+}
+
+// programHash is the content hash of a scheduled program: everything the
+// encoders and the image builder consume — per-block control metadata,
+// MOP structure and the exact 40-bit operation encodings. Programs with
+// equal hashes yield bit-identical encoders and images.
+func programHash(sp *sched.Program) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(len(sp.Blocks)))
+	for _, b := range sp.Blocks {
+		put(uint64(b.ID))
+		put(uint64(b.Fn))
+		put(uint64(int64(b.TakenTarget)))
+		put(uint64(int64(b.FallTarget)))
+		put(uint64(int64(b.Callee)))
+		put(math.Float64bits(b.TakenProb))
+		put(uint64(len(b.MOPs)))
+		put(uint64(len(b.Ops)))
+		for i := range b.Ops {
+			put(b.Ops[i].Encode())
+		}
+	}
+	put(uint64(len(sp.FuncEntries)))
+	for _, e := range sp.FuncEntries {
+		put(uint64(e))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// schemeKey is the canonical content descriptor of an encoding scheme
+// configuration. Stream schemes hash their exact cut points (not their
+// display names); Huffman schemes fold in the code-length bound that
+// shapes their tables.
+func schemeKey(scheme string) string {
+	switch scheme {
+	case "base":
+		return "base"
+	case "byte", "full":
+		return fmt.Sprintf("%s/limit=%d", scheme, compress.CodeLenLimit)
+	case "tailored":
+		return "tailored"
+	default:
+		for _, cfg := range compress.StreamConfigs {
+			if cfg.Name == scheme {
+				return fmt.Sprintf("%s/limit=%d", cfg.Key(), compress.CodeLenLimit)
+			}
+		}
+		return "unknown/" + scheme
+	}
+}
+
+// encoderKey addresses a (program, scheme) encoder artifact. The program
+// name is excluded: encoders depend only on operation content, so two
+// identically scheduled programs share their Huffman tables.
+func (c *Compiled) encoderKey(scheme string) string {
+	return "enc/" + ArtifactCacheVersion + "/" + c.contentKey() + "/" + schemeKey(scheme)
+}
+
+// imageKey addresses a (program, scheme) image artifact. Unlike
+// encoderKey it folds in the program name, which the image embeds.
+func (c *Compiled) imageKey(scheme string) string {
+	return "img/" + ArtifactCacheVersion + "/" + c.contentKey() + "/" + c.Name + "/" + schemeKey(scheme)
+}
+
+// traceKey addresses a stochastic trace artifact.
+func (c *Compiled) traceKey(seed int64, maxBlocks, phases int) string {
+	return fmt.Sprintf("trace/%s/%s/%d/%d/%d",
+		ArtifactCacheVersion, c.contentKey(), seed, maxBlocks, phases)
+}

@@ -9,11 +9,14 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/compress"
 	"repro/internal/emu"
 	"repro/internal/image"
 	"repro/internal/ir"
+	"repro/internal/isa"
 	"repro/internal/regalloc"
 	"repro/internal/sched"
 	"repro/internal/tailor"
@@ -36,7 +39,12 @@ func SchemeNames() []string {
 // the two reported stream configurations, whole-op Huffman and tailored.
 var Figure5Schemes = []string{"byte", "stream", "stream_1", "full", "tailored"}
 
-// Compiled is a program pushed through the compiler substrate.
+// Compiled is a program pushed through the compiler substrate. Artifact
+// builders (Encoder, Image, Trace) are safe for concurrent use: each
+// artifact builds exactly once under single-flight. When the compilation
+// is attached to a Driver, builds additionally route through the
+// driver's content-addressed cache, so identical artifacts are shared
+// across compilations and stage latencies are recorded.
 type Compiled struct {
 	Name    string
 	IR      *ir.Program
@@ -44,8 +52,69 @@ type Compiled struct {
 	Alloc   regalloc.Result
 	Profile *workload.Profile // nil for hand-written programs
 
-	encoders map[string]compress.Encoder
-	images   map[string]*image.Image
+	drv  *Driver // nil for standalone compilations
+	arts onceMap // per-artifact single-flight; values are encoders/images/traces
+
+	keyOnce sync.Once
+	key     string // content hash of Prog (see programHash)
+
+	// Registry of successfully built artifacts, for Verify.
+	regMu    sync.Mutex
+	encBuilt map[string]compress.Encoder
+	imgBuilt map[string]*image.Image
+}
+
+// onceMap is a keyed single-flight: do runs each key's build function
+// exactly once, concurrent callers share the result. Build functions may
+// call do for other keys (the artifact graph is acyclic); no lock is
+// held while they run.
+type onceMap struct {
+	mu sync.Mutex
+	m  map[string]*onceCall
+}
+
+type onceCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// do returns the value under key, running build on first request. The
+// second result reports whether the request was served from the map (a
+// hit) rather than by running build.
+func (o *onceMap) do(key string, build func() (any, error)) (any, bool, error) {
+	o.mu.Lock()
+	if o.m == nil {
+		o.m = map[string]*onceCall{}
+	}
+	c, ok := o.m[key]
+	if !ok {
+		c = &onceCall{done: make(chan struct{})}
+		o.m[key] = c
+	}
+	o.mu.Unlock()
+	if ok {
+		<-c.done
+		return c.val, true, c.err
+	}
+	c.val, c.err = build()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// countHit records a locally served artifact request in the driver's
+// cache counters, so hit-rate accounting sees requests resolved by the
+// compilation's own single-flight layer as well as the driver's.
+func (c *Compiled) countHit(hit bool) {
+	if c.drv != nil && hit {
+		c.drv.obs.Counter("artifact.hit").Add(1)
+	}
+}
+
+// contentKey returns (computing once) the program's content hash.
+func (c *Compiled) contentKey() string {
+	c.keyOnce.Do(func() { c.key = programHash(c.Prog) })
+	return c.key
 }
 
 // CompileBenchmark generates and compiles one of the eight SPECint95
@@ -130,20 +199,15 @@ func ScheduleOnly(p *ir.Program) (*Compiled, error) {
 
 func newCompiled(p *ir.Program, sp *sched.Program, alloc regalloc.Result) *Compiled {
 	return &Compiled{
-		Name:     p.Name,
-		IR:       p,
-		Prog:     sp,
-		Alloc:    alloc,
-		encoders: map[string]compress.Encoder{},
-		images:   map[string]*image.Image{},
+		Name:  p.Name,
+		IR:    p,
+		Prog:  sp,
+		Alloc: alloc,
 	}
 }
 
-// Encoder builds (and caches) the encoder for a scheme name.
-func (c *Compiled) Encoder(scheme string) (compress.Encoder, error) {
-	if e, ok := c.encoders[scheme]; ok {
-		return e, nil
-	}
+// buildEncoder constructs the encoder for a scheme name from scratch.
+func buildEncoder(p *sched.Program, scheme string) (compress.Encoder, error) {
 	var (
 		e   compress.Encoder
 		err error
@@ -152,16 +216,16 @@ func (c *Compiled) Encoder(scheme string) (compress.Encoder, error) {
 	case "base":
 		e = compress.NewBase()
 	case "byte":
-		e, err = compress.NewByteHuffman(c.Prog)
+		e, err = compress.NewByteHuffman(p)
 	case "full":
-		e, err = compress.NewFullHuffman(c.Prog)
+		e, err = compress.NewFullHuffman(p)
 	case "tailored":
-		e, err = tailor.New(c.Prog)
+		e, err = tailor.New(p)
 	default:
 		found := false
 		for _, cfg := range compress.StreamConfigs {
 			if cfg.Name == scheme {
-				e, err = compress.NewStreamHuffman(c.Prog, cfg)
+				e, err = compress.NewStreamHuffman(p, cfg)
 				found = true
 				break
 			}
@@ -173,36 +237,103 @@ func (c *Compiled) Encoder(scheme string) (compress.Encoder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: scheme %s: %w", scheme, err)
 	}
-	c.encoders[scheme] = e
 	return e, nil
 }
 
-// Image builds (and caches) the program image under a scheme, with its
-// ATT attached for every non-base scheme.
-func (c *Compiled) Image(scheme string) (*image.Image, error) {
-	if im, ok := c.images[scheme]; ok {
-		return im, nil
-	}
-	enc, err := c.Encoder(scheme)
-	if err != nil {
-		return nil, err
-	}
-	im, err := image.Build(c.Prog, enc)
-	if err != nil {
-		return nil, err
-	}
-	if scheme != "base" {
-		base, err := c.Image("base")
-		if err != nil {
-			return nil, err
+// Encoder builds (and caches) the encoder for a scheme name. Safe for
+// concurrent use; with an attached driver, the build is content-cached
+// and timed under the "encode.<scheme>" stage.
+func (c *Compiled) Encoder(scheme string) (compress.Encoder, error) {
+	v, hit, err := c.arts.do("enc/"+scheme, func() (any, error) {
+		if c.drv == nil {
+			return buildEncoder(c.Prog, scheme)
 		}
+		return memoAs(c.drv, c.encoderKey(scheme), func() (compress.Encoder, error) {
+			var e compress.Encoder
+			err := c.drv.obs.Timer("encode." + scheme).Time(func() error {
+				var berr error
+				e, berr = buildEncoder(c.Prog, scheme)
+				return berr
+			})
+			return e, err
+		})
+	})
+	c.countHit(hit)
+	if err != nil {
+		return nil, err
+	}
+	e := v.(compress.Encoder)
+	c.regMu.Lock()
+	if c.encBuilt == nil {
+		c.encBuilt = map[string]compress.Encoder{}
+	}
+	c.encBuilt[scheme] = e
+	c.regMu.Unlock()
+	return e, nil
+}
+
+// buildImage lays out the program under a prebuilt encoder, attaching
+// the ATT against the prebuilt base image for non-base schemes.
+func buildImage(p *sched.Program, enc compress.Encoder, base *image.Image) (*image.Image, error) {
+	im, err := image.Build(p, enc)
+	if err != nil {
+		return nil, err
+	}
+	if base != nil {
 		att, err := image.BuildATT(base, im)
 		if err != nil {
 			return nil, err
 		}
 		im.ATT = att
 	}
-	c.images[scheme] = im
+	return im, nil
+}
+
+// Image builds (and caches) the program image under a scheme, with its
+// ATT attached for every non-base scheme. Safe for concurrent use; with
+// an attached driver, the build is content-cached, timed under the
+// "image.<scheme>" stage, and accounted in the bytes.base/bytes.encoded
+// throughput counters.
+func (c *Compiled) Image(scheme string) (*image.Image, error) {
+	v, hit, err := c.arts.do("img/"+scheme, func() (any, error) {
+		enc, err := c.Encoder(scheme)
+		if err != nil {
+			return nil, err
+		}
+		var base *image.Image
+		if scheme != "base" {
+			if base, err = c.Image("base"); err != nil {
+				return nil, err
+			}
+		}
+		if c.drv == nil {
+			return buildImage(c.Prog, enc, base)
+		}
+		return memoAs(c.drv, c.imageKey(scheme), func() (*image.Image, error) {
+			var im *image.Image
+			err := c.drv.obs.Timer("image." + scheme).Time(func() error {
+				var berr error
+				im, berr = buildImage(c.Prog, enc, base)
+				return berr
+			})
+			if err == nil {
+				c.drv.obs.Counter("bytes.base").Add(int64(c.Prog.TotalOps() * isa.OpBits / 8))
+				c.drv.obs.Counter("bytes.encoded").Add(int64(im.CodeBytes))
+			}
+			return im, err
+		})
+	})
+	c.countHit(hit)
+	if err != nil {
+		return nil, err
+	}
+	im := v.(*image.Image)
+	c.regMu.Lock()
+	if c.imgBuilt == nil {
+		c.imgBuilt = map[string]*image.Image{}
+	}
+	c.imgBuilt[scheme] = im
+	c.regMu.Unlock()
 	return im, nil
 }
 
@@ -239,7 +370,8 @@ func (c *Compiled) Tailored() (*tailor.Tailored, error) {
 
 // Trace produces the benchmark's dynamic trace: profile-driven stochastic
 // walk using the profile's seed and phase count. maxBlocks <= 0 selects
-// the profile's default length.
+// the profile's default length. Safe for concurrent use; with an
+// attached driver the walk is content-cached and timed under "trace".
 func (c *Compiled) Trace(maxBlocks int) (*trace.Trace, error) {
 	if c.Profile == nil {
 		return nil, fmt.Errorf("core: %s has no profile; use emu.Machine to run it", c.Name)
@@ -247,15 +379,46 @@ func (c *Compiled) Trace(maxBlocks int) (*trace.Trace, error) {
 	if maxBlocks <= 0 {
 		maxBlocks = c.Profile.DynBlocks
 	}
-	return emu.StochasticTrace(c.Prog, c.Profile.Seed, maxBlocks, c.Profile.Phases)
+	seed, phases := c.Profile.Seed, c.Profile.Phases
+	v, hit, err := c.arts.do(fmt.Sprintf("trace/%d/%d/%d", seed, maxBlocks, phases), func() (any, error) {
+		if c.drv == nil {
+			return emu.StochasticTrace(c.Prog, seed, maxBlocks, phases)
+		}
+		return memoAs(c.drv, c.traceKey(seed, maxBlocks, phases), func() (*trace.Trace, error) {
+			var tr *trace.Trace
+			err := c.drv.obs.Timer("trace").Time(func() error {
+				var berr error
+				tr, berr = emu.StochasticTrace(c.Prog, seed, maxBlocks, phases)
+				return berr
+			})
+			return tr, err
+		})
+	})
+	c.countHit(hit)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*trace.Trace), nil
 }
 
 // Verify round-trips every block of every built image, proving the
 // encodings are executable.
 func (c *Compiled) Verify() error {
-	for scheme, im := range c.images {
-		enc := c.encoders[scheme]
-		if err := image.VerifyRoundTrip(im, c.Prog, enc); err != nil {
+	c.regMu.Lock()
+	schemes := make([]string, 0, len(c.imgBuilt))
+	for scheme := range c.imgBuilt {
+		schemes = append(schemes, scheme)
+	}
+	sort.Strings(schemes)
+	imgs := make([]*image.Image, len(schemes))
+	encs := make([]compress.Encoder, len(schemes))
+	for i, scheme := range schemes {
+		imgs[i] = c.imgBuilt[scheme]
+		encs[i] = c.encBuilt[scheme]
+	}
+	c.regMu.Unlock()
+	for i, scheme := range schemes {
+		if err := image.VerifyRoundTrip(imgs[i], c.Prog, encs[i]); err != nil {
 			return fmt.Errorf("core: scheme %s: %w", scheme, err)
 		}
 	}

@@ -142,35 +142,35 @@ type DictComparison struct {
 	DictIndexLen int
 }
 
-// DictionarySweep measures the dictionary scheme at a given index width.
+// DictionarySweep measures the dictionary scheme at a given index width,
+// fanning out across benchmarks on the driver's pool.
 func (s *Suite) DictionarySweep(indexBits int) ([]DictComparison, error) {
-	var out []DictComparison
-	for _, name := range s.opt.benchmarks() {
+	return forEachBenchmark(s, func(name string) (DictComparison, error) {
 		c, err := s.Compiled(name)
 		if err != nil {
-			return nil, err
+			return DictComparison{}, err
 		}
 		base, err := c.Image("base")
 		if err != nil {
-			return nil, err
+			return DictComparison{}, err
 		}
 		full, err := c.Image("full")
 		if err != nil {
-			return nil, err
+			return DictComparison{}, err
 		}
 		d, dim, err := c.Dictionary(indexBits)
 		if err != nil {
-			return nil, err
+			return DictComparison{}, err
 		}
 		fullEnc, err := c.Encoder("full")
 		if err != nil {
-			return nil, err
+			return DictComparison{}, err
 		}
 		var fullT float64
 		if tabs := fullEnc.Tables(); len(tabs) > 0 {
 			fullT = declogic.ForTables("full", tabs).Log10Transistors()
 		}
-		out = append(out, DictComparison{
+		return DictComparison{
 			Benchmark:    name,
 			DictRatio:    dim.Ratio(base),
 			FullRatio:    full.Ratio(base),
@@ -178,7 +178,6 @@ func (s *Suite) DictionarySweep(indexBits int) ([]DictComparison, error) {
 			FullLog10T:   fullT,
 			DictEntries:  d.Entries(),
 			DictIndexLen: indexBits,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

@@ -49,11 +49,35 @@ func (m *Machine) Store(addr, v int64) { m.mem[addr] = v }
 // returns, emitting the block trace. The returned trace is suitable for
 // the IFetch simulators.
 func (m *Machine) Run(sp *sched.Program) (*trace.Trace, error) {
-	if len(sp.Blocks) == 0 || len(sp.FuncEntries) == 0 {
-		return nil, fmt.Errorf("emu: empty program")
+	tr, done, err := m.RunBounded(sp, m.MaxSteps)
+	if err != nil {
+		return nil, err
 	}
-	maxSteps := m.MaxSteps
-	if maxSteps == 0 {
+	if !done {
+		maxSteps := m.MaxSteps
+		if maxSteps == 0 {
+			maxSteps = DefaultMaxSteps
+		}
+		return nil, fmt.Errorf("emu: exceeded %d steps (infinite loop?)", maxSteps)
+	}
+	return tr, nil
+}
+
+// RunBounded executes like Run but treats the step bound as a stopping
+// point rather than an error: it returns the partial trace accumulated so
+// far and done=false when the bound is hit, done=true when the program
+// ran to completion. maxSteps <= 0 selects m.MaxSteps (or
+// DefaultMaxSteps). Execution always stops on a block boundary, so two
+// machines bounded at the same step count observe identical prefixes of
+// the same program.
+func (m *Machine) RunBounded(sp *sched.Program, maxSteps int64) (*trace.Trace, bool, error) {
+	if len(sp.Blocks) == 0 || len(sp.FuncEntries) == 0 {
+		return nil, false, fmt.Errorf("emu: empty program")
+	}
+	if maxSteps <= 0 {
+		maxSteps = m.MaxSteps
+	}
+	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
 	}
 	tr := &trace.Trace{Name: sp.Name}
@@ -64,19 +88,29 @@ func (m *Machine) Run(sp *sched.Program) (*trace.Trace, error) {
 		b := sp.Blocks[cur]
 		next, taken, err := m.execBlock(sp, b)
 		if err != nil {
-			return nil, fmt.Errorf("emu: block %d: %w", cur, err)
+			return nil, false, fmt.Errorf("emu: block %d: %w", cur, err)
 		}
 		tr.Ops += int64(b.NumOps())
 		tr.MOPs += int64(b.NumMOPs())
 		tr.Events = append(tr.Events, trace.Event{Block: cur, Taken: taken, Next: next})
-		if m.Steps > maxSteps {
-			return nil, fmt.Errorf("emu: exceeded %d steps (infinite loop?)", maxSteps)
-		}
 		if next == trace.End {
-			return tr, nil
+			return tr, true, nil
+		}
+		if m.Steps > maxSteps {
+			return tr, false, nil
 		}
 		cur = next
 	}
+}
+
+// MemSnapshot copies the machine's written memory words, for end-state
+// comparison between two runs.
+func (m *Machine) MemSnapshot() map[int64]int64 {
+	out := make(map[int64]int64, len(m.mem))
+	for k, v := range m.mem {
+		out[k] = v
+	}
+	return out
 }
 
 // execBlock runs one basic block and resolves its successor.

@@ -339,6 +339,32 @@ func (t *Table) MeanLen() float64 {
 	return float64(t.bits) / float64(t.total)
 }
 
+// Checksum returns a content fingerprint of the code assignment: a
+// 64-bit FNV-1a hash over the canonical (symbol, length) pairs. Two
+// tables encoding the same alphabet with identical codeword lengths —
+// and therefore, being canonical, identical codewords — share a
+// checksum. Artifact caches and determinism tests use it to compare
+// dictionaries without walking them.
+func (t *Table) Checksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for i, sym := range t.syms {
+		mix(sym)
+		mix(uint64(t.lens[i]))
+	}
+	return h
+}
+
 // EntropyOf computes the Shannon entropy in bits/symbol of a frequency map.
 func EntropyOf(freq map[uint64]int64) float64 {
 	var total int64

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is the observability surface of the compilation driver: a
+// named set of monotonic counters and stage timers that concurrent
+// pipeline stages update and reports snapshot. All methods are safe for
+// concurrent use; Counter and Timer handles may be cached and hit with
+// atomics only.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns (creating if needed) the named stage timer.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Counter is a monotonic event counter.
+type Counter struct{ n atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Timer accumulates durations of one pipeline stage.
+type Timer struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one stage execution.
+func (t *Timer) Observe(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.count++
+	t.total += d
+}
+
+// Time runs fn and records its duration, passing through its error.
+func (t *Timer) Time(fn func() error) error {
+	start := time.Now()
+	err := fn()
+	t.Observe(time.Since(start))
+	return err
+}
+
+// TimerSnapshot is one timer's exported state.
+type TimerSnapshot struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MinMS   float64 `json:"min_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for JSON export.
+type Snapshot struct {
+	Counters map[string]int64         `json:"counters"`
+	Stages   map[string]TimerSnapshot `json:"stages"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Stages:   make(map[string]TimerSnapshot, len(r.timers)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for name, t := range r.timers {
+		t.mu.Lock()
+		ts := TimerSnapshot{
+			Count:   t.count,
+			TotalMS: ms(t.total),
+			MinMS:   ms(t.min),
+			MaxMS:   ms(t.max),
+		}
+		if t.count > 0 {
+			ts.MeanMS = ts.TotalMS / float64(t.count)
+		}
+		t.mu.Unlock()
+		s.Stages[name] = ts
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot with deterministic key order (Go maps
+// already marshal sorted; this is the default encoder).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // avoid recursion
+	return json.Marshal(alias(s))
+}
+
+// Table renders the snapshot's stage timers as a report table, stages
+// sorted by name.
+func (s Snapshot) Table(title string) *Table {
+	t := &Table{
+		Title: title,
+		Cols:  []string{"stage", "count", "total ms", "mean ms", "max ms"},
+	}
+	names := make([]string, 0, len(s.Stages))
+	for name := range s.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := s.Stages[name]
+		t.AddRow(name, F(float64(ts.Count), 0),
+			F(ts.TotalMS, 2), F(ts.MeanMS, 3), F(ts.MaxMS, 2))
+	}
+	return t
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersAndTimers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(2)
+	r.Counter("hits").Add(3)
+	if got := r.Counter("hits").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	tm := r.Timer("stage")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(4 * time.Millisecond)
+	s := r.Snapshot()
+	ts := s.Stages["stage"]
+	if ts.Count != 2 {
+		t.Errorf("timer count = %d, want 2", ts.Count)
+	}
+	if ts.MinMS > ts.MaxMS || ts.TotalMS < ts.MaxMS {
+		t.Errorf("implausible timer stats: %+v", ts)
+	}
+	if ts.MeanMS <= 0 {
+		t.Errorf("mean not computed: %+v", ts)
+	}
+}
+
+func TestTimerTimePropagatesError(t *testing.T) {
+	r := NewRegistry()
+	called := false
+	err := r.Timer("s").Time(func() error { called = true; return nil })
+	if err != nil || !called {
+		t.Fatalf("Time: err=%v called=%v", err, called)
+	}
+	if r.Snapshot().Stages["s"].Count != 1 {
+		t.Error("Time did not record an observation")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("n").Add(1)
+				r.Timer("t").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["n"] != 1600 {
+		t.Errorf("counter = %d, want 1600", s.Counters["n"])
+	}
+	if s.Stages["t"].Count != 1600 {
+		t.Errorf("timer count = %d, want 1600", s.Stages["t"].Count)
+	}
+}
+
+func TestSnapshotJSONAndTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("artifact.hit").Add(9)
+	r.Timer("compile.schedule").Observe(time.Millisecond)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["artifact.hit"] != 9 {
+		t.Errorf("round-tripped counter = %d, want 9", back.Counters["artifact.hit"])
+	}
+	out := r.Snapshot().Table("stages").Render()
+	if out == "" {
+		t.Error("empty table render")
+	}
+}
