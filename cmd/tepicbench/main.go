@@ -64,7 +64,16 @@ type benchReport struct {
 	BytesPerSec   float64                        `json:"bytes_per_sec"`
 	DecodeChecked bool                           `json:"decode_checked"`
 	DecodeOK      bool                           `json:"decode_ok"`
+	// DecodeThroughput is the measured entropy-decode rate per Huffman
+	// scheme, aggregated over every benchmark in the run: the
+	// table-driven fast decoder vs the bit-by-bit reference oracle over
+	// identical symbol streams, with their speedup ratio.
+	DecodeThroughput map[string]core.DecodeThroughput `json:"decode_throughput,omitempty"`
 }
+
+// decodeSchemes are the Huffman schemes whose decode throughput the
+// report measures (every scheme with a fast/reference decoder pair).
+var decodeSchemes = []string{"byte", "stream", "stream_1", "full"}
 
 // run executes the tool against args, writing to out (separated from main
 // for testing).
@@ -78,6 +87,8 @@ func run(args []string, out io.Writer) error {
 	jsonPath := fs.String("json", "", "write a machine-readable benchmark report to this file")
 	check := fs.Bool("check", false, "decode-verify every built image; non-zero exit on mismatch")
 	warm := fs.Bool("warm", false, "re-run the workload on the warm cache and report the hit rate")
+	decodeMin := fs.Float64("decodemin", 0,
+		"minimum fast/reference decode speedup on the full scheme; non-zero exit below it (0 = no check)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -145,6 +156,42 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Decode-throughput measurement: every Huffman scheme's symbol
+	// stream, fast decoder vs reference oracle, over every benchmark.
+	var decodeRates map[string]core.DecodeThroughput
+	if *jsonPath != "" || *decodeMin > 0 {
+		benchmarks := opt.Benchmarks
+		if len(benchmarks) == 0 {
+			benchmarks = ccc.Benchmarks
+		}
+		for _, name := range benchmarks {
+			c, err := s.Compiled(name)
+			if err != nil {
+				return err
+			}
+			for _, scheme := range decodeSchemes {
+				if _, err := c.MeasureDecodeThroughput(scheme, 3); err != nil {
+					return err
+				}
+			}
+		}
+		tsnap := d.Stats().Snapshot().Throughput
+		decodeRates = make(map[string]core.DecodeThroughput, len(decodeSchemes))
+		for _, scheme := range decodeSchemes {
+			dr := core.DecodeThroughput{
+				Scheme:    scheme,
+				Fast:      tsnap["decode.fast."+scheme],
+				Reference: tsnap["decode.reference."+scheme],
+			}
+			if dr.Reference.BitsPerSec > 0 {
+				dr.Speedup = dr.Fast.BitsPerSec / dr.Reference.BitsPerSec
+			}
+			decodeRates[scheme] = dr
+			fmt.Fprintf(out, "decode throughput %-9s fast %7.1f Mb/s  reference %6.1f Mb/s  speedup %.2fx\n",
+				scheme, dr.Fast.BitsPerSec/1e6, dr.Reference.BitsPerSec/1e6, dr.Speedup)
+		}
+	}
+
 	if *jsonPath != "" {
 		snap := d.Stats().Snapshot()
 		figure := *fig
@@ -170,6 +217,8 @@ func run(args []string, out io.Writer) error {
 			BytesEncoded:  snap.Counters["bytes.encoded"],
 			DecodeChecked: *check,
 			DecodeOK:      decodeOK,
+
+			DecodeThroughput: decodeRates,
 		}
 		if secs := wall.Seconds(); secs > 0 {
 			rep.BytesPerSec = float64(rep.BytesBase) / secs
@@ -183,7 +232,15 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "benchmark report written to %s\n", *jsonPath)
 	}
-	return checkErr
+	if checkErr != nil {
+		return checkErr
+	}
+	if *decodeMin > 0 {
+		if got := decodeRates["full"].Speedup; got < *decodeMin {
+			return fmt.Errorf("decode speedup on full scheme %.2fx below minimum %.2fx", got, *decodeMin)
+		}
+	}
+	return nil
 }
 
 // runFigures regenerates the requested figure tables.

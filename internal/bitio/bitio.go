@@ -6,6 +6,7 @@
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -85,19 +86,44 @@ type Reader struct {
 // NewReader returns a Reader over data.
 func NewReader(data []byte) *Reader { return &Reader{data: data} }
 
+// refill tops the accumulator up to at least `width` buffered bits, or as
+// many as the stream still holds. The hot path loads a whole 64-bit word
+// at a time; only the stream tail and partially drained accumulators fall
+// back to byte loads.
+func (r *Reader) refill(width uint) {
+	if r.nbit >= width {
+		return
+	}
+	if r.nbit == 0 && len(r.data)-r.pos >= 8 {
+		r.cur = binary.BigEndian.Uint64(r.data[r.pos:])
+		r.pos += 8
+		r.nbit = 64
+		return
+	}
+	for r.nbit < width && r.pos < len(r.data) {
+		r.cur = r.cur<<8 | uint64(r.data[r.pos])
+		r.pos++
+		r.nbit += 8
+	}
+}
+
+// badWidth keeps the panic (and its fmt call) out of the callers'
+// inlining budget: the peek/consume/read fast paths must stay inlinable.
+func badWidth(width int) {
+	panic(fmt.Sprintf("bitio: bad width %d", width))
+}
+
 // ReadBits reads `width` bits, MSB first. Width must be in [0, 57] to keep
 // the refill window safe; all users read at most 40 bits at once.
 func (r *Reader) ReadBits(width int) (uint64, error) {
 	if width < 0 || width > 57 {
-		panic(fmt.Sprintf("bitio: bad width %d", width))
+		badWidth(width)
 	}
-	for r.nbit < uint(width) {
-		if r.pos >= len(r.data) {
+	if r.nbit < uint(width) {
+		r.refill(uint(width))
+		if r.nbit < uint(width) {
 			return 0, ErrExhausted
 		}
-		r.cur = r.cur<<8 | uint64(r.data[r.pos])
-		r.pos++
-		r.nbit += 8
 	}
 	v := r.cur >> (r.nbit - uint(width)) & (1<<uint(width) - 1)
 	r.nbit -= uint(width)
@@ -105,6 +131,70 @@ func (r *Reader) ReadBits(width int) (uint64, error) {
 	r.read += width
 	return v, nil
 }
+
+// PeekBits returns the next `width` bits without consuming them, as if
+// the stream were zero-padded past its end: the real bits sit in the high
+// positions of the returned value and avail reports how many of them are
+// real (min(width, Remaining())). Width must be in [0, 57].
+//
+// PeekBits and ConsumeBits are the Huffman fast decoder's per-symbol
+// primitives, so their accumulator fast paths are kept within the
+// compiler's inlining budget: width validation lives on the slow path
+// (a width that never leaves the accumulator path is trusted — all
+// callers pass table-derived constants bounded by MaxCodeLen).
+func (r *Reader) PeekBits(width int) (v uint64, avail int) {
+	if r.nbit >= uint(width) {
+		return r.cur >> (r.nbit - uint(width)) & (1<<uint(width) - 1), width
+	}
+	return r.peekSlow(width)
+}
+
+// peekSlow is PeekBits off the accumulator fast path: validate, refill,
+// then left-align the stream tail over zero padding if it is still short.
+func (r *Reader) peekSlow(width int) (uint64, int) {
+	if width < 0 || width > 57 {
+		badWidth(width)
+	}
+	r.refill(uint(width))
+	if r.nbit < uint(width) {
+		return r.cur << (uint(width) - r.nbit), int(r.nbit)
+	}
+	return r.cur >> (r.nbit - uint(width)) & (1<<uint(width) - 1), width
+}
+
+// ConsumeBits discards `width` bits previously examined with PeekBits.
+// Consuming past the end of the stream panics: callers must bound width
+// by PeekBits's avail (or Remaining).
+func (r *Reader) ConsumeBits(width int) {
+	if r.nbit >= uint(width) {
+		r.nbit -= uint(width)
+		r.cur &= 1<<r.nbit - 1
+		r.read += width
+		return
+	}
+	r.consumeSlow(width)
+}
+
+func (r *Reader) consumeSlow(width int) {
+	if width < 0 || width > 57 {
+		badWidth(width)
+	}
+	r.refill(uint(width))
+	if r.nbit < uint(width) {
+		panic(fmt.Sprintf("bitio: consume %d bits with %d remaining", width, r.Remaining()))
+	}
+	r.nbit -= uint(width)
+	r.cur &= 1<<r.nbit - 1
+	r.read += width
+}
+
+// Remaining returns the number of unconsumed bits left in the stream.
+func (r *Reader) Remaining() int { return 8*len(r.data) - r.read }
+
+// Source returns the reader's backing byte slice. Batch decoders use it
+// to run a register-resident bit cursor over the raw stream and resync
+// with SeekBit when done; the slice must be treated as read-only.
+func (r *Reader) Source() []byte { return r.data }
 
 // ReadBit reads a single bit.
 func (r *Reader) ReadBit() (int, error) {

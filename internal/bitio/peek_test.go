@@ -1,0 +1,165 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oraclePeek computes PeekBits's contract directly from the backing
+// bytes: the next width bits starting at absolute bit offset pos, real
+// bits in the high positions over zero padding, plus the real-bit count.
+func oraclePeek(data []byte, pos, width int) (uint64, int) {
+	v := uint64(0)
+	avail := 0
+	for i := 0; i < width; i++ {
+		bit := pos + i
+		if bit >= 8*len(data) {
+			v <<= 1
+			continue
+		}
+		v = v<<1 | uint64(data[bit/8]>>(7-uint(bit)%8)&1)
+		avail++
+	}
+	return v, avail
+}
+
+func TestPeekBitsMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, rng.Intn(24))
+		rng.Read(data)
+		r := NewReader(data)
+		pos := 0
+		for pos < 8*len(data)+2 {
+			width := rng.Intn(58)
+			v, avail := r.PeekBits(width)
+			wantV, wantAvail := oraclePeek(data, pos, width)
+			if v != wantV || avail != wantAvail {
+				t.Fatalf("PeekBits(%d) at bit %d = (%#x, %d), want (%#x, %d)",
+					width, pos, v, avail, wantV, wantAvail)
+			}
+			// Peeking must not move the cursor.
+			if r.Offset() != pos {
+				t.Fatalf("PeekBits moved offset to %d, want %d", r.Offset(), pos)
+			}
+			n := 0
+			if avail > 0 {
+				n = 1 + rng.Intn(avail)
+			}
+			r.ConsumeBits(n)
+			pos += n
+			if r.Offset() != pos || r.Remaining() != 8*len(data)-pos {
+				t.Fatalf("after ConsumeBits(%d): offset %d remaining %d, want %d/%d",
+					n, r.Offset(), r.Remaining(), pos, 8*len(data)-pos)
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+}
+
+// Peek/consume and ReadBits must expose the same stream: interleaving
+// them on one reader behaves as if only ReadBits were used.
+func TestPeekConsumeInterleavesWithReadBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 64)
+	rng.Read(data)
+	r := NewReader(data)
+	ref := NewReader(data)
+	for r.Remaining() > 0 {
+		width := 1 + rng.Intn(20)
+		if width > r.Remaining() {
+			width = r.Remaining()
+		}
+		want, err := ref.ReadBits(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial := rng.Intn(2); trial == 0 {
+			got, avail := r.PeekBits(width)
+			if avail != width || got != want {
+				t.Fatalf("PeekBits(%d) = (%#x, %d), ReadBits oracle %#x", width, got, avail, want)
+			}
+			r.ConsumeBits(width)
+		} else {
+			got, err := r.ReadBits(width)
+			if err != nil || got != want {
+				t.Fatalf("ReadBits(%d) = %#x, %v; oracle %#x", width, got, err, want)
+			}
+		}
+	}
+}
+
+func TestConsumePastEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ConsumeBits past end of stream did not panic")
+		}
+	}()
+	r := NewReader([]byte{0xff})
+	r.ConsumeBits(9)
+}
+
+func TestPeekAfterSeek(t *testing.T) {
+	data := []byte{0b1011_0010, 0b0100_1101}
+	r := NewReader(data)
+	if err := r.SeekBit(3); err != nil {
+		t.Fatal(err)
+	}
+	v, avail := r.PeekBits(7)
+	want, wantAvail := oraclePeek(data, 3, 7)
+	if v != want || avail != wantAvail {
+		t.Fatalf("PeekBits after seek = (%#x, %d), want (%#x, %d)", v, avail, want, wantAvail)
+	}
+}
+
+// FuzzPeekConsume drives random peek/consume/read scripts against the
+// bit-level oracle: every peek must match oraclePeek, every read must
+// match the oracle reader, and offsets must stay in lockstep.
+func FuzzPeekConsume(f *testing.F) {
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef}, []byte{9, 3, 17, 40})
+	f.Add([]byte{}, []byte{1})
+	f.Add([]byte{0x80}, []byte{57, 57})
+	f.Fuzz(func(t *testing.T, data, script []byte) {
+		if len(data) > 1<<12 || len(script) > 1<<10 {
+			return
+		}
+		r := NewReader(data)
+		ref := NewReader(data)
+		pos := 0
+		for _, op := range script {
+			width := int(op) % 58
+			v, avail := r.PeekBits(width)
+			wantV, wantAvail := oraclePeek(data, pos, width)
+			if v != wantV || avail != wantAvail {
+				t.Fatalf("PeekBits(%d) at bit %d = (%#x, %d), oracle (%#x, %d)",
+					width, pos, v, avail, wantV, wantAvail)
+			}
+			// Alternate the consumption side between ConsumeBits and the
+			// ReadBits oracle; both readers must agree afterwards.
+			n := 0
+			if avail > 0 {
+				n = int(op)%avail + 1
+			}
+			r.ConsumeBits(n)
+			if n > 0 {
+				got, err := ref.ReadBits(n)
+				if err != nil {
+					t.Fatalf("oracle ReadBits(%d) at bit %d: %v", n, pos, err)
+				}
+				if wantTop := wantV >> (uint(width) - uint(n)); got != wantTop {
+					t.Fatalf("ReadBits(%d) = %#x, peek prefix %#x", n, got, wantTop)
+				}
+			}
+			pos += n
+			if r.Offset() != pos || ref.Offset() != pos {
+				t.Fatalf("offsets diverged: peek reader %d, oracle %d, want %d",
+					r.Offset(), ref.Offset(), pos)
+			}
+			if r.Remaining() != 8*len(data)-pos {
+				t.Fatalf("Remaining = %d, want %d", r.Remaining(), 8*len(data)-pos)
+			}
+		}
+	})
+}

@@ -83,12 +83,27 @@ func (*Base) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
 // Tables implements Encoder.
 func (*Base) Tables() []*huffman.Table { return nil }
 
+// ReferenceDecoder is implemented by the Huffman schemes, which decode
+// their hit path through the table-driven fast decoder but keep the
+// canonical bit-by-bit decoder as an oracle: ReferenceDecodeBlock is
+// DecodeBlock on the oracle, and the differential harness requires the
+// two to produce bit-identical symbol sequences on every image.
+type ReferenceDecoder interface {
+	ReferenceDecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error)
+}
+
 // ByteHuffman is the byte-based alphabet of §2.2: the packed baseline
 // image is treated as a byte stream and each byte is Huffman coded. It
 // produces the smallest decoding table and simplest decoder.
 type ByteHuffman struct {
-	tab *huffman.Table
-	dec *huffman.Decoder
+	tab  *huffman.Table
+	dec  *huffman.Decoder     // reference (oracle) decoder
+	fast *huffman.FastDecoder // table-driven hit-path decoder
+}
+
+// newByteHuffman wraps a built table with both of its decoders.
+func newByteHuffman(tab *huffman.Table) *ByteHuffman {
+	return &ByteHuffman{tab: tab, dec: tab.NewDecoder(), fast: tab.NewFastDecoder()}
 }
 
 // NewByteHuffman builds the byte-based scheme from a scheduled program's
@@ -104,7 +119,7 @@ func NewByteHuffman(p *sched.Program) (*ByteHuffman, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compress: byte scheme: %w", err)
 	}
-	return &ByteHuffman{tab: tab, dec: tab.NewDecoder()}, nil
+	return newByteHuffman(tab), nil
 }
 
 // Name implements Encoder.
@@ -131,6 +146,21 @@ func (e *ByteHuffman) EncodeBlock(w *bitio.Writer, ops []isa.Op) error {
 
 // DecodeBlock implements Encoder.
 func (e *ByteHuffman) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
+	nbytes := (n*isa.OpBits + 7) / 8
+	syms := make([]uint64, nbytes)
+	if err := e.fast.DecodeRun(r, syms); err != nil {
+		return nil, err
+	}
+	data := make([]byte, nbytes)
+	for i, v := range syms {
+		data[i] = byte(v)
+	}
+	return isa.UnpackOps(data, n)
+}
+
+// ReferenceDecodeBlock implements ReferenceDecoder on the bit-by-bit
+// oracle decoder.
+func (e *ByteHuffman) ReferenceDecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
 	nbytes := (n*isa.OpBits + 7) / 8
 	data := make([]byte, nbytes)
 	for i := range data {
@@ -220,9 +250,10 @@ var Figure3Config = StreamConfigs[2]
 
 // StreamHuffman is the stream-based alphabet of §2.2/Figure 3.
 type StreamHuffman struct {
-	cfg  StreamConfig
-	tabs []*huffman.Table
-	decs []*huffman.Decoder
+	cfg   StreamConfig
+	tabs  []*huffman.Table
+	decs  []*huffman.Decoder     // reference (oracle) decoders
+	fasts []*huffman.FastDecoder // table-driven hit-path decoders
 }
 
 // NewStreamHuffman builds the stream-based scheme for one configuration.
@@ -250,6 +281,7 @@ func NewStreamHuffman(p *sched.Program, cfg StreamConfig) (*StreamHuffman, error
 		}
 		e.tabs = append(e.tabs, tab)
 		e.decs = append(e.decs, tab.NewDecoder())
+		e.fasts = append(e.fasts, tab.NewFastDecoder())
 	}
 	return e, nil
 }
@@ -285,8 +317,33 @@ func (e *StreamHuffman) EncodeBlock(w *bitio.Writer, ops []isa.Op) error {
 	return nil
 }
 
-// DecodeBlock implements Encoder.
+// DecodeBlock implements Encoder. The per-op symbols alternate between
+// the segment tables, so the stream scheme decodes symbol-at-a-time on
+// the fast decoders rather than in batch runs.
 func (e *StreamHuffman) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
+	segs := e.cfg.Segments()
+	ops := make([]isa.Op, 0, n)
+	for i := 0; i < n; i++ {
+		var word uint64
+		for si, seg := range segs {
+			v, err := e.fasts[si].Decode(r)
+			if err != nil {
+				return nil, err
+			}
+			word = word<<uint(seg[1]-seg[0]) | v
+		}
+		op, err := isa.Decode(word)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// ReferenceDecodeBlock implements ReferenceDecoder on the bit-by-bit
+// oracle decoders.
+func (e *StreamHuffman) ReferenceDecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
 	segs := e.cfg.Segments()
 	ops := make([]isa.Op, 0, n)
 	for i := 0; i < n; i++ {
@@ -313,8 +370,9 @@ func (e *StreamHuffman) Tables() []*huffman.Table { return e.tabs }
 // FullHuffman is the whole-op alphabet of §2.2: each distinct 40-bit
 // operation is one symbol. Greatest compression, largest decoder.
 type FullHuffman struct {
-	tab *huffman.Table
-	dec *huffman.Decoder
+	tab  *huffman.Table
+	dec  *huffman.Decoder     // reference (oracle) decoder
+	fast *huffman.FastDecoder // table-driven hit-path decoder
 }
 
 // NewFullHuffman builds the whole-op scheme from a scheduled program.
@@ -329,7 +387,7 @@ func NewFullHuffman(p *sched.Program) (*FullHuffman, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compress: full scheme: %w", err)
 	}
-	return &FullHuffman{tab: tab, dec: tab.NewDecoder()}, nil
+	return &FullHuffman{tab: tab, dec: tab.NewDecoder(), fast: tab.NewFastDecoder()}, nil
 }
 
 // Name implements Encoder.
@@ -356,6 +414,24 @@ func (e *FullHuffman) EncodeBlock(w *bitio.Writer, ops []isa.Op) error {
 
 // DecodeBlock implements Encoder.
 func (e *FullHuffman) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
+	words := make([]uint64, n)
+	if err := e.fast.DecodeRun(r, words); err != nil {
+		return nil, err
+	}
+	ops := make([]isa.Op, 0, n)
+	for _, w := range words {
+		op, err := isa.Decode(w)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// ReferenceDecodeBlock implements ReferenceDecoder on the bit-by-bit
+// oracle decoder.
+func (e *FullHuffman) ReferenceDecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
 	ops := make([]isa.Op, 0, n)
 	for i := 0; i < n; i++ {
 		w, err := e.dec.Decode(r)

@@ -173,5 +173,5 @@ func NewSharedByteHuffman(progs []*sched.Program) (*ByteHuffman, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ByteHuffman{tab: tab, dec: tab.NewDecoder()}, nil
+	return newByteHuffman(tab), nil
 }

@@ -1,0 +1,108 @@
+package compress
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/huffman"
+	"repro/internal/isa"
+)
+
+// SymbolDecoder exposes the Huffman symbol stream beneath a scheme's
+// block encoding for throughput measurement: both methods consume
+// exactly the codewords DecodeBlock would for an n-op block, discarding
+// the symbols instead of re-materializing operations, and return the
+// number of symbols decoded. DecodeBlockSymbols runs the table-driven
+// fast decoder, ReferenceDecodeBlockSymbols the bit-by-bit oracle, so
+// the pair isolates the entropy-decode swap that the decode-throughput
+// numbers in the benchmark reports quantify — isa.Decode would sit on
+// both sides of the comparison and only dilute it.
+type SymbolDecoder interface {
+	DecodeBlockSymbols(r *bitio.Reader, n int) (int, error)
+	ReferenceDecodeBlockSymbols(r *bitio.Reader, n int) (int, error)
+}
+
+// decodeRunDiscard batch-decodes n symbols into a chunked stack scratch
+// buffer, so the measurement faces pay no per-block allocation.
+func decodeRunDiscard(d *huffman.FastDecoder, r *bitio.Reader, n int) error {
+	var buf [256]uint64
+	for n > 0 {
+		k := n
+		if k > len(buf) {
+			k = len(buf)
+		}
+		if err := d.DecodeRun(r, buf[:k]); err != nil {
+			return err
+		}
+		n -= k
+	}
+	return nil
+}
+
+// DecodeBlockSymbols implements SymbolDecoder.
+func (e *ByteHuffman) DecodeBlockSymbols(r *bitio.Reader, n int) (int, error) {
+	nbytes := (n*isa.OpBits + 7) / 8
+	if err := decodeRunDiscard(e.fast, r, nbytes); err != nil {
+		return 0, err
+	}
+	return nbytes, nil
+}
+
+// ReferenceDecodeBlockSymbols implements SymbolDecoder.
+func (e *ByteHuffman) ReferenceDecodeBlockSymbols(r *bitio.Reader, n int) (int, error) {
+	nbytes := (n*isa.OpBits + 7) / 8
+	for i := 0; i < nbytes; i++ {
+		if _, err := e.dec.Decode(r); err != nil {
+			return i, err
+		}
+	}
+	return nbytes, nil
+}
+
+// DecodeBlockSymbols implements SymbolDecoder. The stream scheme's
+// symbols alternate between the per-segment tables, so both faces decode
+// symbol-at-a-time.
+func (e *StreamHuffman) DecodeBlockSymbols(r *bitio.Reader, n int) (int, error) {
+	nsegs := len(e.fasts)
+	count := 0
+	for i := 0; i < n; i++ {
+		for si := 0; si < nsegs; si++ {
+			if _, err := e.fasts[si].Decode(r); err != nil {
+				return count, err
+			}
+			count++
+		}
+	}
+	return count, nil
+}
+
+// ReferenceDecodeBlockSymbols implements SymbolDecoder.
+func (e *StreamHuffman) ReferenceDecodeBlockSymbols(r *bitio.Reader, n int) (int, error) {
+	nsegs := len(e.decs)
+	count := 0
+	for i := 0; i < n; i++ {
+		for si := 0; si < nsegs; si++ {
+			if _, err := e.decs[si].Decode(r); err != nil {
+				return count, err
+			}
+			count++
+		}
+	}
+	return count, nil
+}
+
+// DecodeBlockSymbols implements SymbolDecoder.
+func (e *FullHuffman) DecodeBlockSymbols(r *bitio.Reader, n int) (int, error) {
+	if err := decodeRunDiscard(e.fast, r, n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// ReferenceDecodeBlockSymbols implements SymbolDecoder.
+func (e *FullHuffman) ReferenceDecodeBlockSymbols(r *bitio.Reader, n int) (int, error) {
+	for i := 0; i < n; i++ {
+		if _, err := e.dec.Decode(r); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitio"
+	"repro/internal/compress"
+	"repro/internal/stats"
+)
+
+// DecodeThroughput is one scheme's measured entropy-decode rate over a
+// compiled image: the table-driven fast decoder against the bit-by-bit
+// reference oracle, decoding identical Huffman symbol streams (every
+// block of the image, in placement order). Ops counts Huffman symbols —
+// whole operations for the full scheme, packed bytes for the byte
+// scheme, one symbol per stream segment per op for the stream schemes.
+type DecodeThroughput struct {
+	Scheme    string                   `json:"-"`
+	Fast      stats.ThroughputSnapshot `json:"fast"`
+	Reference stats.ThroughputSnapshot `json:"reference"`
+	Speedup   float64                  `json:"speedup"`
+}
+
+// MeasureDecodeThroughput times the scheme's Huffman symbol-stream
+// decode over the whole image, repeats times per decoder, and returns
+// the two rates plus their ratio. Schemes without a Huffman symbol
+// stream (base, tailored, dict) return (nil, nil): there is no decoder
+// pair to compare. When the compilation is attached to a driver, the
+// rates are also accumulated in its registry under
+// "decode.fast.<scheme>" and "decode.reference.<scheme>", so the
+// benchmark report aggregates across benchmarks.
+func (c *Compiled) MeasureDecodeThroughput(scheme string, repeats int) (*DecodeThroughput, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	enc, err := c.Encoder(scheme)
+	if err != nil {
+		return nil, err
+	}
+	sd, ok := enc.(compress.SymbolDecoder)
+	if !ok {
+		return nil, nil
+	}
+	im, err := c.Image(scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	// One pass decodes every block of the image; passes repeat until
+	// both the requested count and a minimum wall-clock interval are
+	// met, so small images still produce stable rates.
+	const minMeasure = 20 * time.Millisecond
+	pass := func(decode func(r *bitio.Reader, n int) (int, error)) (syms, bits int64, err error) {
+		r := bitio.NewReader(im.Data)
+		for i := range im.Blocks {
+			if err = r.SeekBit(im.Blocks[i].Addr * 8); err != nil {
+				return 0, 0, err
+			}
+			before := r.Offset()
+			nsym, derr := decode(r, im.Blocks[i].Ops)
+			if derr != nil {
+				return 0, 0, fmt.Errorf("core: %s decode block %d: %w", scheme, i, derr)
+			}
+			syms += int64(nsym)
+			bits += int64(r.Offset() - before)
+		}
+		return syms, bits, nil
+	}
+	run := func(decode func(r *bitio.Reader, n int) (int, error)) (passSyms, passBits, syms, bits int64, elapsed time.Duration, err error) {
+		passes := int64(0)
+		start := time.Now()
+		for passes < int64(repeats) || time.Since(start) < minMeasure {
+			if passSyms, passBits, err = pass(decode); err != nil {
+				return 0, 0, 0, 0, 0, err
+			}
+			passes++
+		}
+		// Per-pass counts are identical across passes; scale to the work
+		// actually done in elapsed.
+		return passSyms, passBits, passSyms * passes, passBits * passes, time.Since(start), nil
+	}
+
+	fps, fpb, fsyms, fbits, fdur, err := run(sd.DecodeBlockSymbols)
+	if err != nil {
+		return nil, err
+	}
+	rps, rpb, rsyms, rbits, rdur, err := run(sd.ReferenceDecodeBlockSymbols)
+	if err != nil {
+		return nil, err
+	}
+	if fps != rps || fpb != rpb {
+		return nil, fmt.Errorf("core: %s decode divergence: fast %d syms / %d bits per pass, reference %d / %d",
+			scheme, fps, fpb, rps, rpb)
+	}
+
+	var fast, ref stats.Throughput
+	fast.Observe(fsyms, fbits, fdur)
+	ref.Observe(rsyms, rbits, rdur)
+	if c.drv != nil {
+		c.drv.obs.Throughput("decode.fast."+scheme).Observe(fsyms, fbits, fdur)
+		c.drv.obs.Throughput("decode.reference."+scheme).Observe(rsyms, rbits, rdur)
+	}
+	dt := &DecodeThroughput{Scheme: scheme, Fast: fast.Snapshot(), Reference: ref.Snapshot()}
+	if dt.Reference.BitsPerSec > 0 {
+		dt.Speedup = dt.Fast.BitsPerSec / dt.Reference.BitsPerSec
+	}
+	return dt, nil
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/bitio"
+	"repro/internal/compress"
 	"repro/internal/emu"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -134,6 +135,107 @@ func TestDifferentialExecution(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestFastReferenceDecodeEquivalence is the fast-decoder equivalence
+// harness: for every benchmark and every scheme built on Huffman tables,
+// each image block decoded through the table-driven fast path
+// (DecodeBlock) and through the bit-by-bit reference oracle
+// (ReferenceDecodeBlock) must yield identical operations and leave both
+// readers at the same bit offset — the whole-corpus complement to the
+// random-stream FuzzFastDecodeEquivalence.
+func TestFastReferenceDecodeEquivalence(t *testing.T) {
+	benchmarks := workload.Benchmarks
+	if testing.Short() {
+		benchmarks = benchmarks[:2]
+	}
+	d := NewDriver(0)
+	for _, name := range benchmarks {
+		c, err := d.CompileBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range driverSchemes {
+			enc, err := c.Encoder(scheme)
+			if err != nil {
+				t.Fatalf("%s/%s: encoder: %v", name, scheme, err)
+			}
+			ref, ok := enc.(compress.ReferenceDecoder)
+			if !ok {
+				continue // base, tailored: no Huffman decoder pair
+			}
+			im, err := c.Image(scheme)
+			if err != nil {
+				t.Fatalf("%s/%s: image: %v", name, scheme, err)
+			}
+			fr := bitio.NewReader(im.Data)
+			rr := bitio.NewReader(im.Data)
+			for i, b := range c.Prog.Blocks {
+				if err := fr.SeekBit(im.Blocks[i].Addr * 8); err != nil {
+					t.Fatalf("%s/%s block %d: %v", name, scheme, b.ID, err)
+				}
+				if err := rr.SeekBit(im.Blocks[i].Addr * 8); err != nil {
+					t.Fatalf("%s/%s block %d: %v", name, scheme, b.ID, err)
+				}
+				fops, ferr := enc.DecodeBlock(fr, len(b.Ops))
+				rops, rerr := ref.ReferenceDecodeBlock(rr, len(b.Ops))
+				if ferr != nil || rerr != nil {
+					t.Fatalf("%s/%s block %d: fast err %v, reference err %v",
+						name, scheme, b.ID, ferr, rerr)
+				}
+				if fr.Offset() != rr.Offset() {
+					t.Errorf("%s/%s block %d: fast consumed through bit %d, reference %d",
+						name, scheme, b.ID, fr.Offset(), rr.Offset())
+				}
+				if len(fops) != len(rops) {
+					t.Fatalf("%s/%s block %d: %d ops vs reference %d",
+						name, scheme, b.ID, len(fops), len(rops))
+				}
+				for j := range fops {
+					if fops[j] != rops[j] {
+						t.Errorf("%s/%s block %d op %d: fast %v, reference %v",
+							name, scheme, b.ID, j, fops[j].String(), rops[j].String())
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMeasureDecodeThroughput exercises the measurement entry point on
+// one benchmark: Huffman schemes must report a positive rate for both
+// decoders and identical per-pass symbol streams (enforced internally);
+// schemes without a decoder pair must report nothing.
+func TestMeasureDecodeThroughput(t *testing.T) {
+	d := NewDriver(0)
+	c, err := d.CompileBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := c.MeasureDecodeThroughput("full", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt == nil {
+		t.Fatal("full scheme reported no decode throughput")
+	}
+	if dt.Fast.OpsPerSec <= 0 || dt.Reference.OpsPerSec <= 0 || dt.Speedup <= 0 {
+		t.Fatalf("non-positive rates: %+v", dt)
+	}
+	if dt.Fast.Ops == 0 || dt.Fast.Bits == 0 {
+		t.Fatalf("no work measured: %+v", dt)
+	}
+	snap := d.Stats().Snapshot()
+	if _, ok := snap.Throughput["decode.fast.full"]; !ok {
+		t.Error("driver registry missing decode.fast.full throughput")
+	}
+	if _, ok := snap.Throughput["decode.reference.full"]; !ok {
+		t.Error("driver registry missing decode.reference.full throughput")
+	}
+	if dt, err := c.MeasureDecodeThroughput("base", 1); err != nil || dt != nil {
+		t.Fatalf("base scheme: got (%+v, %v), want (nil, nil)", dt, err)
 	}
 }
 

@@ -1,0 +1,227 @@
+package huffman
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// DefaultRootBits is the index width of the fast decoder's first-level
+// table. Ten bits keeps the root at 1K entries (4 KiB) — large enough
+// that, with the skewed operation distributions the compression schemes
+// see, almost every codeword resolves in a single lookup — while codes
+// longer than the root index spill into per-prefix overflow sub-tables
+// (the zlib layout). Tables whose longest code is shorter use that
+// length instead and need no sub-tables at all.
+const DefaultRootBits = 10
+
+// Fast-decoder table entries are packed uint32s:
+//
+//	leaf:      symIndex<<6 | codeLen     (codeLen in 1..MaxCodeLen)
+//	sub-link:  subFlag | subOffset<<6 | subBits
+//	invalid:   0                         (reachable only in incomplete codes)
+//
+// The 6-bit low field fits MaxCodeLen (57); the 25-bit middle field
+// bounds both the symbol count and the total sub-table size.
+const (
+	fastLenMask = 1<<6 - 1
+	fastSubFlag = 1 << 31
+	fastMaxSyms = 1 << 25
+)
+
+// FastDecoder is the table-driven decoder for a canonical Huffman code:
+// a two-level lookup that replaces the reference decoder's bit-by-bit
+// walk with one peek into a root table indexed by the next rootBits bits
+// and, for codes longer than rootBits, one more peek into an overflow
+// sub-table. Its symbol stream, consumed-bit offsets, and error
+// behaviour are bit-identical to Decoder's; the equivalence is enforced
+// by the differential harness and FuzzFastDecodeEquivalence.
+type FastDecoder struct {
+	rootBits int
+	maxLen   int
+	root     []uint32
+	sub      []uint32
+	syms     []uint64
+}
+
+// NewFastDecoder builds the two-level lookup tables for the code.
+func (t *Table) NewFastDecoder() *FastDecoder {
+	if len(t.syms) >= fastMaxSyms {
+		panic(fmt.Sprintf("huffman: %d symbols overflow fast-decoder entries", len(t.syms)))
+	}
+	rootBits := DefaultRootBits
+	if t.maxLen < rootBits {
+		rootBits = t.maxLen
+	}
+	d := &FastDecoder{rootBits: rootBits, maxLen: t.maxLen, syms: t.syms}
+	d.root = make([]uint32, 1<<uint(rootBits))
+
+	// First pass: size one sub-table per rootBits prefix that long codes
+	// share, wide enough for the longest code under it.
+	subLen := map[uint64]int{}
+	for i, s := range t.syms {
+		if l := t.lens[i]; l > rootBits {
+			p := t.codes[s].Bits >> uint(l-rootBits)
+			if l > subLen[p] {
+				subLen[p] = l
+			}
+		}
+	}
+	prefixes := make([]uint64, 0, len(subLen))
+	for p := range subLen {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+	subOff := make(map[uint64]int, len(prefixes))
+	for _, p := range prefixes {
+		bits := subLen[p] - rootBits
+		subOff[p] = len(d.sub)
+		d.root[p] = fastSubFlag | uint32(len(d.sub))<<6 | uint32(bits)
+		d.sub = append(d.sub, make([]uint32, 1<<uint(bits))...)
+	}
+
+	// Second pass: replicate each leaf across every index its codeword
+	// prefixes, so a single masked peek resolves it.
+	for i, s := range t.syms {
+		l := t.lens[i]
+		c := t.codes[s].Bits
+		e := uint32(i)<<6 | uint32(l)
+		if l <= rootBits {
+			base := c << uint(rootBits-l)
+			for j := uint64(0); j < 1<<uint(rootBits-l); j++ {
+				d.root[base+j] = e
+			}
+			continue
+		}
+		p := c >> uint(l-rootBits)
+		span := subLen[p] - l
+		base := uint64(subOff[p]) + (c&(1<<uint(l-rootBits)-1))<<uint(span)
+		for j := uint64(0); j < 1<<uint(span); j++ {
+			d.sub[base+j] = e
+		}
+	}
+	return d
+}
+
+// Decode reads one symbol from the bit stream. See Decoder.Decode for
+// the exact (shared) error contract.
+func (d *FastDecoder) Decode(r *bitio.Reader) (uint64, error) {
+	v, avail := r.PeekBits(d.rootBits)
+	e := d.root[v]
+	if e&fastSubFlag != 0 {
+		bits := int(e & fastLenMask)
+		w, a := r.PeekBits(d.rootBits + bits)
+		e = d.sub[int(e>>6&(fastMaxSyms-1))+int(w&(1<<uint(bits)-1))]
+		avail = a
+	}
+	if l := int(e & fastLenMask); l != 0 && l <= avail {
+		r.ConsumeBits(l)
+		return d.syms[e>>6], nil
+	}
+	return 0, d.fail(r)
+}
+
+// DecodeRun decodes len(out) consecutive symbols into out — the batch
+// face of the fast decoder and the form the compression schemes' block
+// decoders call. The hot loop runs a register-resident bit cursor
+// directly over the reader's backing bytes (refilling the accumulator a
+// word at a time, Giesen's branchless variant) and resyncs the reader
+// with SeekBit when it exits, so interleaving DecodeRun with any other
+// reader operation stays coherent. The stream tail — and every error —
+// is delegated to the per-symbol Decode, which shares its terminals with
+// the reference decoder, keeping batch error behaviour (consumed bits,
+// text, wrapped io.ErrUnexpectedEOF) bit-identical to both.
+func (d *FastDecoder) DecodeRun(r *bitio.Reader, out []uint64) error {
+	// The in-register loop guarantees 56 buffered bits per iteration;
+	// wider codes (possible only near MaxCodeLen) take the safe path.
+	if d.maxLen > 56 {
+		return d.decodeRunSlow(r, out)
+	}
+	data := r.Source()
+	pos := r.Offset() // absolute bit offset of the next unconsumed bit
+	i := 0
+
+	var buf uint64 // next bits at the top, low 64-nbit bits zero
+	nbit := 0
+	bytePos := pos >> 3
+	if rem := pos & 7; rem != 0 {
+		buf = uint64(data[bytePos]) << uint(56+rem)
+		nbit = 8 - int(rem)
+		bytePos++
+	}
+	rootMask := uint64(len(d.root) - 1)
+	for i < len(out) {
+		if nbit < 56 {
+			if bytePos+8 > len(data) {
+				break // tail: finish through the reader
+			}
+			buf |= binary.BigEndian.Uint64(data[bytePos:]) >> uint(nbit)
+			bytePos += (63 - nbit) >> 3
+			nbit |= 56
+		}
+		e := d.root[buf>>uint(64-d.rootBits)&rootMask]
+		if e&fastSubFlag != 0 {
+			bits := int(e & fastLenMask)
+			w := buf >> uint(64-d.rootBits-bits)
+			e = d.sub[int(e>>6&(fastMaxSyms-1))+int(w&(1<<uint(bits)-1))]
+		}
+		l := int(e & fastLenMask)
+		if l == 0 || l > nbit {
+			break // invalid codeword: let Decode produce the terminal
+		}
+		buf <<= uint(l)
+		nbit -= l
+		pos += l
+		out[i] = d.syms[e>>6]
+		i++
+	}
+	if err := r.SeekBit(pos); err != nil {
+		return err
+	}
+	for ; i < len(out); i++ {
+		sym, err := d.Decode(r)
+		if err != nil {
+			return err
+		}
+		out[i] = sym
+	}
+	return nil
+}
+
+// decodeRunSlow is DecodeRun for codes too wide for the 56-bit window.
+func (d *FastDecoder) decodeRunSlow(r *bitio.Reader, out []uint64) error {
+	for i := range out {
+		sym, err := d.Decode(r)
+		if err != nil {
+			return err
+		}
+		out[i] = sym
+	}
+	return nil
+}
+
+// fail mirrors the reference decoder's two error terminals, consuming
+// the same bits it would: everything that remains when the stream ends
+// mid-codeword, exactly maxLen bits when they match no codeword.
+func (d *FastDecoder) fail(r *bitio.Reader) error {
+	start := r.Offset()
+	if rem := r.Remaining(); rem < d.maxLen {
+		r.ConsumeBits(rem)
+		return errTruncated(start)
+	}
+	code, _ := r.ReadBits(d.maxLen)
+	return errInvalid(code, start)
+}
+
+// MaxLen returns the longest codeword the decoder accepts.
+func (d *FastDecoder) MaxLen() int { return d.maxLen }
+
+// RootBits returns the first-level index width.
+func (d *FastDecoder) RootBits() int { return d.rootBits }
+
+// TableEntries returns the total lookup-table size (root plus overflow
+// sub-tables, in entries of 4 bytes) — the memory side of the paper's
+// decoder-size tradeoff.
+func (d *FastDecoder) TableEntries() int { return len(d.root) + len(d.sub) }

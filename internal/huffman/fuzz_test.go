@@ -1,0 +1,107 @@
+package huffman
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// FuzzFastDecodeEquivalence builds a table from fuzz-chosen frequencies
+// (optionally length-limited) and decodes a fuzz-chosen bit stream with
+// both decoders: the symbol sequences, the consumed-bit offset after
+// every symbol, and the terminal error (text and io.ErrUnexpectedEOF
+// classification) must be identical. The raw stream makes invalid and
+// truncated codewords as reachable as valid ones.
+func FuzzFastDecodeEquivalence(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 3, 5, 8}, []byte{0xde, 0xad, 0xbe, 0xef}, uint8(0))
+	f.Add([]byte{7}, []byte{0xff}, uint8(0))                 // single symbol, invalid bits
+	f.Add([]byte{1, 2, 3, 4}, []byte{}, uint8(3))            // limited, empty stream
+	f.Add([]byte{9, 9, 9, 1, 1, 1}, []byte{0x5a}, uint8(57)) // slack limit
+	f.Fuzz(func(t *testing.T, tblSeed, stream []byte, limit uint8) {
+		if len(tblSeed) == 0 || len(tblSeed) > 2048 || len(stream) > 4096 {
+			return
+		}
+		// Widen the alphabet beyond one byte so multi-byte symbols and
+		// deep trees are exercised too.
+		freq := map[uint64]int64{}
+		for i, b := range tblSeed {
+			freq[uint64(b)|uint64(i%5)<<8]++
+		}
+		var tab *Table
+		var err error
+		if lim := int(limit); lim >= 1 && lim <= MaxCodeLen {
+			tab, err = BuildLimited(freq, lim)
+		} else {
+			tab, err = Build(freq)
+		}
+		if err != nil {
+			return // infeasible limit: not this fuzzer's concern
+		}
+		fast := tab.NewFastDecoder()
+		ref := tab.NewDecoder()
+		fr := bitio.NewReader(stream)
+		rr := bitio.NewReader(stream)
+		for step := 0; ; step++ {
+			fsym, ferr := fast.Decode(fr)
+			rsym, rerr := ref.Decode(rr)
+			if (ferr == nil) != (rerr == nil) {
+				t.Fatalf("step %d: fast err %v, reference err %v", step, ferr, rerr)
+			}
+			if fr.Offset() != rr.Offset() {
+				t.Fatalf("step %d: fast consumed %d bits, reference %d",
+					step, fr.Offset(), rr.Offset())
+			}
+			if ferr != nil {
+				if ferr.Error() != rerr.Error() {
+					t.Fatalf("step %d: error text differs:\nfast:      %v\nreference: %v",
+						step, ferr, rerr)
+				}
+				if errors.Is(ferr, io.ErrUnexpectedEOF) != errors.Is(rerr, io.ErrUnexpectedEOF) {
+					t.Fatalf("step %d: EOF classification differs: %v vs %v", step, ferr, rerr)
+				}
+				break
+			}
+			if fsym != rsym {
+				t.Fatalf("step %d: fast symbol %d, reference %d", step, fsym, rsym)
+			}
+		}
+
+		// Batch face: DecodeRun over the same stream must produce the
+		// reference's symbol prefix, final offset, and terminal error.
+		refSyms, refOff, refErr := referenceDecodeAll(ref, stream)
+		br := bitio.NewReader(stream)
+		got := make([]uint64, len(refSyms))
+		if err := fast.DecodeRun(br, got); err != nil {
+			t.Fatalf("DecodeRun over %d decodable symbols: %v", len(refSyms), err)
+		}
+		for i := range got {
+			if got[i] != refSyms[i] {
+				t.Fatalf("DecodeRun symbol %d = %d, reference %d", i, got[i], refSyms[i])
+			}
+		}
+		if refErr != nil {
+			berr := fast.DecodeRun(br, make([]uint64, 1))
+			if berr == nil || berr.Error() != refErr.Error() {
+				t.Fatalf("DecodeRun terminal = %v, reference %v", berr, refErr)
+			}
+			if br.Offset() != refOff {
+				t.Fatalf("DecodeRun terminal offset %d, reference %d", br.Offset(), refOff)
+			}
+		}
+	})
+}
+
+// referenceDecodeAll drains a stream with the reference decoder.
+func referenceDecodeAll(ref *Decoder, stream []byte) ([]uint64, int, error) {
+	r := bitio.NewReader(stream)
+	var syms []uint64
+	for {
+		sym, err := ref.Decode(r)
+		if err != nil {
+			return syms, r.Offset(), err
+		}
+		syms = append(syms, sym)
+	}
+}

@@ -1,0 +1,178 @@
+package huffman
+
+import (
+	"reflect"
+	"testing"
+)
+
+// goldenCase pins canonical table construction to exact expected output:
+// symbols in canonical order, their code lengths, and their codewords.
+// These are hand-derived from the Huffman/package-merge constructions, so
+// any change to tie-breaking, length computation, or canonical assignment
+// shows up as a golden diff rather than a silent re-coding.
+type goldenCase struct {
+	name  string
+	freq  map[uint64]int64
+	limit int // 0 = unbounded Build
+	syms  []uint64
+	lens  []int
+	codes []uint64
+}
+
+var goldenCases = []goldenCase{
+	{
+		// Dyadic weights: the code mirrors the probabilities exactly.
+		name:  "dyadic",
+		freq:  map[uint64]int64{0: 8, 1: 4, 2: 2, 3: 1, 4: 1},
+		syms:  []uint64{0, 1, 2, 3, 4},
+		lens:  []int{1, 2, 3, 4, 4},
+		codes: []uint64{0b0, 0b10, 0b110, 0b1110, 0b1111},
+	},
+	{
+		// One symbol still costs one bit (the degenerate incomplete code).
+		name:  "single-symbol",
+		freq:  map[uint64]int64{42: 10},
+		syms:  []uint64{42},
+		lens:  []int{1},
+		codes: []uint64{0b0},
+	},
+	{
+		// All-equal weights over a power-of-two alphabet: a fixed-width
+		// code, canonical order = symbol order.
+		name:  "uniform-8",
+		freq:  map[uint64]int64{10: 3, 11: 3, 12: 3, 13: 3, 14: 3, 15: 3, 16: 3, 17: 3},
+		syms:  []uint64{10, 11, 12, 13, 14, 15, 16, 17},
+		lens:  []int{3, 3, 3, 3, 3, 3, 3, 3},
+		codes: []uint64{0b000, 0b001, 0b010, 0b011, 0b100, 0b101, 0b110, 0b111},
+	},
+	{
+		// Power-of-two weights: maximally skewed, lengths 1..n-1 with the
+		// two rarest sharing the longest code.
+		name:  "skewed-5",
+		freq:  map[uint64]int64{0: 1, 1: 2, 2: 4, 3: 8, 4: 16},
+		syms:  []uint64{4, 3, 2, 0, 1},
+		lens:  []int{1, 2, 3, 4, 4},
+		codes: []uint64{0b0, 0b10, 0b110, 0b1110, 0b1111},
+	},
+	{
+		// Length limit exactly at the fixed-width floor: every code is
+		// forced to the limit regardless of skew.
+		name:  "limited-floor",
+		freq:  map[uint64]int64{0: 1, 1: 10, 2: 100, 3: 1000},
+		limit: 2,
+		syms:  []uint64{0, 1, 2, 3},
+		lens:  []int{2, 2, 2, 2},
+		codes: []uint64{0b00, 0b01, 0b10, 0b11},
+	},
+	{
+		// Package-merge with a binding limit: unbounded lengths would be
+		// (6,6,5,4,3,2,1); the 4-bit limit re-levels the tail to
+		// (4,4,4,4,3,3,1), the cheapest complete code under the bound.
+		name:  "limited-package-merge",
+		freq:  map[uint64]int64{0: 1, 1: 1, 2: 2, 3: 4, 4: 8, 5: 16, 6: 32},
+		limit: 4,
+		syms:  []uint64{6, 4, 5, 0, 1, 2, 3},
+		lens:  []int{1, 3, 3, 4, 4, 4, 4},
+		codes: []uint64{0b0, 0b100, 0b101, 0b1100, 0b1101, 0b1110, 0b1111},
+	},
+	{
+		// A slack limit must reproduce the unbounded optimum exactly.
+		name:  "limited-slack",
+		freq:  map[uint64]int64{0: 8, 1: 4, 2: 2, 3: 1, 4: 1},
+		limit: MaxCodeLen,
+		syms:  []uint64{0, 1, 2, 3, 4},
+		lens:  []int{1, 2, 3, 4, 4},
+		codes: []uint64{0b0, 0b10, 0b110, 0b1110, 0b1111},
+	},
+}
+
+func TestGoldenCanonicalTables(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var tab *Table
+			var err error
+			if tc.limit > 0 {
+				tab, err = BuildLimited(tc.freq, tc.limit)
+			} else {
+				tab, err = Build(tc.freq)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tab.Symbols(); !reflect.DeepEqual(got, tc.syms) {
+				t.Errorf("canonical symbols = %v, want %v", got, tc.syms)
+			}
+			if got := tab.Lengths(); !reflect.DeepEqual(got, tc.lens) {
+				t.Errorf("code lengths = %v, want %v", got, tc.lens)
+			}
+			for i, s := range tc.syms {
+				c, ok := tab.CodeFor(s)
+				if !ok {
+					t.Fatalf("symbol %d missing from table", s)
+				}
+				if c.Bits != tc.codes[i] || c.Len != tc.lens[i] {
+					t.Errorf("code for %d = 0b%b/%d, want 0b%b/%d",
+						s, c.Bits, c.Len, tc.codes[i], tc.lens[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenFirstCodeArrays pins the reference decoder's per-length
+// first-code and offset arrays — the structure the paper's decoder
+// hardware realizes — for the dyadic table.
+func TestGoldenFirstCodeArrays(t *testing.T) {
+	tab, err := Build(map[uint64]int64{0: 8, 1: 4, 2: 2, 3: 1, 4: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tab.NewDecoder()
+	wantCount := []int{0, 1, 1, 1, 2}
+	wantFirst := []uint64{0, 0, 0b10, 0b110, 0b1110}
+	wantOffset := []int{0, 0, 1, 2, 3}
+	if !reflect.DeepEqual(d.count, wantCount) {
+		t.Errorf("count = %v, want %v", d.count, wantCount)
+	}
+	if !reflect.DeepEqual(d.first[:5], wantFirst) {
+		t.Errorf("first = %v, want %v", d.first[:5], wantFirst)
+	}
+	if !reflect.DeepEqual(d.offset[:5], wantOffset) {
+		t.Errorf("offset = %v, want %v", d.offset[:5], wantOffset)
+	}
+}
+
+// TestGoldenLimitedCost asserts the package-merge result is optimal under
+// its limit: the re-leveled code's total cost is the cheapest any
+// limit-respecting complete code can achieve (exhaustively checked
+// against all monotone length assignments for this small alphabet).
+func TestGoldenLimitedCost(t *testing.T) {
+	freq := map[uint64]int64{0: 1, 1: 1, 2: 2, 3: 4, 4: 8, 5: 16, 6: 32}
+	tab, err := BuildLimited(freq, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive search over length assignments l_i in [1,4] with
+	// Kraft sum <= 1, weights sorted descending so lengths ascend.
+	weights := []int64{32, 16, 8, 4, 2, 1, 1}
+	best := int64(1 << 62)
+	var rec func(i int, minLen int, kraft, cost int64)
+	rec = func(i int, minLen int, kraft, cost int64) {
+		if kraft > 1<<4 || cost >= best {
+			return
+		}
+		if i == len(weights) {
+			if kraft <= 1<<4 {
+				best = cost
+			}
+			return
+		}
+		for l := minLen; l <= 4; l++ {
+			rec(i+1, l, kraft+1<<uint(4-l), cost+weights[i]*int64(l))
+		}
+	}
+	rec(0, 1, 0, 0)
+	if tab.TotalBits() != best {
+		t.Errorf("BuildLimited cost = %d bits, exhaustive optimum = %d", tab.TotalBits(), best)
+	}
+}

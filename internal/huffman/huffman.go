@@ -15,6 +15,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 
@@ -412,20 +413,42 @@ type Decoder struct {
 	syms   []uint64
 }
 
+// errTruncated reports a stream that ended mid-codeword. Both decoders
+// construct their error terminals through these two helpers so the fast
+// path is byte-identical to the reference, down to the reported offset of
+// the codeword the failure happened in.
+func errTruncated(start int) error {
+	return fmt.Errorf("huffman: truncated codeword at bit %d: %w", start, io.ErrUnexpectedEOF)
+}
+
+// errInvalid reports maxLen bits that match no codeword (reachable only
+// through incomplete codes, e.g. the single-symbol table).
+func errInvalid(code uint64, start int) error {
+	return fmt.Errorf("huffman: invalid codeword 0b%b at bit %d", code, start)
+}
+
 // Decode reads one symbol from the bit stream.
+//
+// Error behaviour is exact and shared with FastDecoder: a stream that
+// ends mid-codeword consumes every remaining bit and returns an error
+// wrapping io.ErrUnexpectedEOF that names the bit offset the codeword
+// started at; maxLen bits matching no codeword consume exactly maxLen
+// bits and return an invalid-codeword error with the same offset
+// convention.
 func (d *Decoder) Decode(r *bitio.Reader) (uint64, error) {
+	start := r.Offset()
 	code := uint64(0)
 	for l := 1; l <= d.maxLen; l++ {
 		b, err := r.ReadBit()
 		if err != nil {
-			return 0, err
+			return 0, errTruncated(start)
 		}
 		code = code<<1 | uint64(b)
 		if d.count[l] > 0 && code-d.first[l] < uint64(d.count[l]) {
 			return d.syms[d.offset[l]+int(code-d.first[l])], nil
 		}
 	}
-	return 0, fmt.Errorf("huffman: invalid codeword 0b%b", code)
+	return 0, errInvalid(code, start)
 }
 
 // MaxLen returns the longest codeword the decoder accepts.

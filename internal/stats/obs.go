@@ -17,6 +17,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	timers   map[string]*Timer
+	rates    map[string]*Throughput
 }
 
 // NewRegistry returns an empty registry.
@@ -24,6 +25,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
 		timers:   map[string]*Timer{},
+		rates:    map[string]*Throughput{},
 	}
 }
 
@@ -49,6 +51,64 @@ func (r *Registry) Timer(name string) *Timer {
 		r.timers[name] = t
 	}
 	return t
+}
+
+// Throughput returns (creating if needed) the named throughput meter.
+func (r *Registry) Throughput(name string) *Throughput {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.rates[name]
+	if !ok {
+		t = &Throughput{}
+		r.rates[name] = t
+	}
+	return t
+}
+
+// Throughput accumulates work done over measured wall-clock intervals —
+// decoded operations and consumed bits over decode time. Rates are
+// derived at snapshot time, so repeated observations (more blocks, more
+// benchmarks) aggregate into one meter.
+type Throughput struct {
+	mu      sync.Mutex
+	ops     int64
+	bits    int64
+	elapsed time.Duration
+}
+
+// Observe records one measured interval: ops operations and bits stream
+// bits processed in d.
+func (t *Throughput) Observe(ops, bits int64, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ops += ops
+	t.bits += bits
+	t.elapsed += d
+}
+
+// Snapshot returns the meter's exported state.
+func (t *Throughput) Snapshot() ThroughputSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := ThroughputSnapshot{
+		Ops:       t.ops,
+		Bits:      t.bits,
+		ElapsedMS: float64(t.elapsed) / float64(time.Millisecond),
+	}
+	if secs := t.elapsed.Seconds(); secs > 0 {
+		s.OpsPerSec = float64(t.ops) / secs
+		s.BitsPerSec = float64(t.bits) / secs
+	}
+	return s
+}
+
+// ThroughputSnapshot is one throughput meter's exported state.
+type ThroughputSnapshot struct {
+	Ops        int64   `json:"ops"`
+	Bits       int64   `json:"bits"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	BitsPerSec float64 `json:"bits_per_sec"`
 }
 
 // Counter is a monotonic event counter.
@@ -102,8 +162,9 @@ type TimerSnapshot struct {
 
 // Snapshot is a point-in-time copy of a registry, ready for JSON export.
 type Snapshot struct {
-	Counters map[string]int64         `json:"counters"`
-	Stages   map[string]TimerSnapshot `json:"stages"`
+	Counters   map[string]int64              `json:"counters"`
+	Stages     map[string]TimerSnapshot      `json:"stages"`
+	Throughput map[string]ThroughputSnapshot `json:"throughput,omitempty"`
 }
 
 // Snapshot copies the registry's current state.
@@ -113,6 +174,12 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters: make(map[string]int64, len(r.counters)),
 		Stages:   make(map[string]TimerSnapshot, len(r.timers)),
+	}
+	if len(r.rates) > 0 {
+		s.Throughput = make(map[string]ThroughputSnapshot, len(r.rates))
+		for name, t := range r.rates {
+			s.Throughput[name] = t.Snapshot()
+		}
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
