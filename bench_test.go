@@ -21,6 +21,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/regalloc"
 	"repro/internal/sched"
+	"repro/internal/scheme"
 	"repro/internal/superblock"
 	"repro/internal/workload"
 )
@@ -153,15 +154,15 @@ func compiled(b *testing.B, name string) *core.Compiled {
 
 func runSim(b *testing.B, c *core.Compiled, org cache.Org, cfg cache.Config, blocks int) cache.Result {
 	b.Helper()
-	im, err := c.Image(core.OrgSchemes[org])
-	if err != nil {
-		b.Fatal(err)
+	p, ok := scheme.PairingFor(org)
+	if !ok {
+		b.Fatalf("no pairing registered for %s", org)
 	}
 	tr, err := c.Trace(blocks)
 	if err != nil {
 		b.Fatal(err)
 	}
-	sim, err := cache.NewSim(org, cfg, im, c.Prog)
+	sim, err := c.SimFor(p, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/scheme"
 	"repro/internal/workload"
 )
 
@@ -94,7 +95,8 @@ func SchemeNames() []string { return core.SchemeNames() }
 // IFetch simulation.
 type (
 	// Org selects an IFetch organization (OrgBase, OrgCompressed,
-	// OrgTailored).
+	// OrgTailored, OrgCodePack, or any organization registered through
+	// cache.RegisterOrg).
 	Org = cache.Org
 	// Config is the cache geometry.
 	Config = cache.Config
@@ -104,14 +106,55 @@ type (
 	Sim = cache.Sim
 	// Machine is the TEPIC interpreter.
 	Machine = emu.Machine
+	// PredictorKind names a registered branch-direction predictor.
+	PredictorKind = cache.PredictorKind
+	// Pairing is one registered (encoding scheme, organization) point.
+	Pairing = scheme.Pairing
+	// SweepPoint is one geometry/predictor sweep configuration.
+	SweepPoint = core.SweepPoint
+	// SweepRow is one completed sweep point.
+	SweepRow = core.SweepRow
 )
 
-// The three IFetch organizations of the paper's Figures 11–13.
+// The IFetch organizations: the paper's cache study (Figures 11–13) plus
+// the §6 CodePack model.
 const (
 	OrgBase       = cache.OrgBase
 	OrgCompressed = cache.OrgCompressed
 	OrgTailored   = cache.OrgTailored
+	OrgCodePack   = cache.OrgCodePack
 )
+
+// The built-in direction predictors.
+const (
+	PredictorBimodal = cache.PredictorBimodal
+	PredictorGShare  = cache.PredictorGShare
+	PredictorPAs     = cache.PredictorPAs
+)
+
+// Pairings lists every registered (encoding, organization) pairing.
+func Pairings() []Pairing { return scheme.Pairings() }
+
+// PairingByName resolves a pairing label case-insensitively.
+func PairingByName(name string) (Pairing, bool) { return scheme.PairingByName(name) }
+
+// ParsePredictor validates a predictor name; "" selects the default
+// (bimodal).
+func ParsePredictor(name string) (PredictorKind, error) { return cache.ParsePredictor(name) }
+
+// DefaultSweepPoints enumerates the registry-driven default sweep grid
+// for a pairing.
+func DefaultSweepPoints(p Pairing) []SweepPoint { return core.DefaultSweepPoints(p) }
+
+// SweepTable renders sweep rows for terminals.
+func SweepTable(rows []SweepRow) interface{ Render() string } { return core.SweepTable(rows) }
+
+// SweepJSON renders sweep rows as an indented JSON report.
+func SweepJSON(rows []SweepRow) ([]byte, error) { return core.SweepJSON(rows) }
+
+// NewOrgSim builds an IFetch simulator for any registered organization;
+// rom is required exactly when the organization's spec sets NeedsROM.
+var NewOrgSim = cache.NewOrgSim
 
 // DefaultConfig returns the paper's cache configuration for an
 // organization (16 KB 2-way; 20 KB effective for Base).

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/declogic"
 	"repro/internal/sched"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tepiccc", flag.ContinueOnError)
 	bench := fs.String("bench", "compress", "benchmark name")
 	asmFile := fs.String("asm", "", "compile this TINKER-style assembly file instead of a benchmark")
-	scheme := fs.String("scheme", "full", "encoding scheme")
+	schemeFlag := fs.String("scheme", "full", "encoding scheme")
 	all := fs.Bool("all", false, "report every scheme")
 	speculate := fs.Bool("speculate", false, "run the treegion-style speculative hoisting pass")
 	verifyFlag := fs.Bool("verify", false, "run the static verifier over every stage and fail on errors")
@@ -88,7 +89,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	schemes := []string{*scheme}
+	schemes := []string{*schemeFlag}
 	if *all {
 		schemes = ccc.SchemeNames()
 	}
@@ -100,7 +101,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	base, err := c.Image("base")
+	base, err := c.Image(scheme.BaseName)
 	if err != nil {
 		return err
 	}
@@ -173,13 +174,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *huffV != "" {
-		enc, err := c.Encoder(*scheme)
+		enc, err := c.Encoder(*schemeFlag)
 		if err != nil {
 			return err
 		}
 		tabs := enc.Tables()
 		if len(tabs) == 0 {
-			return fmt.Errorf("scheme %s has no Huffman tables", *scheme)
+			return fmt.Errorf("scheme %s has no Huffman tables", *schemeFlag)
 		}
 		f, err := os.Create(*huffV)
 		if err != nil {
@@ -187,9 +188,9 @@ func run(args []string, out io.Writer) error {
 		}
 		defer f.Close()
 		for i, tab := range tabs {
-			module := fmt.Sprintf("huff_%s_decoder", *scheme)
+			module := fmt.Sprintf("huff_%s_decoder", *schemeFlag)
 			if len(tabs) > 1 {
-				module = fmt.Sprintf("huff_%s_stream%d_decoder", *scheme, i)
+				module = fmt.Sprintf("huff_%s_stream%d_decoder", *schemeFlag, i)
 			}
 			if err := tab.EmitVerilog(f, module); err != nil {
 				return err

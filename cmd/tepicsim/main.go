@@ -1,7 +1,9 @@
-// Command tepicsim runs one trace-driven IFetch simulation: a benchmark,
-// an organization (base / compressed / tailored / codepack), and a cache
-// geometry, reporting the paper's metrics (delivered IPC, miss and
-// misprediction rates, L0 buffer behaviour, bus traffic and bit flips).
+// Command tepicsim runs trace-driven IFetch simulations: a benchmark, a
+// registered (encoding, organization) pairing and a cache geometry,
+// reporting the paper's metrics (delivered IPC, miss and misprediction
+// rates, L0 buffer behaviour, bus traffic and bit flips). With -sweep it
+// fans a registry-driven geometry × predictor grid out over the
+// compilation driver's worker pool instead of running one point.
 //
 // Usage:
 //
@@ -10,6 +12,8 @@
 //	tepicsim -bench compress -org compressed -l0 64 -blocks 1000000
 //	tepicsim -bench go -org base -predictor gshare
 //	tepicsim -bench vortex -org codepack
+//	tepicsim -bench gcc -org base -sweep
+//	tepicsim -bench gcc -org compressed -sweep -json
 package main
 
 import (
@@ -21,7 +25,6 @@ import (
 	"strings"
 
 	ccc "repro"
-	"repro/internal/cache"
 )
 
 func main() {
@@ -35,41 +38,31 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tepicsim", flag.ContinueOnError)
 	bench := fs.String("bench", "compress", "benchmark name")
-	orgName := fs.String("org", "base", "organization: base, compressed, tailored or codepack")
+	orgName := fs.String("org", "base", "pairing: "+pairingNames())
 	blocks := fs.Int("blocks", 0, "trace length in blocks (0 = profile default)")
 	sets := fs.Int("sets", 0, "cache sets (0 = paper default)")
 	assoc := fs.Int("assoc", 0, "cache associativity (0 = paper default)")
 	line := fs.Int("line", 0, "line bytes (0 = paper default)")
-	l0 := fs.Int("l0", 0, "L0 buffer ops, compressed only (0 = paper default)")
+	l0 := fs.Int("l0", 0, "L0 buffer ops, L0 organizations only (0 = paper default)")
 	predictor := fs.String("predictor", "", "direction predictor: bimodal, gshare or pas")
 	perfect := fs.Bool("perfect-prediction", false, "disable the next-block predictor (ablation)")
+	sweep := fs.Bool("sweep", false, "run the registry-driven geometry x predictor sweep")
+	jsonOut := fs.Bool("json", false, "with -sweep: emit the report as JSON")
+	par := fs.Int("par", 0, "with -sweep: worker-pool width (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var org ccc.Org
-	switch strings.ToLower(*orgName) {
-	case "base":
-		org = ccc.OrgBase
-	case "compressed":
-		org = ccc.OrgCompressed
-	case "tailored":
-		org = ccc.OrgTailored
-	case "codepack":
-		org = cache.OrgCodePack
-	default:
-		return fmt.Errorf("unknown organization %q", *orgName)
+	p, ok := ccc.PairingByName(*orgName)
+	if !ok {
+		return fmt.Errorf("unknown organization %q (have %s)", *orgName, pairingNames())
 	}
-	scheme := map[ccc.Org]string{
-		ccc.OrgBase: "base", ccc.OrgCompressed: "full",
-		ccc.OrgTailored: "tailored", cache.OrgCodePack: "base",
-	}[org]
+
+	if *sweep {
+		return runSweep(out, *bench, p, *blocks, *par, *jsonOut)
+	}
 
 	c, err := ccc.CompileBenchmark(*bench)
-	if err != nil {
-		return err
-	}
-	im, err := c.Image(scheme)
 	if err != nil {
 		return err
 	}
@@ -78,7 +71,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	cfg := ccc.DefaultConfig(org)
+	cfg := ccc.DefaultConfig(p.Org)
 	if *sets > 0 {
 		cfg.Sets = *sets
 	}
@@ -91,24 +84,21 @@ func run(args []string, out io.Writer) error {
 	if *l0 > 0 {
 		cfg.L0Ops = *l0
 	}
-	cfg.Predictor = *predictor
+	if cfg.Predictor, err = ccc.ParsePredictor(*predictor); err != nil {
+		return err
+	}
 	cfg.PerfectPrediction = *perfect
 
-	var sim *cache.Sim
-	if org == cache.OrgCodePack {
-		rom, err := c.Image("byte")
-		if err != nil {
-			return err
-		}
-		if sim, err = cache.NewCodePackSim(cfg, im, rom, c.Prog); err != nil {
-			return err
-		}
-	} else if sim, err = ccc.NewSim(org, cfg, im, c.Prog); err != nil {
+	sim, err := c.SimFor(p, cfg)
+	if err != nil {
 		return err
 	}
 	r := sim.Run(tr)
 
-	fmt.Fprintf(out, "benchmark   %s (%s scheme, %s organization)\n", *bench, scheme, org)
+	fmt.Fprintf(out, "benchmark   %s (%s scheme, %s organization)\n", *bench, p.CacheScheme, p.Org)
+	if p.ROMScheme != "" {
+		fmt.Fprintf(out, "ROM         %s scheme, decompressed on the miss path\n", p.ROMScheme)
+	}
 	fmt.Fprintf(out, "cache       %d sets x %d ways x %dB = %dKB\n",
 		cfg.Sets, cfg.Assoc, cfg.LineBytes, cfg.Sets*cfg.Assoc*cfg.LineBytes/1024)
 	fmt.Fprintf(out, "trace       %d blocks, %d ops, %d MOPs\n", tr.Len(), r.Ops, r.MOPs)
@@ -117,7 +107,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "miss rate   %.2f%% of block fetches (%d lines fetched)\n",
 		100*r.MissRate(), r.LinesFetched)
 	fmt.Fprintf(out, "mispredict  %.2f%%\n", 100*r.MispredictRate())
-	if org == ccc.OrgCompressed {
+	if spec, ok := p.Org.Spec(); ok && spec.HasL0 {
 		fmt.Fprintf(out, "L0 buffer   %.2f%% hit rate (%d ops capacity)\n",
 			100*float64(r.BufferHits)/float64(r.BlockFetches), cfg.L0Ops)
 	}
@@ -126,6 +116,42 @@ func run(args []string, out io.Writer) error {
 		float64(r.BitFlips)/float64(max64(r.BusBeats, 1)))
 	fmt.Fprintf(out, "ATB         %.2f%% hit rate\n", 100*r.ATBHitRate)
 	return nil
+}
+
+// runSweep fans the pairing's default geometry x predictor grid out over
+// the driver's worker pool and reports every point.
+func runSweep(out io.Writer, bench string, p ccc.Pairing, blocks, par int, jsonOut bool) error {
+	points := ccc.DefaultSweepPoints(p)
+	if len(points) == 0 {
+		return fmt.Errorf("no sweep points for pairing %s", p.Name)
+	}
+	drv := ccc.NewDriver(par)
+	s := ccc.NewSuiteWithDriver(ccc.Options{Benchmarks: []string{bench}, TraceBlocks: blocks}, drv)
+	rows, err := s.GeometrySweep(bench, points)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		data, err := ccc.SweepJSON(rows)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(data)
+		return err
+	}
+	fmt.Fprint(out, ccc.SweepTable(rows).Render())
+	fmt.Fprintf(out, "%d points\n", len(rows))
+	return nil
+}
+
+// pairingNames lists the registered pairing labels for flag help and
+// error messages.
+func pairingNames() string {
+	var names []string
+	for _, p := range ccc.Pairings() {
+		names = append(names, strings.ToLower(p.Name))
+	}
+	return strings.Join(names, ", ")
 }
 
 func max64(a, b int64) int64 {

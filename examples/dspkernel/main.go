@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/scheme"
 )
 
 const (
@@ -147,12 +148,11 @@ func run(out io.Writer) error {
 	fmt.Fprintf(out, "\ntrace: %d blocks, %d dynamic ops\n", tr.Len(), tr.Ops)
 	fmt.Fprintln(out, "organization  IPC    buffer-hit rate")
 	for _, org := range []cache.Org{cache.OrgBase, cache.OrgCompressed, cache.OrgTailored} {
-		scheme := core.OrgSchemes[org]
-		im, err := c.Image(scheme)
-		if err != nil {
-			return err
+		p, ok := scheme.PairingFor(org)
+		if !ok {
+			return fmt.Errorf("no pairing registered for %s", org)
 		}
-		sim, err := cache.NewSim(org, cache.DefaultConfig(org), im, c.Prog)
+		sim, err := c.SimFor(p, cache.DefaultConfig(org))
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/compress"
@@ -331,19 +332,43 @@ func TestNewSimMismatch(t *testing.T) {
 	_ = sp
 }
 
+// TestDefaultConfigGeometry pins DESIGN.md §1's cache geometry for every
+// registered organization: 256 sets × 2 ways, 40-byte lines (20 KB) for
+// caches holding uncompressed 40-bit ops, 32-byte lines (16 KB)
+// otherwise. Table-driven over the org registry so a registered
+// organization without a sane default geometry fails here.
 func TestDefaultConfigGeometry(t *testing.T) {
-	for _, org := range []Org{OrgBase, OrgTailored, OrgCompressed} {
+	wantLine := map[Org]int{
+		OrgBase:       40,
+		OrgTailored:   32,
+		OrgCompressed: 32,
+		OrgCodePack:   40,
+	}
+	for _, org := range Orgs() {
+		spec, ok := org.Spec()
+		if !ok {
+			t.Fatalf("Orgs() returned unregistered %v", org)
+		}
 		cfg := DefaultConfig(org)
+		if cfg.Sets != 256 || cfg.Assoc != 2 {
+			t.Errorf("%s: %d sets x %d ways, want 256 x 2", spec.Name, cfg.Sets, cfg.Assoc)
+		}
+		if cfg.LineBytes != spec.LineBytes {
+			t.Errorf("%s: line %dB, want spec's %dB", spec.Name, cfg.LineBytes, spec.LineBytes)
+		}
+		if want, ok := wantLine[org]; ok && cfg.LineBytes != want {
+			t.Errorf("%s: line %dB, want %dB", spec.Name, cfg.LineBytes, want)
+		}
 		lc, err := NewLineCache(cfg.Sets, cfg.Assoc, cfg.LineBytes)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want := 16 * 1024
-		if org == OrgBase {
+		if cfg.LineBytes == 40 {
 			want = 20 * 1024 // line size must be a 40-bit multiple
 		}
 		if lc.CapacityBytes() != want {
-			t.Errorf("%v capacity %d, want %d", org, lc.CapacityBytes(), want)
+			t.Errorf("%s capacity %d, want %d", spec.Name, lc.CapacityBytes(), want)
 		}
 	}
 }
@@ -353,6 +378,40 @@ func TestRunIdeal(t *testing.T) {
 	res := RunIdeal(tr)
 	if res.Cycles != 40 || res.IPC() != 2.5 {
 		t.Errorf("ideal: cycles %d IPC %.2f", res.Cycles, res.IPC())
+	}
+}
+
+// TestRunIdealEmptyTrace pins the zero-length edge: an empty trace's
+// ideal result must report zero (not NaN) everywhere.
+func TestRunIdealEmptyTrace(t *testing.T) {
+	res := RunIdeal(&trace.Trace{Name: "empty"})
+	if res.Cycles != 0 || res.Ops != 0 {
+		t.Errorf("empty ideal: %+v", res)
+	}
+	for name, v := range map[string]float64{
+		"IPC": res.IPC(), "MissRate": res.MissRate(), "MispredictRate": res.MispredictRate(),
+	} {
+		if v != 0 {
+			t.Errorf("empty ideal %s = %v, want 0", name, v)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("empty ideal %s = %v; division by zero leaked", name, v)
+		}
+	}
+}
+
+// TestResultRateZeroDivision pins the rate accessors on a zero Result:
+// every denominator is zero and every rate must come back 0, never NaN.
+func TestResultRateZeroDivision(t *testing.T) {
+	var r Result
+	if got := r.IPC(); got != 0 || math.IsNaN(got) {
+		t.Errorf("zero Result IPC = %v, want 0", got)
+	}
+	if got := r.MissRate(); got != 0 || math.IsNaN(got) {
+		t.Errorf("zero Result MissRate = %v, want 0", got)
+	}
+	if got := r.MispredictRate(); got != 0 || math.IsNaN(got) {
+		t.Errorf("zero Result MispredictRate = %v, want 0", got)
 	}
 }
 

@@ -100,8 +100,8 @@ func TestPredictorConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rates := map[string]float64{}
-	for _, pred := range []string{"bimodal", "gshare", "pas"} {
+	rates := map[PredictorKind]float64{}
+	for _, pred := range []PredictorKind{PredictorBimodal, PredictorGShare, PredictorPAs} {
 		cfg := DefaultConfig(OrgBase)
 		cfg.Predictor = pred
 		sim, err := NewSim(OrgBase, cfg, ims[OrgBase], sp)
@@ -119,7 +119,7 @@ func TestPredictorConfig(t *testing.T) {
 		}
 	}
 	cfg := DefaultConfig(OrgBase)
-	cfg.Predictor = "nonesuch"
+	cfg.Predictor = PredictorKind("nonesuch")
 	if _, err := NewSim(OrgBase, cfg, ims[OrgBase], sp); err == nil {
 		t.Error("accepted unknown predictor")
 	}

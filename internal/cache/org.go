@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// OrgSpec is the declarative description of one IFetch organization: the
+// stage composition Sim.Run drives. An organization is data — geometry
+// defaults, which optional stages exist, the Decompressor volume rules
+// and the Table 1 startup-cycle matrix — so new (encoding, organization)
+// pairs register at runtime without touching the simulator loop.
+type OrgSpec struct {
+	// Name is the figure label ("Base", "Compressed", ...).
+	Name string
+	// LineBytes is the default cache-line size for DefaultConfig: 40 for
+	// organizations whose cache holds uncompressed 40-bit ops, 32
+	// otherwise.
+	LineBytes int
+	// HasL0 marks organizations with a post-decompressor L0 buffer (§4).
+	HasL0 bool
+	// NeedsROM marks organizations whose miss path reads a separately
+	// encoded ROM image behind the bus (CodePack-style, §6).
+	NeedsROM bool
+	// Decode is the decompressor/extractor stage's volume rule.
+	Decode Decompressor
+	// Timing is the organization's Table 1 startup-cycle matrix.
+	Timing StartupTable
+}
+
+var (
+	orgMu    sync.RWMutex
+	orgSpecs []OrgSpec
+	orgIDs   = map[string]Org{} // lower-cased name -> Org
+)
+
+// RegisterOrg adds an organization to the registry and returns its Org
+// id. Names are unique case-insensitively; the Decode stage is required.
+func RegisterOrg(spec OrgSpec) (Org, error) {
+	if spec.Name == "" {
+		return 0, fmt.Errorf("cache: organization needs a name")
+	}
+	if spec.Decode == nil {
+		return 0, fmt.Errorf("cache: organization %s needs a Decompressor", spec.Name)
+	}
+	orgMu.Lock()
+	defer orgMu.Unlock()
+	key := strings.ToLower(spec.Name)
+	if _, dup := orgIDs[key]; dup {
+		return 0, fmt.Errorf("cache: organization %s already registered", spec.Name)
+	}
+	org := Org(len(orgSpecs))
+	orgSpecs = append(orgSpecs, spec)
+	orgIDs[key] = org
+	return org, nil
+}
+
+// MustRegisterOrg is RegisterOrg, panicking on error (for init-time
+// registration of built-ins).
+func MustRegisterOrg(spec OrgSpec) Org {
+	org, err := RegisterOrg(spec)
+	if err != nil {
+		panic(err)
+	}
+	return org
+}
+
+// Spec returns the registered description of an organization.
+func (o Org) Spec() (OrgSpec, bool) {
+	orgMu.RLock()
+	defer orgMu.RUnlock()
+	if o < 0 || int(o) >= len(orgSpecs) {
+		return OrgSpec{}, false
+	}
+	return orgSpecs[int(o)], true
+}
+
+// Orgs returns every registered organization in registration order.
+func Orgs() []Org {
+	orgMu.RLock()
+	defer orgMu.RUnlock()
+	out := make([]Org, len(orgSpecs))
+	for i := range out {
+		out[i] = Org(i)
+	}
+	return out
+}
+
+// OrgByName resolves an organization label case-insensitively.
+func OrgByName(name string) (Org, bool) {
+	orgMu.RLock()
+	defer orgMu.RUnlock()
+	org, ok := orgIDs[strings.ToLower(name)]
+	return org, ok
+}
+
+// The built-in organizations of Figures 11–13 plus the §6 CodePack
+// model, registered in Org constant order. The StartupTable cells are
+// the paper's Table 1 (see the StartupTable doc comment in timing.go for
+// the two deliberate deviations from the published matrix).
+func init() {
+	builtins := []struct {
+		org  Org
+		spec OrgSpec
+	}{
+		{OrgBase, OrgSpec{
+			Name:      "Base",
+			LineBytes: 40, // uncompressed cache: a 40-bit-op multiple
+			Decode:    PassThrough{},
+			Timing:    StartupTable{PredHit: 1, PredMiss: 1, MispredHit: 2, MispredMiss: 8},
+		}},
+		{OrgTailored, OrgSpec{
+			Name:      "Tailored",
+			LineBytes: 32,
+			Decode:    PassThrough{}, // extraction cost is the +1 on the miss-path cells
+			Timing:    StartupTable{PredHit: 1, PredMiss: 2, MispredHit: 2, MispredMiss: 9},
+		}},
+		{OrgCompressed, OrgSpec{
+			Name:      "Compressed",
+			LineBytes: 32,
+			HasL0:     true,
+			Decode:    HitDecompress{},
+			Timing: StartupTable{
+				PredHit: 1, PredMiss: 3, MispredHit: 3, MispredMiss: 10,
+				// The hit path streams through the decompressor, so hit
+				// cells scale with n too (one line's worth per cycle).
+				HitScalesN: true,
+				BufPredHit: 1, BufMispred: 2,
+			},
+		}},
+		{OrgCodePack, OrgSpec{
+			Name:      "CodePack",
+			LineBytes: 40, // the cache is uncompressed, as in Base
+			NeedsROM:  true,
+			Decode:    MissDecompress{},
+			// Hit path identical to Base; the miss path carries the
+			// decompressor, like Tailored's extraction stage, over the
+			// *compressed* line count n.
+			Timing: StartupTable{PredHit: 1, PredMiss: 2, MispredHit: 2, MispredMiss: 9},
+		}},
+	}
+	for _, b := range builtins {
+		if got := MustRegisterOrg(b.spec); got != b.org {
+			panic(fmt.Sprintf("cache: %s registered as Org(%d), want Org(%d)",
+				b.spec.Name, int(got), int(b.org)))
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/atb"
+)
+
+// PredictorKind names a registered branch-direction predictor. The zero
+// value selects the paper's default (bimodal). Config.Predictor carries
+// one of these; NewSim validates it at construction time.
+type PredictorKind string
+
+// The built-in predictors: the paper's per-block 2-bit counters and the
+// two-level predictors it names as future work (§7).
+const (
+	// PredictorDefault is the zero value, an alias for PredictorBimodal.
+	PredictorDefault PredictorKind = ""
+	// PredictorBimodal is the paper's per-block 2-bit saturating counter.
+	PredictorBimodal PredictorKind = "bimodal"
+	// PredictorGShare is McFarling's global-history predictor.
+	PredictorGShare PredictorKind = "gshare"
+	// PredictorPAs is the Yeh/Patt two-level per-address predictor.
+	PredictorPAs PredictorKind = "pas"
+)
+
+var (
+	predMu   sync.RWMutex
+	predCtor = map[PredictorKind]func(blocks int) (Predictor, error){
+		PredictorBimodal: func(blocks int) (Predictor, error) {
+			return atb.NewBimodal(blocks), nil
+		},
+		PredictorGShare: func(int) (Predictor, error) {
+			return atb.NewGShare(14)
+		},
+		PredictorPAs: func(blocks int) (Predictor, error) {
+			return atb.NewPAs(blocks, 10)
+		},
+	}
+)
+
+// RegisterPredictor adds a direction-predictor constructor under a new
+// kind; blocks is the program's basic-block count.
+func RegisterPredictor(kind PredictorKind, build func(blocks int) (Predictor, error)) error {
+	if kind == PredictorDefault {
+		return fmt.Errorf("cache: predictor needs a non-empty kind")
+	}
+	if build == nil {
+		return fmt.Errorf("cache: predictor %s needs a constructor", kind)
+	}
+	predMu.Lock()
+	defer predMu.Unlock()
+	if _, dup := predCtor[kind]; dup {
+		return fmt.Errorf("cache: predictor %s already registered", kind)
+	}
+	predCtor[kind] = build
+	return nil
+}
+
+// PredictorKinds returns every registered kind, sorted.
+func PredictorKinds() []PredictorKind {
+	predMu.RLock()
+	defer predMu.RUnlock()
+	kinds := make([]PredictorKind, 0, len(predCtor))
+	for k := range predCtor {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// ParsePredictor validates a predictor name (e.g. a CLI flag value); the
+// empty string selects the default.
+func ParsePredictor(name string) (PredictorKind, error) {
+	kind := PredictorKind(name)
+	if kind == PredictorDefault {
+		return PredictorDefault, nil
+	}
+	predMu.RLock()
+	_, ok := predCtor[kind]
+	predMu.RUnlock()
+	if !ok {
+		return PredictorDefault, fmt.Errorf("cache: unknown predictor %q (have %v)",
+			name, PredictorKinds())
+	}
+	return kind, nil
+}
+
+// newPredictor constructs the direction predictor for a kind.
+func newPredictor(kind PredictorKind, blocks int) (Predictor, error) {
+	if kind == PredictorDefault {
+		kind = PredictorBimodal
+	}
+	predMu.RLock()
+	build, ok := predCtor[kind]
+	predMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cache: unknown predictor %q", kind)
+	}
+	return build(blocks)
+}

@@ -1,0 +1,134 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/image"
+)
+
+// TestOrgRegistryBuiltins pins the built-in registration order (the Org
+// constants are indices into the registry) and name resolution.
+func TestOrgRegistryBuiltins(t *testing.T) {
+	want := []struct {
+		org  Org
+		name string
+	}{
+		{OrgBase, "Base"},
+		{OrgTailored, "Tailored"},
+		{OrgCompressed, "Compressed"},
+		{OrgCodePack, "CodePack"},
+	}
+	orgs := Orgs()
+	if len(orgs) < len(want) {
+		t.Fatalf("%d registered organizations, want >= %d", len(orgs), len(want))
+	}
+	for _, w := range want {
+		spec, ok := w.org.Spec()
+		if !ok || spec.Name != w.name {
+			t.Errorf("Org(%d).Spec() = %+v, %v; want %s", int(w.org), spec, ok, w.name)
+		}
+		if got, ok := OrgByName(strings.ToUpper(w.name)); !ok || got != w.org {
+			t.Errorf("OrgByName(%s) = %v, %v; want %v (case-insensitive)", w.name, got, ok, w.org)
+		}
+		if w.org.String() != w.name {
+			t.Errorf("Org(%d).String() = %q, want %q", int(w.org), w.org.String(), w.name)
+		}
+	}
+	if spec, ok := OrgCompressed.Spec(); !ok || !spec.HasL0 {
+		t.Error("Compressed spec must carry the L0 buffer")
+	}
+	if spec, ok := OrgCodePack.Spec(); !ok || !spec.NeedsROM {
+		t.Error("CodePack spec must need a ROM image")
+	}
+}
+
+func TestOrgRegistryValidation(t *testing.T) {
+	if _, err := RegisterOrg(OrgSpec{Decode: PassThrough{}}); err == nil {
+		t.Error("RegisterOrg accepted a nameless spec")
+	}
+	if _, err := RegisterOrg(OrgSpec{Name: "NoDecode"}); err == nil {
+		t.Error("RegisterOrg accepted a spec without a Decompressor")
+	}
+	if _, err := RegisterOrg(OrgSpec{Name: "base", Decode: PassThrough{}}); err == nil {
+		t.Error("RegisterOrg accepted a case-insensitive duplicate of Base")
+	}
+	if _, ok := Org(1 << 20).Spec(); ok {
+		t.Error("Spec() resolved an unregistered organization")
+	}
+	if _, ok := OrgByName("nonesuch"); ok {
+		t.Error("OrgByName resolved an unknown name")
+	}
+}
+
+func TestPredictorRegistry(t *testing.T) {
+	kinds := PredictorKinds()
+	for _, want := range []PredictorKind{PredictorBimodal, PredictorGShare, PredictorPAs} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("PredictorKinds() = %v is missing %s", kinds, want)
+		}
+	}
+
+	if err := RegisterPredictor(PredictorDefault, nil); err == nil {
+		t.Error("RegisterPredictor accepted the empty kind")
+	}
+	if err := RegisterPredictor("novel", nil); err == nil {
+		t.Error("RegisterPredictor accepted a nil constructor")
+	}
+	if err := RegisterPredictor(PredictorBimodal, func(int) (Predictor, error) {
+		return nil, nil
+	}); err == nil {
+		t.Error("RegisterPredictor accepted a duplicate kind")
+	}
+
+	if kind, err := ParsePredictor(""); err != nil || kind != PredictorDefault {
+		t.Errorf("ParsePredictor(\"\") = %v, %v; want default, nil", kind, err)
+	}
+	if kind, err := ParsePredictor("gshare"); err != nil || kind != PredictorGShare {
+		t.Errorf("ParsePredictor(gshare) = %v, %v", kind, err)
+	}
+	if _, err := ParsePredictor("nonesuch"); err == nil {
+		t.Error("ParsePredictor accepted an unknown name")
+	}
+}
+
+// TestDecompressorVolumes pins the three volume rules the organizations
+// compose: pass-through moves the block's cache lines on both paths,
+// hit-path decompression re-derives the hit volume from compressed
+// bytes, miss-path decompression re-derives the miss volume from the ROM
+// block.
+func TestDecompressorVolumes(t *testing.T) {
+	blk := image.Block{Bytes: 100} // 100 bytes at addr 0: 3 lines of 40B, 4 of 32B
+	rom := image.Block{Bytes: 35}
+	const line40, line32 = 40, 32
+
+	pt := PassThrough{}
+	if got := pt.HitLines(blk, line40); got != 3 {
+		t.Errorf("PassThrough hit = %d, want 3", got)
+	}
+	if got := pt.MissLines(blk, rom, line40); got != 3 {
+		t.Errorf("PassThrough miss = %d, want 3", got)
+	}
+
+	hd := HitDecompress{}
+	if got := hd.HitLines(blk, line32); got != 4 { // ceil(100/32)
+		t.Errorf("HitDecompress hit = %d, want 4", got)
+	}
+	if got := hd.MissLines(blk, rom, line32); got != 4 { // blk.Lines(32)
+		t.Errorf("HitDecompress miss = %d, want 4", got)
+	}
+
+	md := MissDecompress{}
+	if got := md.HitLines(blk, line40); got != 3 { // cache lines, uncompressed
+		t.Errorf("MissDecompress hit = %d, want 3", got)
+	}
+	if got := md.MissLines(blk, rom, line40); got != 1 { // ceil(35/40)
+		t.Errorf("MissDecompress miss = %d, want 1", got)
+	}
+}

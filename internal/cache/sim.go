@@ -5,6 +5,12 @@
 // three are trace-driven at basic-block granularity with the cycle-count
 // assumptions of Table 1, and report the paper's metrics: operations
 // delivered per cycle (Figure 13) and memory-bus bit flips (Figure 14).
+//
+// The simulator is a composable stage pipeline: Sim.Run drives the
+// ATBStage, L0Store, CacheArray, Decompressor and BusModel interfaces
+// (stages.go), and each organization — including the related-work
+// CodePack model (§6) — is a declarative OrgSpec in a registry (org.go)
+// naming its stage composition and Table 1 timing.
 package cache
 
 import (
@@ -22,7 +28,7 @@ type Config struct {
 	Sets       int
 	Assoc      int
 	LineBytes  int
-	L0Ops      int // L0 buffer capacity in ops (Compressed only)
+	L0Ops      int // L0 buffer capacity in ops (organizations with HasL0)
 	ATBEntries int
 	BusBytes   int
 	// PerfectPrediction disables the next-block predictor and treats
@@ -30,16 +36,19 @@ type Config struct {
 	// each scheme's behaviour is misprediction penalty (the paper's
 	// central explanation for Tailored beating Compressed).
 	PerfectPrediction bool
-	// Predictor selects the direction predictor: "" or "bimodal" for the
-	// paper's per-block 2-bit counters, "gshare" or "pas" for the
-	// future-work two-level predictors (§7).
-	Predictor string
+	// Predictor selects the direction predictor: PredictorDefault (or
+	// PredictorBimodal) for the paper's per-block 2-bit counters,
+	// PredictorGShare or PredictorPAs for the future-work two-level
+	// predictors (§7). Validated at NewSim time.
+	Predictor PredictorKind
 }
 
 // DefaultConfig returns the paper's experimental configuration: 16 KB
 // 2-way set associative (256 sets x 32 B lines) for the compressed and
-// tailored caches; the baseline needs a line size that is a multiple of
-// the 40-bit op, making it effectively 20 KB (256 sets x 40 B lines).
+// tailored caches; organizations holding uncompressed ops need a line
+// size that is a multiple of the 40-bit op, making theirs effectively
+// 20 KB (256 sets x 40 B lines). The line size comes from the
+// organization's registered spec.
 func DefaultConfig(org Org) Config {
 	cfg := Config{
 		Sets: 256, Assoc: 2, LineBytes: 32,
@@ -47,8 +56,8 @@ func DefaultConfig(org Org) Config {
 		ATBEntries: atb.DefaultEntries,
 		BusBytes:   power.DefaultBusBytes,
 	}
-	if org == OrgBase || org == OrgCodePack {
-		cfg.LineBytes = 40 // uncompressed cache: a 40-bit-op multiple
+	if spec, ok := org.Spec(); ok && spec.LineBytes > 0 {
+		cfg.LineBytes = spec.LineBytes
 	}
 	return cfg
 }
@@ -102,36 +111,57 @@ func (r Result) MispredictRate() float64 {
 	return float64(r.Mispredicts) / float64(r.BlockFetches)
 }
 
-// Sim is one IFetch simulation instance.
+// Sim is one IFetch simulation instance: the fixed stage-pipeline driver
+// configured by an organization's OrgSpec.
 type Sim struct {
-	org Org
-	cfg Config
-	im  *image.Image // the image the cache indexes
-	rom *image.Image // CodePack only: the compressed ROM behind the bus
-	sp  *sched.Program
+	org  Org
+	spec OrgSpec
+	cfg  Config
+	im   *image.Image // the image the cache indexes
+	rom  *image.Image // NeedsROM organizations: the encoded ROM behind the bus
+	sp   *sched.Program
 
-	cache *LineCache
-	buf   *L0Buffer
-	atb   *atb.ATB
-	bus   *power.Bus
+	cache CacheArray
+	buf   L0Store // nil unless the spec has an L0 buffer
+	atb   ATBStage
+	bus   BusModel
 }
 
 // NewSim builds a simulator for a program image under one organization.
 // The image must be encoded with the scheme matching the organization
 // (base for OrgBase, a Huffman scheme for OrgCompressed, the tailored
 // encoding for OrgTailored); the simulator is agnostic beyond block
-// addresses and sizes.
+// addresses and sizes. Organizations that fetch from a separate ROM
+// image need NewOrgSim (or NewCodePackSim).
 func NewSim(org Org, cfg Config, im *image.Image, sp *sched.Program) (*Sim, error) {
-	if org == OrgCodePack {
-		return nil, fmt.Errorf("cache: OrgCodePack needs two images; use NewCodePackSim")
+	if spec, ok := org.Spec(); ok && spec.NeedsROM {
+		return nil, fmt.Errorf("cache: Org%s needs two images; use NewCodePackSim", spec.Name)
 	}
-	return newSim(org, cfg, im, sp)
+	return NewOrgSim(org, cfg, im, nil, sp)
 }
 
-func newSim(org Org, cfg Config, im *image.Image, sp *sched.Program) (*Sim, error) {
+// NewOrgSim builds a simulator for any registered organization. rom is
+// the separately encoded ROM image behind the bus and must be non-nil
+// exactly when the organization's spec sets NeedsROM.
+func NewOrgSim(org Org, cfg Config, im, rom *image.Image, sp *sched.Program) (*Sim, error) {
+	spec, ok := org.Spec()
+	if !ok {
+		return nil, fmt.Errorf("cache: unknown organization %d", int(org))
+	}
 	if len(im.Blocks) != len(sp.Blocks) {
 		return nil, fmt.Errorf("cache: image has %d blocks, program %d",
 			len(im.Blocks), len(sp.Blocks))
+	}
+	if spec.NeedsROM {
+		if rom == nil {
+			return nil, fmt.Errorf("cache: organization %s needs a ROM image", spec.Name)
+		}
+		if len(rom.Blocks) != len(sp.Blocks) {
+			return nil, fmt.Errorf("cache: ROM image has %d blocks, program %d",
+				len(rom.Blocks), len(sp.Blocks))
+		}
+	} else if rom != nil {
+		return nil, fmt.Errorf("cache: organization %s takes no ROM image", spec.Name)
 	}
 	lc, err := NewLineCache(cfg.Sets, cfg.Assoc, cfg.LineBytes)
 	if err != nil {
@@ -145,31 +175,22 @@ func newSim(org Org, cfg Config, im *image.Image, sp *sched.Program) (*Sim, erro
 	if err := atb.ValidateInfos(infos); err != nil {
 		return nil, err
 	}
-	var dir atb.DirectionPredictor
-	switch cfg.Predictor {
-	case "", "bimodal":
-		dir = atb.NewBimodal(len(sp.Blocks))
-	case "gshare":
-		if dir, err = atb.NewGShare(14); err != nil {
-			return nil, err
-		}
-	case "pas":
-		if dir, err = atb.NewPAs(len(sp.Blocks), 10); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("cache: unknown predictor %q", cfg.Predictor)
+	dir, err := newPredictor(cfg.Predictor, len(sp.Blocks))
+	if err != nil {
+		return nil, err
 	}
 	s := &Sim{
 		org:   org,
+		spec:  spec,
 		cfg:   cfg,
 		im:    im,
+		rom:   rom,
 		sp:    sp,
 		cache: lc,
 		atb:   atb.NewWithPredictor(infos, cfg.ATBEntries, dir),
 		bus:   power.NewBus(cfg.BusBytes),
 	}
-	if org == OrgCompressed {
+	if spec.HasL0 {
 		s.buf = NewL0Buffer(cfg.L0Ops)
 	}
 	return s, nil
@@ -181,19 +202,12 @@ func newSim(org Org, cfg Config, im *image.Image, sp *sched.Program) (*Sim, erro
 // (romIm — typically the byte scheme, as in IBM CodePack). Miss repair
 // fetches the block's compressed lines and decompresses at miss time.
 func NewCodePackSim(cfg Config, cacheIm, romIm *image.Image, sp *sched.Program) (*Sim, error) {
-	if len(romIm.Blocks) != len(sp.Blocks) {
-		return nil, fmt.Errorf("cache: ROM image has %d blocks, program %d",
-			len(romIm.Blocks), len(sp.Blocks))
-	}
-	s, err := newSim(OrgCodePack, cfg, cacheIm, sp)
-	if err != nil {
-		return nil, err
-	}
-	s.rom = romIm
-	return s, nil
+	return NewOrgSim(OrgCodePack, cfg, cacheIm, romIm, sp)
 }
 
-// Run replays a trace through the IFetch pipeline model.
+// Run replays a trace through the IFetch stage pipeline: predictor and
+// ATB, the optional L0 buffer, the cache array with bus-backed miss
+// repair, and the organization's Decompressor and StartupTable.
 func (s *Sim) Run(tr *trace.Trace) Result {
 	res := Result{
 		Benchmark: tr.Name,
@@ -226,12 +240,13 @@ func (s *Sim) Run(tr *trace.Trace) Result {
 		}
 
 		cacheHit := true
-		// nFetch: memory lines the block's bytes touch (miss repair and
-		// bus traffic). nDec: the block's data volume in lines — the
-		// banked cache extracts straddling data in one reference, so the
-		// hit-path decompression term scales with volume, not placement.
+		// The lines the block's placement touches: the unit of residency,
+		// miss repair and (for in-cache images) bus traffic.
 		nFetch := blk.Lines(s.cfg.LineBytes)
-		nDec := (blk.Bytes + s.cfg.LineBytes - 1) / s.cfg.LineBytes
+		var romBlk image.Block
+		if s.rom != nil {
+			romBlk = s.rom.Blocks[ev.Block]
+		}
 		if !bufHit {
 			res.CacheLookups++
 			// Restricted placement: the block is the unit of residency.
@@ -246,8 +261,7 @@ func (s *Sim) Run(tr *trace.Trace) Result {
 				cacheHit = false
 				res.CacheMisses++
 				if s.rom != nil {
-					// CodePack: the bus carries the compressed ROM lines.
-					romBlk := s.rom.Blocks[ev.Block]
+					// The bus carries the ROM's encoded lines.
 					res.LinesFetched += int64(romBlk.Lines(s.cfg.LineBytes))
 					end := romBlk.Addr + romBlk.Bytes
 					if end > len(s.rom.Data) {
@@ -272,16 +286,15 @@ func (s *Sim) Run(tr *trace.Trace) Result {
 			}
 		}
 
-		n := nFetch
-		switch {
-		case s.org == OrgCompressed && cacheHit:
-			n = nDec
-		case s.org == OrgCodePack && !cacheHit:
-			// Miss-time decompression runs over the compressed volume.
-			romBlk := s.rom.Blocks[ev.Block]
-			n = (romBlk.Bytes + s.cfg.LineBytes - 1) / s.cfg.LineBytes
+		// The decompressor/extractor stage sets n, the line volume the
+		// startup path streams through for this fetch.
+		var n int
+		if cacheHit {
+			n = s.spec.Decode.HitLines(blk, s.cfg.LineBytes)
+		} else {
+			n = s.spec.Decode.MissLines(blk, romBlk, s.cfg.LineBytes)
 		}
-		res.Cycles += int64(StartupCycles(s.org, predCorrect, cacheHit, bufHit, n))
+		res.Cycles += int64(s.spec.Timing.Cycles(predCorrect, cacheHit, bufHit, n))
 		if mops > 1 {
 			res.Cycles += int64(mops - 1) // stream remaining MOPs, 1 per cycle
 		}
@@ -290,9 +303,7 @@ func (s *Sim) Run(tr *trace.Trace) Result {
 		predicted, _ = s.atb.Predict(ev.Block)
 		_ = s.atb.Update(ev.Block, ev.Taken, ev.Next)
 	}
-	res.BusBeats = s.bus.Beats
-	res.BitFlips = s.bus.Flips
-	res.BytesFetched = s.bus.Bytes
+	res.BusBeats, res.BitFlips, res.BytesFetched = s.bus.Counts()
 	res.ATBHitRate = s.atb.HitRate()
 	return res
 }

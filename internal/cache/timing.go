@@ -2,10 +2,12 @@ package cache
 
 import "fmt"
 
-// Org selects one of the three IFetch organizations the paper evaluates.
+// Org selects one of the registered IFetch organizations. The four
+// built-ins below register in constant order at init time (org.go);
+// further organizations can be added with RegisterOrg.
 type Org int
 
-// The three organizations of Figures 11–13.
+// The three organizations of Figures 11–13, plus the §6 CodePack model.
 const (
 	// OrgBase: the banked cache of §3.4 holding uncompressed 40-bit ops.
 	OrgBase Org = iota
@@ -28,29 +30,24 @@ const (
 
 // String returns the figure label for the organization.
 func (o Org) String() string {
-	switch o {
-	case OrgBase:
-		return "Base"
-	case OrgTailored:
-		return "Tailored"
-	case OrgCompressed:
-		return "Compressed"
-	case OrgCodePack:
-		return "CodePack"
+	if spec, ok := o.Spec(); ok {
+		return spec.Name
 	}
 	return fmt.Sprintf("Org(%d)", int(o))
 }
 
-// StartupCycles is the paper's Table 1: the cycle cost to begin streaming
-// a block, as a function of the next-block prediction outcome, the cache
-// hit/miss outcome, the L0 buffer outcome (Compressed only) and n, the
-// number of memory lines that must be fetched (on the miss path) or
-// decompressed (on the Compressed hit path) to obtain the whole block.
-// Base and Tailored have no buffer, so bufHit is ignored for them.
+// StartupTable is one organization's row set of the paper's Table 1: the
+// cycle cost to begin streaming a block as a function of the next-block
+// prediction outcome, the cache hit/miss outcome, the L0 buffer outcome
+// (organizations with a buffer only) and n, the number of memory lines
+// that must be fetched (on the miss path) or decompressed (on a
+// scaled hit path) to obtain the whole block. Miss cells always pay
+// n-1 extra cycles (one line fetched per cycle); hit cells do so only
+// when HitScalesN is set (a hit that streams through a decompressor).
 //
-// Two cells differ deliberately from a literal reading of the published
-// table, following the paper's text rather than its (ambiguously typeset)
-// matrix:
+// Two cells of the built-in Compressed table differ deliberately from a
+// literal reading of the published matrix, following the paper's text
+// rather than its (ambiguously typeset) table:
 //
 //   - A mispredicted fetch that hits the L0 buffer costs 2 cycles, not 1:
 //     the buffer supplies ready MOPs but cannot undo the pipeline restart
@@ -61,65 +58,55 @@ func (o Org) String() string {
 //     penalty of the added Huffman decoder stage" that the abstract and
 //     §6 name as the reason the Tailored ISA wins — with the published
 //     2+(n-1) the added stage would be invisible for single-line blocks.
-func StartupCycles(org Org, predCorrect, cacheHit, bufHit bool, n int) int {
+type StartupTable struct {
+	PredHit     int // predicted correctly, cache hit
+	PredMiss    int // predicted correctly, cache miss (+ n-1)
+	MispredHit  int // mispredicted, cache hit
+	MispredMiss int // mispredicted, cache miss (+ n-1)
+	// HitScalesN charges n-1 extra cycles on the hit cells too (the
+	// Compressed organization's hit-path decompressor).
+	HitScalesN bool
+	// BufPredHit and BufMispred are the L0-buffer-hit cells, consulted
+	// before everything else (organizations with HasL0 only).
+	BufPredHit int
+	BufMispred int
+}
+
+// Cycles evaluates the table for one fetch. n clamps to 1.
+func (t StartupTable) Cycles(predCorrect, cacheHit, bufHit bool, n int) int {
 	if n < 1 {
 		n = 1
 	}
-	switch org {
-	case OrgBase:
-		switch {
-		case predCorrect && cacheHit:
-			return 1
-		case predCorrect: // cache miss
-			return 1 + (n - 1)
-		case cacheHit: // mispredicted
-			return 2
-		default: // mispredicted, cache miss
-			return 8 + (n - 1)
+	if bufHit {
+		if predCorrect {
+			return t.BufPredHit
 		}
-	case OrgTailored:
-		switch {
-		case predCorrect && cacheHit:
-			return 1
-		case predCorrect: // miss path carries the extraction stage
-			return 2 + (n - 1)
-		case cacheHit:
-			return 2
-		default:
-			return 9 + (n - 1)
-		}
-	case OrgCodePack:
-		// Hit path identical to Base (the cache is uncompressed); the
-		// miss path carries the decompressor, like Tailored's extraction
-		// stage, over the *compressed* line count n.
-		switch {
-		case predCorrect && cacheHit:
-			return 1
-		case predCorrect:
-			return 2 + (n - 1)
-		case cacheHit:
-			return 2
-		default:
-			return 9 + (n - 1)
-		}
-	case OrgCompressed:
-		if bufHit {
-			// Ready-to-issue MOPs: as fast as an uncompressed cache hit.
-			if predCorrect {
-				return 1
-			}
-			return 2
-		}
-		switch {
-		case predCorrect && cacheHit:
-			return 1 + (n - 1) // decompress n lines' worth at one per cycle
-		case predCorrect: // cache miss
-			return 3 + (n - 1)
-		case cacheHit: // mispredicted: hit-path decompressor adds a stage
-			return 3 + (n - 1)
-		default:
-			return 10 + (n - 1)
-		}
+		return t.BufMispred
 	}
-	panic(fmt.Sprintf("cache: unknown organization %d", int(org)))
+	switch {
+	case predCorrect && cacheHit:
+		if t.HitScalesN {
+			return t.PredHit + (n - 1)
+		}
+		return t.PredHit
+	case predCorrect:
+		return t.PredMiss + (n - 1)
+	case cacheHit:
+		if t.HitScalesN {
+			return t.MispredHit + (n - 1)
+		}
+		return t.MispredHit
+	default:
+		return t.MispredMiss + (n - 1)
+	}
+}
+
+// StartupCycles evaluates an organization's Table 1 matrix. The bufHit
+// flag is ignored for organizations without an L0 buffer.
+func StartupCycles(org Org, predCorrect, cacheHit, bufHit bool, n int) int {
+	spec, ok := org.Spec()
+	if !ok {
+		panic(fmt.Sprintf("cache: unknown organization %d", int(org)))
+	}
+	return spec.Timing.Cycles(predCorrect, cacheHit, bufHit && spec.HasL0, n)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/declogic"
 	"repro/internal/isa"
+	"repro/internal/scheme"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -301,16 +302,6 @@ func (r *Fig10Result) Table() *stats.Table {
 // ---------------------------------------------------------------------
 // Figure 13: cache study summary — operations delivered per cycle.
 
-// OrgSchemes maps each IFetch organization to the encoding scheme its
-// cache holds, as in the paper's Figure 13: Base holds the original
-// encoding, Compressed the Full op compression scheme, Tailored the
-// tailored ISA.
-var OrgSchemes = map[cache.Org]string{
-	cache.OrgBase:       "base",
-	cache.OrgCompressed: "full",
-	cache.OrgTailored:   "tailored",
-}
-
 // Fig13Row is one benchmark's delivered IPC under each organization.
 type Fig13Row struct {
 	Benchmark string
@@ -326,7 +317,9 @@ type Fig13Result struct {
 	Rows []Fig13Row
 }
 
-// Figure13 runs the full trace-driven cache study: 16 KB 2-way caches
+// Figure13 runs the full trace-driven cache study over the registry's
+// study pairings (Base holds the original encoding, Compressed the full
+// op compression scheme, Tailored the tailored ISA): 16 KB 2-way caches
 // (20 KB effective for Base), Table 1 timing, per-block ATB predictor.
 // Benchmarks simulate concurrently on the driver's pool; the result is
 // memoized in the driver under single-flight (Figure 14 reads the same
@@ -348,17 +341,13 @@ func (s *Suite) Figure13() (*Fig13Result, error) {
 				Ideal:     cache.RunIdeal(tr).IPC(),
 				Results:   map[string]cache.Result{},
 			}
-			for org, scheme := range OrgSchemes {
-				im, err := c.Image(scheme)
-				if err != nil {
-					return Fig13Row{}, err
-				}
-				sim, err := cache.NewSim(org, cache.DefaultConfig(org), im, c.Prog)
+			for _, p := range scheme.StudyPairings() {
+				sim, err := c.SimFor(p, cache.DefaultConfig(p.Org))
 				if err != nil {
 					return Fig13Row{}, err
 				}
 				if err := simTimer.Time(func() error {
-					row.Results[org.String()] = sim.Run(tr)
+					row.Results[p.Name] = sim.Run(tr)
 					return nil
 				}); err != nil {
 					return Fig13Row{}, err
@@ -501,10 +490,7 @@ func (s *Suite) StreamSweep() ([]StreamSweepRow, error) {
 			return benchPoint{}, err
 		}
 		pt := benchPoint{ratio: map[string]float64{}, log10T: map[string]float64{}}
-		for _, cfgName := range SchemeNames() {
-			if cfgName == "base" || cfgName == "byte" || cfgName == "full" || cfgName == "tailored" {
-				continue
-			}
+		for _, cfgName := range scheme.GroupNames(scheme.GroupStream) {
 			im, err := c.Image(cfgName)
 			if err != nil {
 				return benchPoint{}, err

@@ -113,14 +113,21 @@ func (s *Suite) PredictorSweep(bench string) ([]PredictorRow, error) {
 		return nil, err
 	}
 	var rows []PredictorRow
-	for _, pred := range []string{"bimodal", "gshare", "pas", "perfect"} {
+	sweep := []struct {
+		label   string
+		kind    cache.PredictorKind
+		perfect bool
+	}{
+		{"bimodal", cache.PredictorBimodal, false},
+		{"gshare", cache.PredictorGShare, false},
+		{"pas", cache.PredictorPAs, false},
+		{"perfect", cache.PredictorDefault, true},
+	}
+	for _, pred := range sweep {
 		mk := func(org cache.Org) cache.Config {
 			cfg := cache.DefaultConfig(org)
-			if pred == "perfect" {
-				cfg.PerfectPrediction = true
-			} else {
-				cfg.Predictor = pred
-			}
+			cfg.Predictor = pred.kind
+			cfg.PerfectPrediction = pred.perfect
 			return cfg
 		}
 		bSim, err := cache.NewSim(cache.OrgBase, mk(cache.OrgBase), baseIm, c.Prog)
@@ -133,7 +140,7 @@ func (s *Suite) PredictorSweep(bench string) ([]PredictorRow, error) {
 		}
 		bRes, cRes := bSim.Run(tr), cSim.Run(tr)
 		rows = append(rows, PredictorRow{
-			Predictor:      pred,
+			Predictor:      pred.label,
 			MispredictRate: bRes.MispredictRate(),
 			BaseIPC:        bRes.IPC(),
 			CompressedIPC:  cRes.IPC(),

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/scheme"
+)
+
+// goldenBlocks is the trace length the golden snapshot was taken at. It
+// is long enough to exercise every startup-matrix cell (mispredicted L0
+// hits, CodePack miss-path refills) on every benchmark while keeping the
+// regeneration run under a couple of seconds.
+const goldenBlocks = 50000
+
+// goldenResults replays every benchmark through every registered pairing
+// and returns the full cache.Result per "benchmark/pairing" key.
+func goldenResults(t *testing.T) map[string]cache.Result {
+	t.Helper()
+	s := NewSuite(Options{TraceBlocks: goldenBlocks})
+	out := map[string]cache.Result{}
+	for _, bench := range s.opt.benchmarks() {
+		c, err := s.Compiled(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := c.Trace(goldenBlocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range scheme.Pairings() {
+			sim, err := c.SimFor(p, cache.DefaultConfig(p.Org))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[fmt.Sprintf("%s/%s", bench, p.Name)] = sim.Run(tr)
+		}
+	}
+	return out
+}
+
+// TestGoldenEquivalence pins the simulator's observable behaviour: the
+// complete cache.Result of every benchmark × pairing must stay
+// bit-identical to the snapshot taken before the stage-pipeline
+// refactor. Any counter drifting — cycles, flips, buffer hits — fails
+// here before it can silently shift a figure. Regenerate deliberately
+// with GOLDEN_UPDATE=1 after an intended behaviour change.
+func TestGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay is too slow for -short")
+	}
+	path := filepath.Join("testdata", "golden_results.json")
+	got := goldenResults(t)
+
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		blob := struct {
+			TraceBlocks int                     `json:"trace_blocks"`
+			Results     map[string]cache.Result `json:"results"`
+		}{goldenBlocks, got}
+		data, err := json.MarshalIndent(blob, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d results)", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden snapshot (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	var want struct {
+		TraceBlocks int                     `json:"trace_blocks"`
+		Results     map[string]cache.Result `json:"results"`
+	}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.TraceBlocks != goldenBlocks {
+		t.Fatalf("golden snapshot at %d trace blocks, test runs %d", want.TraceBlocks, goldenBlocks)
+	}
+	for key, w := range want.Results {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: in golden snapshot but no longer simulated", key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s:\n got  %+v\n want %+v", key, g, w)
+		}
+	}
+	for key := range got {
+		if _, ok := want.Results[key]; !ok {
+			t.Errorf("%s: simulated but missing from golden snapshot (GOLDEN_UPDATE=1 to adopt)", key)
+		}
+	}
+}

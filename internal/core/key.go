@@ -7,8 +7,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/compress"
 	"repro/internal/sched"
+	"repro/internal/scheme"
 	"repro/internal/workload"
 )
 
@@ -61,25 +61,14 @@ func programHash(sp *sched.Program) string {
 }
 
 // schemeKey is the canonical content descriptor of an encoding scheme
-// configuration. Stream schemes hash their exact cut points (not their
-// display names); Huffman schemes fold in the code-length bound that
-// shapes their tables.
-func schemeKey(scheme string) string {
-	switch scheme {
-	case "base":
-		return "base"
-	case "byte", "full":
-		return fmt.Sprintf("%s/limit=%d", scheme, compress.CodeLenLimit)
-	case "tailored":
-		return "tailored"
-	default:
-		for _, cfg := range compress.StreamConfigs {
-			if cfg.Name == scheme {
-				return fmt.Sprintf("%s/limit=%d", cfg.Key(), compress.CodeLenLimit)
-			}
-		}
-		return "unknown/" + scheme
+// configuration, taken from the scheme registry (stream schemes key
+// their exact cut points, not their display names; Huffman schemes fold
+// in the code-length bound that shapes their tables).
+func schemeKey(name string) string {
+	if sc, ok := scheme.Lookup(name); ok {
+		return sc.ContentKey
 	}
+	return "unknown/" + name
 }
 
 // encoderKey addresses a (program, scheme) encoder artifact. The program

@@ -19,21 +19,17 @@ import (
 	"repro/internal/isa"
 	"repro/internal/regalloc"
 	"repro/internal/sched"
+	"repro/internal/scheme"
 	"repro/internal/tailor"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// SchemeNames lists every encoding scheme the toolchain can produce, in
-// report order: the baseline, byte-based Huffman, the six stream
-// configurations, whole-op Huffman, and the tailored ISA.
-func SchemeNames() []string {
-	names := []string{"base", "byte"}
-	for _, cfg := range compress.StreamConfigs {
-		names = append(names, cfg.Name)
-	}
-	return append(names, "full", "tailored")
-}
+// SchemeNames lists every registered encoding scheme in report order:
+// the baseline, byte-based Huffman, the six stream configurations,
+// whole-op Huffman, and the tailored ISA (plus any schemes registered
+// beyond the built-ins).
+func SchemeNames() []string { return scheme.Names() }
 
 // Figure5Schemes are the schemes the paper's Figure 5 plots: byte-wise,
 // the two reported stream configurations, whole-op Huffman and tailored.
@@ -206,36 +202,16 @@ func newCompiled(p *ir.Program, sp *sched.Program, alloc regalloc.Result) *Compi
 	}
 }
 
-// buildEncoder constructs the encoder for a scheme name from scratch.
-func buildEncoder(p *sched.Program, scheme string) (compress.Encoder, error) {
-	var (
-		e   compress.Encoder
-		err error
-	)
-	switch scheme {
-	case "base":
-		e = compress.NewBase()
-	case "byte":
-		e, err = compress.NewByteHuffman(p)
-	case "full":
-		e, err = compress.NewFullHuffman(p)
-	case "tailored":
-		e, err = tailor.New(p)
-	default:
-		found := false
-		for _, cfg := range compress.StreamConfigs {
-			if cfg.Name == scheme {
-				e, err = compress.NewStreamHuffman(p, cfg)
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("core: unknown scheme %q", scheme)
-		}
+// buildEncoder constructs the encoder for a registered scheme name from
+// scratch.
+func buildEncoder(p *sched.Program, name string) (compress.Encoder, error) {
+	sc, ok := scheme.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheme %q", name)
 	}
+	e, err := sc.Build(p)
 	if err != nil {
-		return nil, fmt.Errorf("core: scheme %s: %w", scheme, err)
+		return nil, fmt.Errorf("core: scheme %s: %w", name, err)
 	}
 	return e, nil
 }
@@ -243,16 +219,16 @@ func buildEncoder(p *sched.Program, scheme string) (compress.Encoder, error) {
 // Encoder builds (and caches) the encoder for a scheme name. Safe for
 // concurrent use; with an attached driver, the build is content-cached
 // and timed under the "encode.<scheme>" stage.
-func (c *Compiled) Encoder(scheme string) (compress.Encoder, error) {
-	v, hit, err := c.arts.do("enc/"+scheme, func() (any, error) {
+func (c *Compiled) Encoder(name string) (compress.Encoder, error) {
+	v, hit, err := c.arts.do("enc/"+name, func() (any, error) {
 		if c.drv == nil {
-			return buildEncoder(c.Prog, scheme)
+			return buildEncoder(c.Prog, name)
 		}
-		return memoAs(c.drv, c.encoderKey(scheme), func() (compress.Encoder, error) {
+		return memoAs(c.drv, c.encoderKey(name), func() (compress.Encoder, error) {
 			var e compress.Encoder
-			err := c.drv.obs.Timer("encode." + scheme).Time(func() error {
+			err := c.drv.obs.Timer("encode." + name).Time(func() error {
 				var berr error
-				e, berr = buildEncoder(c.Prog, scheme)
+				e, berr = buildEncoder(c.Prog, name)
 				return berr
 			})
 			return e, err
@@ -267,7 +243,7 @@ func (c *Compiled) Encoder(scheme string) (compress.Encoder, error) {
 	if c.encBuilt == nil {
 		c.encBuilt = map[string]compress.Encoder{}
 	}
-	c.encBuilt[scheme] = e
+	c.encBuilt[name] = e
 	c.regMu.Unlock()
 	return e, nil
 }
@@ -290,28 +266,32 @@ func buildImage(p *sched.Program, enc compress.Encoder, base *image.Image) (*ima
 }
 
 // Image builds (and caches) the program image under a scheme, with its
-// ATT attached for every non-base scheme. Safe for concurrent use; with
-// an attached driver, the build is content-cached, timed under the
-// "image.<scheme>" stage, and accounted in the bytes.base/bytes.encoded
-// throughput counters.
-func (c *Compiled) Image(scheme string) (*image.Image, error) {
-	v, hit, err := c.arts.do("img/"+scheme, func() (any, error) {
-		enc, err := c.Encoder(scheme)
+// ATT attached for every non-self-indexed scheme. Safe for concurrent
+// use; with an attached driver, the build is content-cached, timed under
+// the "image.<scheme>" stage, and accounted in the
+// bytes.base/bytes.encoded throughput counters.
+func (c *Compiled) Image(name string) (*image.Image, error) {
+	v, hit, err := c.arts.do("img/"+name, func() (any, error) {
+		sc, ok := scheme.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown scheme %q", name)
+		}
+		enc, err := c.Encoder(name)
 		if err != nil {
 			return nil, err
 		}
 		var base *image.Image
-		if scheme != "base" {
-			if base, err = c.Image("base"); err != nil {
+		if !sc.SelfIndexed {
+			if base, err = c.Image(scheme.BaseName); err != nil {
 				return nil, err
 			}
 		}
 		if c.drv == nil {
 			return buildImage(c.Prog, enc, base)
 		}
-		return memoAs(c.drv, c.imageKey(scheme), func() (*image.Image, error) {
+		return memoAs(c.drv, c.imageKey(name), func() (*image.Image, error) {
 			var im *image.Image
-			err := c.drv.obs.Timer("image." + scheme).Time(func() error {
+			err := c.drv.obs.Timer("image." + name).Time(func() error {
 				var berr error
 				im, berr = buildImage(c.Prog, enc, base)
 				return berr
@@ -332,7 +312,7 @@ func (c *Compiled) Image(scheme string) (*image.Image, error) {
 	if c.imgBuilt == nil {
 		c.imgBuilt = map[string]*image.Image{}
 	}
-	c.imgBuilt[scheme] = im
+	c.imgBuilt[name] = im
 	c.regMu.Unlock()
 	return im, nil
 }

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/cache"
 	"repro/internal/declogic"
+	"repro/internal/image"
 	"repro/internal/isa"
+	"repro/internal/scheme"
 	"repro/internal/stats"
 )
 
@@ -29,10 +34,33 @@ const (
 	ThumbOpInflation = 1.18
 )
 
-// RelatedWork compares, per benchmark: the paper's Compressed (full) and
-// Tailored organizations, a CodePack-style miss-path decompressor (byte
-// scheme ROM, uncompressed cache), and a static Thumb-style subset-ISA
-// size model.
+// approachLabel names a pairing in the comparison: the organization
+// label, annotated with the encoding when it is not implied by the
+// label itself (CodePack's ROM scheme, Compressed's cache scheme).
+func approachLabel(p scheme.Pairing) string {
+	if p.ROMScheme != "" {
+		return fmt.Sprintf("%s(%s)", p.Name, p.ROMScheme)
+	}
+	if p.CacheScheme != scheme.BaseName && !strings.EqualFold(p.CacheScheme, p.Name) {
+		return fmt.Sprintf("%s(%s)", p.Name, p.CacheScheme)
+	}
+	return p.Name
+}
+
+// romImage returns the image whose bytes sit in ROM for a pairing: the
+// behind-the-bus ROM image when the organization keeps one, the cache's
+// image otherwise.
+func (c *Compiled) romImage(p scheme.Pairing) (*image.Image, error) {
+	if p.ROMScheme != "" {
+		return c.Image(p.ROMScheme)
+	}
+	return c.Image(p.CacheScheme)
+}
+
+// RelatedWork compares, per benchmark, every registered pairing — the
+// paper's Base/Compressed/Tailored organizations and the CodePack-style
+// miss-path decompressor (byte-scheme ROM, uncompressed cache) — plus a
+// static Thumb-style subset-ISA size model.
 func (s *Suite) RelatedWork() ([]RelatedRow, error) {
 	var rows []RelatedRow
 	for _, name := range s.opt.benchmarks() {
@@ -40,7 +68,7 @@ func (s *Suite) RelatedWork() ([]RelatedRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := c.Image("base")
+		base, err := c.Image(scheme.BaseName)
 		if err != nil {
 			return nil, err
 		}
@@ -48,7 +76,11 @@ func (s *Suite) RelatedWork() ([]RelatedRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		baseSim, err := cache.NewSim(cache.OrgBase, cache.DefaultConfig(cache.OrgBase), base, c.Prog)
+		basePair, ok := scheme.PairingByName("Base")
+		if !ok {
+			return nil, fmt.Errorf("core: no Base pairing registered")
+		}
+		baseSim, err := c.SimFor(basePair, cache.DefaultConfig(basePair.Org))
 		if err != nil {
 			return nil, err
 		}
@@ -64,44 +96,22 @@ func (s *Suite) RelatedWork() ([]RelatedRow, error) {
 			}
 			rows = append(rows, row)
 		}
-		add("Base", 1, &baseRes)
-
-		// This paper: Compressed (full scheme, hit-path decompression).
-		fullIm, err := c.Image("full")
-		if err != nil {
-			return nil, err
+		for _, p := range scheme.Pairings() {
+			if p.Name == basePair.Name {
+				add(approachLabel(p), 1, &baseRes)
+				continue
+			}
+			rom, err := c.romImage(p)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := c.SimFor(p, cache.DefaultConfig(p.Org))
+			if err != nil {
+				return nil, err
+			}
+			res := sim.Run(tr)
+			add(approachLabel(p), float64(rom.TotalBytes())/float64(base.CodeBytes), &res)
 		}
-		compSim, err := cache.NewSim(cache.OrgCompressed, cache.DefaultConfig(cache.OrgCompressed), fullIm, c.Prog)
-		if err != nil {
-			return nil, err
-		}
-		compRes := compSim.Run(tr)
-		add("Compressed(full)", float64(fullIm.TotalBytes())/float64(base.CodeBytes), &compRes)
-
-		// This paper: Tailored ISA.
-		tlIm, err := c.Image("tailored")
-		if err != nil {
-			return nil, err
-		}
-		tlSim, err := cache.NewSim(cache.OrgTailored, cache.DefaultConfig(cache.OrgTailored), tlIm, c.Prog)
-		if err != nil {
-			return nil, err
-		}
-		tlRes := tlSim.Run(tr)
-		add("Tailored", float64(tlIm.TotalBytes())/float64(base.CodeBytes), &tlRes)
-
-		// Related work: CodePack-style — byte-scheme ROM, decompress at
-		// miss time into an uncompressed cache.
-		byteIm, err := c.Image("byte")
-		if err != nil {
-			return nil, err
-		}
-		cpSim, err := cache.NewCodePackSim(cache.DefaultConfig(cache.OrgCodePack), base, byteIm, c.Prog)
-		if err != nil {
-			return nil, err
-		}
-		cpRes := cpSim.Run(tr)
-		add("CodePack(byte)", float64(byteIm.TotalBytes())/float64(base.CodeBytes), &cpRes)
 
 		// Related work: Thumb/MIPS16-style subset ISA, static size model
 		// only (no IFetch advantage: the cache holds the subset encoding

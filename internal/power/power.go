@@ -57,6 +57,12 @@ func (b *Bus) Transfer(data []byte) {
 	}
 }
 
+// Counts returns the cumulative beats, bit flips and payload bytes — the
+// cache package's BusModel accounting face.
+func (b *Bus) Counts() (beats, flips, bytes int64) {
+	return b.Beats, b.Flips, b.Bytes
+}
+
 // FlipsPerBeat returns the average bit transitions per bus transaction.
 func (b *Bus) FlipsPerBeat() float64 {
 	if b.Beats == 0 {

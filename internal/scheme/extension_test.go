@@ -1,0 +1,183 @@
+// The extension test lives in an external test package (and thus a test
+// binary separate from internal/core's) so the entries it registers are
+// invisible to the count-sensitive toolchain tests.
+package scheme_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/scheme"
+)
+
+// TestRegisterNewPair is the registry's design goal as a test: a new
+// (encoding, organization) pair — a clone of the CodePack point — is
+// registered here, in a test, and runs end-to-end through the compile
+// pipeline and the stage-pipeline simulator WITHOUT any edit to
+// internal/cache or internal/core. Because the clone's encoder and spec
+// are identical to CodePack's, its simulation results must match
+// CodePack's exactly; any divergence means the simulator still special-
+// cases the built-ins somewhere.
+func TestRegisterNewPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a benchmark; too slow for -short")
+	}
+
+	// A new encoding: byte-granular Huffman under a different name. The
+	// ContentKey must be distinct so the artifact cache treats it as its
+	// own configuration.
+	if err := scheme.Register(scheme.Scheme{
+		Name:       "byte-mirror",
+		ContentKey: "byte-mirror/limit-test",
+		Build: func(p *sched.Program) (compress.Encoder, error) {
+			return compress.NewByteHuffman(p)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new organization: CodePack's stage composition under a new name.
+	org, err := cache.RegisterOrg(cache.OrgSpec{
+		Name:      "MirrorPack",
+		LineBytes: 40,
+		NeedsROM:  true,
+		Decode:    cache.MissDecompress{},
+		Timing:    cache.StartupTable{PredHit: 1, PredMiss: 2, MispredHit: 2, MispredMiss: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := cache.OrgByName("mirrorpack"); !ok || got != org {
+		t.Fatalf("OrgByName(mirrorpack) = %v, %v; want %v, true", got, ok, org)
+	}
+
+	// The pairing that ties them together.
+	if err := scheme.RegisterPairing(scheme.Pairing{
+		Name:        "MirrorPack",
+		Org:         org,
+		CacheScheme: scheme.BaseName,
+		ROMScheme:   "byte-mirror",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const blocks = 20000
+	c, err := core.CompileBenchmark("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Trace(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(name string) cache.Result {
+		t.Helper()
+		p, ok := scheme.PairingByName(name)
+		if !ok {
+			t.Fatalf("pairing %s not registered", name)
+		}
+		sim, err := c.SimFor(p, cache.DefaultConfig(p.Org))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run(tr)
+	}
+
+	mirror := run("MirrorPack")
+	codepack := run("CodePack")
+	// The organization label is the one field that legitimately differs.
+	mirror.Org = codepack.Org
+	if mirror != codepack {
+		t.Errorf("MirrorPack result diverges from its CodePack template:\n got  %+v\n want %+v",
+			mirror, codepack)
+	}
+	if mirror.Cycles == 0 || mirror.BlockFetches == 0 {
+		t.Errorf("MirrorPack simulation ran empty: %+v", mirror)
+	}
+}
+
+// TestRegistryValidation pins the registration error paths.
+func TestRegistryValidation(t *testing.T) {
+	if err := scheme.Register(scheme.Scheme{Name: ""}); err == nil {
+		t.Error("Register accepted a nameless scheme")
+	}
+	if err := scheme.Register(scheme.Scheme{Name: "x"}); err == nil {
+		t.Error("Register accepted a scheme without Build")
+	}
+	if err := scheme.Register(scheme.Scheme{
+		Name:  "x",
+		Build: func(*sched.Program) (compress.Encoder, error) { return compress.NewBase(), nil },
+	}); err == nil {
+		t.Error("Register accepted a scheme without ContentKey")
+	}
+	if err := scheme.Register(scheme.Scheme{
+		Name:       scheme.BaseName,
+		ContentKey: "dup",
+		Build:      func(*sched.Program) (compress.Encoder, error) { return compress.NewBase(), nil },
+	}); err == nil {
+		t.Error("Register accepted a duplicate name")
+	}
+
+	if err := scheme.RegisterPairing(scheme.Pairing{Name: ""}); err == nil {
+		t.Error("RegisterPairing accepted a nameless pairing")
+	}
+	if err := scheme.RegisterPairing(scheme.Pairing{
+		Name: "bogus-org", Org: cache.Org(9999), CacheScheme: scheme.BaseName,
+	}); err == nil {
+		t.Error("RegisterPairing accepted an unregistered organization")
+	}
+	if err := scheme.RegisterPairing(scheme.Pairing{
+		Name: "bogus-scheme", Org: cache.OrgBase, CacheScheme: "nonesuch",
+	}); err == nil {
+		t.Error("RegisterPairing accepted an unknown cache scheme")
+	}
+	if err := scheme.RegisterPairing(scheme.Pairing{
+		Name: "missing-rom", Org: cache.OrgCodePack, CacheScheme: scheme.BaseName,
+	}); err == nil {
+		t.Error("RegisterPairing accepted a NeedsROM organization without a ROM scheme")
+	}
+	if err := scheme.RegisterPairing(scheme.Pairing{
+		Name: "extra-rom", Org: cache.OrgBase, CacheScheme: scheme.BaseName, ROMScheme: "byte",
+	}); err == nil {
+		t.Error("RegisterPairing accepted a ROM scheme on a non-ROM organization")
+	}
+	if err := scheme.RegisterPairing(scheme.Pairing{
+		Name: "Base", Org: cache.OrgBase, CacheScheme: scheme.BaseName,
+	}); err == nil {
+		t.Error("RegisterPairing accepted a duplicate name")
+	}
+}
+
+// TestBuiltinRegistry pins the built-in registration order the reports
+// rely on and the study subset of Figures 13/14.
+func TestBuiltinRegistry(t *testing.T) {
+	names := scheme.Names()
+	if len(names) < 10 || names[0] != scheme.BaseName {
+		t.Fatalf("Names() = %v; want base first among >= 10 built-ins", names)
+	}
+	if got := scheme.GroupNames(scheme.GroupStream); len(got) != 6 {
+		t.Errorf("GroupNames(stream) = %v; want the six §2.2 configurations", got)
+	}
+	var study []string
+	for _, p := range scheme.StudyPairings() {
+		study = append(study, p.Name)
+	}
+	want := []string{"Base", "Compressed", "Tailored"}
+	if len(study) < 3 {
+		t.Fatalf("StudyPairings() = %v; want at least %v", study, want)
+	}
+	for i, w := range want {
+		if study[i] != w {
+			t.Errorf("StudyPairings()[%d] = %s; want %s", i, study[i], w)
+		}
+	}
+	for _, name := range []string{"base", "codepack", "COMPRESSED"} {
+		if _, ok := scheme.PairingByName(name); !ok {
+			t.Errorf("PairingByName(%q) failed; lookup should be case-insensitive", name)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package scheme is the unified registry behind the paper's co-design
+// argument (Larin & Conte §4–§5): an encoding scheme and the fetch
+// organization built for it are one point, not two switch statements.
+// The package registers every encoding (how to construct its encoder,
+// its canonical content key for artifact caching, whether its image
+// carries an Address Translation Table) and every pairing of an encoding
+// with a cache organization (internal/cache's Org registry). The
+// toolchain (internal/core), the figure experiments and the CLIs resolve
+// schemes and pairings here; adding a new (encoding, organization) pair
+// is a registration, not an edit to the simulator or the build pipeline.
+package scheme
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/compress"
+	"repro/internal/sched"
+)
+
+// BaseName is the self-indexed baseline encoding every other scheme's
+// ATT and compression ratio are measured against.
+const BaseName = "base"
+
+// Groups classify schemes for sweeps and reports.
+const (
+	// GroupStream marks the six multi-stream Huffman configurations of
+	// §2.2 that StreamSweep explores.
+	GroupStream = "stream"
+)
+
+// Scheme bundles everything the toolchain needs to build one encoding.
+type Scheme struct {
+	// Name is the scheme's registry key and report label.
+	Name string
+	// Group optionally classifies the scheme for sweeps (e.g.
+	// GroupStream); the built-in singleton schemes leave it empty.
+	Group string
+	// Build constructs the scheme's encoder for a scheduled program.
+	Build func(p *sched.Program) (compress.Encoder, error)
+	// ContentKey is the canonical content descriptor folded into
+	// artifact-cache keys: it must change whenever the configuration
+	// changes meaning (cut points, code-length bounds, ...), and must
+	// not depend on the display name alone.
+	ContentKey string
+	// SelfIndexed marks the encoding whose image needs no Address
+	// Translation Table because block addresses are its own address
+	// space (the base encoding).
+	SelfIndexed bool
+}
+
+var (
+	mu      sync.RWMutex
+	schemes []Scheme
+	byName  = map[string]int{}
+)
+
+// Register adds a scheme to the registry. Names are unique; Build and
+// ContentKey are required.
+func Register(s Scheme) error {
+	if s.Name == "" {
+		return fmt.Errorf("scheme: registration needs a name")
+	}
+	if s.Build == nil {
+		return fmt.Errorf("scheme: %s needs a Build function", s.Name)
+	}
+	if s.ContentKey == "" {
+		return fmt.Errorf("scheme: %s needs a ContentKey", s.Name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := byName[s.Name]; dup {
+		return fmt.Errorf("scheme: %s already registered", s.Name)
+	}
+	byName[s.Name] = len(schemes)
+	schemes = append(schemes, s)
+	return nil
+}
+
+// MustRegister is Register, panicking on error.
+func MustRegister(s Scheme) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a scheme by name.
+func Lookup(name string) (Scheme, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	i, ok := byName[name]
+	if !ok {
+		return Scheme{}, false
+	}
+	return schemes[i], true
+}
+
+// Names returns every registered scheme name in registration order —
+// the toolchain's report order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, len(schemes))
+	for i, s := range schemes {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// GroupNames returns the names of every scheme in a group, in
+// registration order.
+func GroupNames(group string) []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	var out []string
+	for _, s := range schemes {
+		if s.Group == group {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// Pairing is one co-designed (encoding, fetch organization) point: the
+// scheme whose image the cache indexes, the cache organization built
+// for it, and — for miss-path-decompression organizations — the scheme
+// of the ROM image behind the bus.
+type Pairing struct {
+	// Name is the organization-level label used in figures ("Base",
+	// "Compressed", ...); for the built-ins it matches Org.String().
+	Name string
+	// Org is the fetch organization in internal/cache's registry.
+	Org cache.Org
+	// CacheScheme names the encoding held by the cache.
+	CacheScheme string
+	// ROMScheme names the encoding of the ROM image behind the bus;
+	// non-empty exactly when the organization's spec sets NeedsROM.
+	ROMScheme string
+	// Study marks the pairings of the paper's cache study (Figures 13
+	// and 14).
+	Study bool
+}
+
+var (
+	pairMu   sync.RWMutex
+	pairings []Pairing
+	pairIdx  = map[string]int{} // lower-cased name -> index
+)
+
+// RegisterPairing adds a pairing, validating that its schemes exist and
+// that the ROM scheme matches the organization's NeedsROM contract.
+func RegisterPairing(p Pairing) error {
+	if p.Name == "" {
+		return fmt.Errorf("scheme: pairing needs a name")
+	}
+	spec, ok := p.Org.Spec()
+	if !ok {
+		return fmt.Errorf("scheme: pairing %s names unregistered organization %d",
+			p.Name, int(p.Org))
+	}
+	if _, ok := Lookup(p.CacheScheme); !ok {
+		return fmt.Errorf("scheme: pairing %s names unknown cache scheme %q",
+			p.Name, p.CacheScheme)
+	}
+	if spec.NeedsROM != (p.ROMScheme != "") {
+		return fmt.Errorf("scheme: pairing %s: organization %s NeedsROM=%v but ROM scheme is %q",
+			p.Name, spec.Name, spec.NeedsROM, p.ROMScheme)
+	}
+	if p.ROMScheme != "" {
+		if _, ok := Lookup(p.ROMScheme); !ok {
+			return fmt.Errorf("scheme: pairing %s names unknown ROM scheme %q",
+				p.Name, p.ROMScheme)
+		}
+	}
+	pairMu.Lock()
+	defer pairMu.Unlock()
+	key := strings.ToLower(p.Name)
+	if _, dup := pairIdx[key]; dup {
+		return fmt.Errorf("scheme: pairing %s already registered", p.Name)
+	}
+	pairIdx[key] = len(pairings)
+	pairings = append(pairings, p)
+	return nil
+}
+
+// MustRegisterPairing is RegisterPairing, panicking on error.
+func MustRegisterPairing(p Pairing) {
+	if err := RegisterPairing(p); err != nil {
+		panic(err)
+	}
+}
+
+// Pairings returns every registered pairing in registration order.
+func Pairings() []Pairing {
+	pairMu.RLock()
+	defer pairMu.RUnlock()
+	out := make([]Pairing, len(pairings))
+	copy(out, pairings)
+	return out
+}
+
+// PairingByName resolves a pairing label case-insensitively (CLI flags
+// use lower case, figures the capitalized form).
+func PairingByName(name string) (Pairing, bool) {
+	pairMu.RLock()
+	defer pairMu.RUnlock()
+	i, ok := pairIdx[strings.ToLower(name)]
+	if !ok {
+		return Pairing{}, false
+	}
+	return pairings[i], true
+}
+
+// PairingFor returns the first registered pairing of an organization.
+func PairingFor(org cache.Org) (Pairing, bool) {
+	pairMu.RLock()
+	defer pairMu.RUnlock()
+	for _, p := range pairings {
+		if p.Org == org {
+			return p, true
+		}
+	}
+	return Pairing{}, false
+}
+
+// StudyPairings returns the pairings of the paper's cache study
+// (Figures 13/14) in registration order.
+func StudyPairings() []Pairing {
+	pairMu.RLock()
+	defer pairMu.RUnlock()
+	var out []Pairing
+	for _, p := range pairings {
+		if p.Study {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/layout"
 	"repro/internal/sched"
+	"repro/internal/scheme"
 )
 
 // Artifact bundles one scheme's encoded outputs for Pipeline.
@@ -19,8 +20,9 @@ type Artifact struct {
 
 // Pipeline runs every verifier pass over a compiled pipeline: the IR
 // (when available), the schedule, and each artifact's encoding and
-// image. The base scheme's image is exempt from the ATT requirement —
-// uncompressed code needs no address translation.
+// image. Self-indexed schemes (the base encoding, per the scheme
+// registry) are exempt from the ATT requirement — uncompressed code
+// needs no address translation.
 func Pipeline(p *ir.Program, sp *sched.Program, arts []Artifact) *Report {
 	rep := &Report{}
 	if p != nil {
@@ -33,9 +35,13 @@ func Pipeline(p *ir.Program, sp *sched.Program, arts []Artifact) *Report {
 				rep.Merge(Encoding(sp, a.Enc))
 			}
 			if a.Im != nil && a.Enc != nil {
+				requireATT := true
+				if sc, ok := scheme.Lookup(a.Scheme); ok {
+					requireATT = !sc.SelfIndexed
+				}
 				rep.Merge(Image(a.Im, sp, a.Enc, ImageOpts{
 					Order:      a.Order,
-					RequireATT: a.Scheme != "base",
+					RequireATT: requireATT,
 				}))
 			}
 		}

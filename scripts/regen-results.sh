@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerates docs/RESULTS.txt: every paper figure at full trace length,
+# followed by the sweep studies, in the layout the committed file uses.
+# Run from the repository root: ./scripts/regen-results.sh
+set -e
+out=docs/RESULTS.txt
+go run ./cmd/tepicbench >"$out"
+echo >>"$out"
+go run ./cmd/tepicbench -sweep streams >>"$out"
+echo >>"$out"
+go run ./cmd/tepicbench -sweep related >>"$out"
+echo >>"$out"
+go run ./cmd/tepicbench -sweep dict >>"$out"
+echo >>"$out"
+go run ./cmd/tepicbench -sweep predictors >>"$out"
+echo >>"$out"
+go run ./cmd/tepicbench -sweep superblocks >>"$out"
+echo >>"$out"
+go run ./cmd/tepicbench -sweep speculation -benchmarks compress,go,gcc,vortex >>"$out"
+go run ./cmd/tepicbench -sweep layout >>"$out"
