@@ -166,7 +166,11 @@ func runSim(b *testing.B, c *core.Compiled, org cache.Org, cfg cache.Config, blo
 	if err != nil {
 		b.Fatal(err)
 	}
-	return sim.Run(tr)
+	res, err := sim.Run(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
 }
 
 // BenchmarkAblationL0Size sweeps the L0 decompression buffer (the paper
@@ -449,7 +453,9 @@ func BenchmarkCacheSimThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sim.Run(tr)
+		if _, err := sim.Run(tr); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.SetBytes(int64(tr.Len()))
 }

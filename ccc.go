@@ -24,7 +24,8 @@
 //
 //	tr, _ := c.Trace(100000)
 //	sim, _ := ccc.NewSim(ccc.OrgCompressed, ccc.DefaultConfig(ccc.OrgCompressed), full, c.Prog)
-//	fmt.Printf("delivered IPC: %.3f\n", sim.Run(tr).IPC())
+//	res, _ := sim.Run(tr)
+//	fmt.Printf("delivered IPC: %.3f\n", res.IPC())
 package ccc
 
 import (

@@ -32,7 +32,11 @@ func TestFacadeWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ipc := sim.Run(tr).IPC(); ipc <= 0 {
+	res, err := sim.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc := res.IPC(); ipc <= 0 {
 		t.Errorf("IPC %.3f", ipc)
 	}
 }

@@ -3,7 +3,8 @@
 // work studies behind them. Builds fan out on the concurrent compilation
 // driver; -json exports a machine-readable benchmark report (stage
 // latencies, cache traffic, throughput) and -check decode-verifies every
-// built image.
+// built image and re-derives every simulation's counters through the
+// analytical oracle (internal/simcheck).
 //
 // Usage:
 //
@@ -13,7 +14,7 @@
 //	tepicbench -benchmarks gcc,go   # subset
 //	tepicbench -par 8               # worker-pool width
 //	tepicbench -json BENCH_all.json # machine-readable report
-//	tepicbench -check               # fail on any decode mismatch
+//	tepicbench -check               # fail on any decode mismatch or oracle finding
 //	tepicbench -warm                # re-run on the warm cache, report hit rate
 //	tepicbench -sweep streams       # the six stream configurations
 //	tepicbench -sweep related       # §6 comparison (CodePack, Thumb-style)
@@ -64,6 +65,11 @@ type benchReport struct {
 	BytesPerSec   float64                        `json:"bytes_per_sec"`
 	DecodeChecked bool                           `json:"decode_checked"`
 	DecodeOK      bool                           `json:"decode_ok"`
+	// SimChecked/SimOK report the simulation oracle pass (-check): the
+	// differential, metamorphic and fault-injection checks of
+	// internal/simcheck over every benchmark × registered pairing.
+	SimChecked bool `json:"sim_checked"`
+	SimOK      bool `json:"sim_ok"`
 	// DecodeThroughput is the measured entropy-decode rate per Huffman
 	// scheme, aggregated over every benchmark in the run: the
 	// table-driven fast decoder vs the bit-by-bit reference oracle over
@@ -85,7 +91,7 @@ func run(args []string, out io.Writer) error {
 	sweep := fs.String("sweep", "", "extra study: streams, related, dict, predictors, superblocks, speculation, layout")
 	par := fs.Int("par", 0, "compilation worker-pool width (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write a machine-readable benchmark report to this file")
-	check := fs.Bool("check", false, "decode-verify every built image; non-zero exit on mismatch")
+	check := fs.Bool("check", false, "decode-verify every built image and run the simulation oracle; non-zero exit on findings")
 	warm := fs.Bool("warm", false, "re-run the workload on the warm cache and report the hit rate")
 	decodeMin := fs.Float64("decodemin", 0,
 		"minimum fast/reference decode speedup on the full scheme; non-zero exit below it (0 = no check)")
@@ -156,6 +162,26 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Simulation oracle: re-derive every pairing's counters analytically,
+	// assert the metamorphic invariants and run the fault matrix, over
+	// every benchmark on the driver's worker pool.
+	simOK := true
+	if *check && checkErr == nil {
+		rep, err := s.SimCheck()
+		if err != nil {
+			return err
+		}
+		if rep.OK() {
+			fmt.Fprintln(out, "simulation check: oracle, invariants and fault matrix clean on every pairing")
+		} else {
+			simOK = false
+			if err := rep.WriteText(out); err != nil {
+				return err
+			}
+			checkErr = fmt.Errorf("simulation checks found %d error(s)", rep.Errors())
+		}
+	}
+
 	// Decode-throughput measurement: every Huffman scheme's symbol
 	// stream, fast decoder vs reference oracle, over every benchmark.
 	var decodeRates map[string]core.DecodeThroughput
@@ -217,6 +243,8 @@ func run(args []string, out io.Writer) error {
 			BytesEncoded:  snap.Counters["bytes.encoded"],
 			DecodeChecked: *check,
 			DecodeOK:      decodeOK,
+			SimChecked:    *check,
+			SimOK:         simOK,
 
 			DecodeThroughput: decodeRates,
 		}

@@ -3,13 +3,18 @@
 // artifacts, and runs the static verifier (internal/verify) over the IR,
 // the schedule, the code tables and the program images — LLVM's
 // MachineVerifier recast for a compiler that owns the code image
-// end-to-end. Exit status is nonzero when any invariant fails.
+// end-to-end. With -sim it also replays a trace through every registered
+// (encoding, organization) pairing and runs the dynamic simulation
+// checks of internal/simcheck: the analytical oracle diff, the
+// metamorphic invariants and the fault-injection matrix. Exit status is
+// nonzero when any invariant fails.
 //
 // Usage:
 //
 //	tepiclint -bench gcc
 //	tepiclint -bench all -scheme tailored
 //	tepiclint -bench compress -hot -json
+//	tepiclint -bench go -sim
 package main
 
 import (
@@ -47,6 +52,8 @@ func run(args []string, out io.Writer) error {
 	bench := fs.String("bench", "compress", "benchmark name, or \"all\"")
 	scheme := fs.String("scheme", "", "verify only this scheme (default: every scheme)")
 	hot := fs.Bool("hot", false, "additionally verify a trace-driven hot-layout image")
+	sim := fs.Bool("sim", false, "additionally run the dynamic simulation checks (oracle, metamorphic invariants, fault matrix) over every registered pairing")
+	simBlocks := fs.Int("simblocks", 20000, "with -sim: trace length in blocks (0 = profile default)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,7 +70,7 @@ func run(args []string, out io.Writer) error {
 
 	failed := false
 	for _, name := range benches {
-		rep, err := lintBenchmark(name, schemes, *hot)
+		rep, err := lintBenchmark(name, schemes, *hot, *sim, *simBlocks)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -90,8 +97,10 @@ func run(args []string, out io.Writer) error {
 
 // lintBenchmark compiles one benchmark and verifies its pipeline; with
 // hot set it also builds and verifies an image under the trace-driven
-// hot layout (exercising the ordered-placement checks).
-func lintBenchmark(name string, schemes []string, hot bool) (*verify.Report, error) {
+// hot layout (exercising the ordered-placement checks), and with sim
+// set it runs the dynamic simulation checks of internal/simcheck over
+// every registered pairing.
+func lintBenchmark(name string, schemes []string, hot, sim bool, simBlocks int) (*verify.Report, error) {
 	c, err := ccc.CompileBenchmark(name)
 	if err != nil {
 		return nil, err
@@ -106,8 +115,15 @@ func lintBenchmark(name string, schemes []string, hot bool) (*verify.Report, err
 			return nil, err
 		}
 		rep.Merge(hotRep)
-		rep.Sort()
 	}
+	if sim {
+		simRep, err := c.SimLint(simBlocks)
+		if err != nil {
+			return nil, err
+		}
+		rep.Merge(simRep)
+	}
+	rep.Sort()
 	return rep, nil
 }
 

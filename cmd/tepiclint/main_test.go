@@ -27,6 +27,16 @@ func TestRunSingleSchemeHotLayout(t *testing.T) {
 	}
 }
 
+func TestRunSimChecks(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-sim", "-simblocks", "5000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0 error(s)") {
+		t.Errorf("simulation checks not clean:\n%s", sb.String())
+	}
+}
+
 func TestRunJSON(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-bench", "compress", "-scheme", "base", "-json"}, &sb); err != nil {

@@ -1,7 +1,10 @@
 // Command tepicsim runs trace-driven IFetch simulations: a benchmark, a
 // registered (encoding, organization) pairing and a cache geometry,
 // reporting the paper's metrics (delivered IPC, miss and misprediction
-// rates, L0 buffer behaviour, bus traffic and bit flips). With -sweep it
+// rates, L0 buffer behaviour, bus traffic and bit flips). With -check
+// the point is re-verified by the simulation oracle (internal/simcheck):
+// an analytical recomputation of the counters plus metamorphic and
+// fault-injection checks, failing the run on any finding. With -sweep it
 // fans a registry-driven geometry × predictor grid out over the
 // compilation driver's worker pool instead of running one point.
 //
@@ -12,6 +15,7 @@
 //	tepicsim -bench compress -org compressed -l0 64 -blocks 1000000
 //	tepicsim -bench go -org base -predictor gshare
 //	tepicsim -bench vortex -org codepack
+//	tepicsim -bench vortex -org compressed -check
 //	tepicsim -bench gcc -org base -sweep
 //	tepicsim -bench gcc -org compressed -sweep -json
 package main
@@ -46,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	l0 := fs.Int("l0", 0, "L0 buffer ops, L0 organizations only (0 = paper default)")
 	predictor := fs.String("predictor", "", "direction predictor: bimodal, gshare or pas")
 	perfect := fs.Bool("perfect-prediction", false, "disable the next-block predictor (ablation)")
+	check := fs.Bool("check", false, "run the simulation oracle after the run (differential, metamorphic and fault checks); non-zero exit on findings")
 	sweep := fs.Bool("sweep", false, "run the registry-driven geometry x predictor sweep")
 	jsonOut := fs.Bool("json", false, "with -sweep: emit the report as JSON")
 	par := fs.Int("par", 0, "with -sweep: worker-pool width (0 = GOMAXPROCS)")
@@ -93,7 +98,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	r := sim.Run(tr)
+	r, err := sim.Run(tr)
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(out, "benchmark   %s (%s scheme, %s organization)\n", *bench, p.CacheScheme, p.Org)
 	if p.ROMScheme != "" {
@@ -115,6 +123,20 @@ func run(args []string, out io.Writer) error {
 		r.BusBeats, r.BytesFetched, r.BitFlips,
 		float64(r.BitFlips)/float64(max64(r.BusBeats, 1)))
 	fmt.Fprintf(out, "ATB         %.2f%% hit rate\n", 100*r.ATBHitRate)
+	if *check {
+		rep, err := c.CheckSim(p, cfg, tr)
+		if err != nil {
+			return err
+		}
+		if !rep.OK() {
+			if err := rep.WriteText(out); err != nil {
+				return err
+			}
+			return fmt.Errorf("simulation checks found %d error(s)", rep.Errors())
+		}
+		fmt.Fprintf(out, "simcheck    oracle, invariants and fault matrix clean (%d warning(s))\n",
+			rep.Warnings())
+	}
 	return nil
 }
 

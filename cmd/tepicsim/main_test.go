@@ -58,6 +58,13 @@ func TestRunPerfectPrediction(t *testing.T) {
 	}
 }
 
+func TestRunWithCheck(t *testing.T) {
+	out := simOut(t, "-bench", "compress", "-org", "compressed", "-check")
+	if !strings.Contains(out, "simcheck") || !strings.Contains(out, "clean") {
+		t.Errorf("-check report missing:\n%s", out)
+	}
+}
+
 func TestRunUnknownOrg(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-org", "nonesuch"}, &sb); err == nil {

@@ -156,7 +156,10 @@ func run(out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		r := sim.Run(tr)
+		r, err := sim.Run(tr)
+		if err != nil {
+			return err
+		}
 		bh := "-"
 		if org == cache.OrgCompressed {
 			bh = fmt.Sprintf("%.1f%%", 100*float64(r.BufferHits)/float64(r.BlockFetches))

@@ -86,7 +86,10 @@ func run(out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		r := sim.Run(tr)
+		r, err := sim.Run(tr)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "  %-10s -> IPC %.3f, bus bit flips %d\n", org, r.IPC(), r.BitFlips)
 	}
 	fmt.Fprintln(out, "\nPick full compression if ROM dominates cost; pick the tailored")

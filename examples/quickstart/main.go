@@ -66,7 +66,10 @@ func run(out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		r := sim.Run(tr)
+		r, err := sim.Run(tr)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "%-12s  %-8s  %.3f  %4.1f%%  %4.1f%%\n",
 			org, scheme, r.IPC(), 100*r.MissRate(), 100*r.MispredictRate())
 	}

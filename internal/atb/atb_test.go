@@ -109,3 +109,44 @@ func TestHighLocalityHitRate(t *testing.T) {
 		t.Errorf("loop hit rate %.3f, want > 0.99", a.HitRate())
 	}
 }
+
+// TestPredictReportsDirectionNotResidency pins the Predict contract the
+// ATBStage doc in internal/cache describes: the boolean is the
+// direction prediction (taken/not-taken) for the block's terminator,
+// NOT whether the ATB holds the block — residency is Touch/HitRate's
+// business and never changes what Predict returns.
+func TestPredictReportsDirectionNotResidency(t *testing.T) {
+	a := mkATB(4, 1) // capacity 1: at most one block resident at a time
+
+	// Block 2 is trained strongly taken, then evicted from the ATB by
+	// touching other blocks. Its direction prediction must survive.
+	a.Update(2, true, 0)
+	a.Update(2, true, 0)
+	a.Touch(2)
+	a.Touch(0)
+	a.Touch(1) // block 2 long evicted from the single-entry buffer
+	if next, taken := a.Predict(2); !taken || next != 0 {
+		t.Errorf("evicted trained block: Predict = (%d, %v), want (0, true)", next, taken)
+	}
+
+	// A resident but cold block still predicts not-taken fall-through:
+	// residency must not read as a taken prediction either.
+	a.Touch(1)
+	if next, taken := a.Predict(1); taken || next != 2 {
+		t.Errorf("resident cold block: Predict = (%d, %v), want (2, false)", next, taken)
+	}
+
+	// The taken target is the LAST recorded one, tracked across
+	// intervening not-taken outcomes.
+	a.Update(3, true, 0) // counter 1 -> 2, target recorded
+	a.Update(3, false, 0)
+	a.Update(3, true, 1)
+	if next, taken := a.Predict(3); !taken || next != 1 {
+		t.Errorf("retrained block: Predict = (%d, %v), want (1, true)", next, taken)
+	}
+
+	// Out-of-table blocks: (-1, false), never a panic.
+	if next, taken := a.Predict(99); taken || next != -1 {
+		t.Errorf("out-of-table block: Predict = (%d, %v), want (-1, false)", next, taken)
+	}
+}

@@ -211,7 +211,21 @@ func runOrg(t testing.TB, org Org, sp *sched.Program, im *image.Image, tr *trace
 	if err != nil {
 		t.Fatal(err)
 	}
-	return sim.Run(tr)
+	res, err := sim.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// mustRun replays a trace, failing the test on a validation error.
+func mustRun(t testing.TB, sim *Sim, tr *trace.Trace) Result {
+	t.Helper()
+	res, err := sim.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestSimBasicInvariants(t *testing.T) {

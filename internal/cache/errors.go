@@ -1,0 +1,20 @@
+package cache
+
+import "errors"
+
+// The typed failure classes of the simulator's input validation. Every
+// rejection NewOrgSim or Sim.Run produces wraps exactly one of these, so
+// callers (and the fault-injection suite in internal/simcheck) can
+// classify failures with errors.Is instead of string matching.
+var (
+	// ErrMalformedTrace marks a trace whose events reference blocks (or
+	// successors) outside the simulated program.
+	ErrMalformedTrace = errors.New("cache: malformed trace")
+	// ErrCorruptImage marks a program image whose block table and data
+	// disagree — truncated data, out-of-extent or negative placements, or
+	// a block count that does not match the scheduled program.
+	ErrCorruptImage = errors.New("cache: corrupt image")
+	// ErrBadGeometry marks a degenerate cache configuration (non-positive
+	// sets, associativity or line size).
+	ErrBadGeometry = errors.New("cache: bad geometry")
+)

@@ -148,17 +148,15 @@ func NewOrgSim(org Org, cfg Config, im, rom *image.Image, sp *sched.Program) (*S
 	if !ok {
 		return nil, fmt.Errorf("cache: unknown organization %d", int(org))
 	}
-	if len(im.Blocks) != len(sp.Blocks) {
-		return nil, fmt.Errorf("cache: image has %d blocks, program %d",
-			len(im.Blocks), len(sp.Blocks))
+	if err := validateImage(im, "cache", sp); err != nil {
+		return nil, err
 	}
 	if spec.NeedsROM {
 		if rom == nil {
 			return nil, fmt.Errorf("cache: organization %s needs a ROM image", spec.Name)
 		}
-		if len(rom.Blocks) != len(sp.Blocks) {
-			return nil, fmt.Errorf("cache: ROM image has %d blocks, program %d",
-				len(rom.Blocks), len(sp.Blocks))
+		if err := validateImage(rom, "ROM", sp); err != nil {
+			return nil, err
 		}
 	} else if rom != nil {
 		return nil, fmt.Errorf("cache: organization %s takes no ROM image", spec.Name)
@@ -191,9 +189,34 @@ func NewOrgSim(org Org, cfg Config, im, rom *image.Image, sp *sched.Program) (*S
 		bus:   power.NewBus(cfg.BusBytes),
 	}
 	if spec.HasL0 {
+		if cfg.L0Ops < 0 {
+			return nil, fmt.Errorf("%w: L0 buffer capacity %d ops", ErrBadGeometry, cfg.L0Ops)
+		}
 		s.buf = NewL0Buffer(cfg.L0Ops)
 	}
 	return s, nil
+}
+
+// validateImage rejects images whose block table and data disagree
+// before they can drive the fetch pipeline out of bounds: a block count
+// differing from the scheduled program, negative placements, or extents
+// past the end of the image data. All rejections wrap ErrCorruptImage.
+func validateImage(im *image.Image, role string, sp *sched.Program) error {
+	if len(im.Blocks) != len(sp.Blocks) {
+		return fmt.Errorf("%w: %s image has %d blocks, program %d",
+			ErrCorruptImage, role, len(im.Blocks), len(sp.Blocks))
+	}
+	for i, b := range im.Blocks {
+		if b.Addr < 0 || b.Bytes < 0 {
+			return fmt.Errorf("%w: %s image block %d has negative placement (addr %d, %d bytes)",
+				ErrCorruptImage, role, i, b.Addr, b.Bytes)
+		}
+		if b.Addr+b.Bytes > len(im.Data) {
+			return fmt.Errorf("%w: %s image block %d extends to %d but data holds %d bytes",
+				ErrCorruptImage, role, i, b.Addr+b.Bytes, len(im.Data))
+		}
+	}
+	return nil
 }
 
 // NewCodePackSim builds the related-work miss-path-decompression
@@ -207,8 +230,14 @@ func NewCodePackSim(cfg Config, cacheIm, romIm *image.Image, sp *sched.Program) 
 
 // Run replays a trace through the IFetch stage pipeline: predictor and
 // ATB, the optional L0 buffer, the cache array with bus-backed miss
-// repair, and the organization's Decompressor and StartupTable.
-func (s *Sim) Run(tr *trace.Trace) Result {
+// repair, and the organization's Decompressor and StartupTable. The
+// trace is validated up front — an event referencing a block outside the
+// simulated program returns an error wrapping ErrMalformedTrace instead
+// of driving the pipeline out of bounds.
+func (s *Sim) Run(tr *trace.Trace) (Result, error) {
+	if err := tr.ValidateRefs(len(s.im.Blocks)); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrMalformedTrace, err)
+	}
 	res := Result{
 		Benchmark: tr.Name,
 		Scheme:    s.im.Scheme,
@@ -261,19 +290,22 @@ func (s *Sim) Run(tr *trace.Trace) Result {
 				cacheHit = false
 				res.CacheMisses++
 				if s.rom != nil {
-					// The bus carries the ROM's encoded lines.
-					res.LinesFetched += int64(romBlk.Lines(s.cfg.LineBytes))
-					end := romBlk.Addr + romBlk.Bytes
-					if end > len(s.rom.Data) {
-						end = len(s.rom.Data)
+					// The bus carries the ROM's encoded lines. Like the
+					// in-cache path below, repair is line-granular: whole
+					// memory lines spanning the block's ROM footprint, so
+					// BusBeats/BytesFetched agree with LinesFetched.
+					romFirst := int64(romBlk.Addr / s.cfg.LineBytes)
+					romLines := int64(romBlk.Lines(s.cfg.LineBytes))
+					res.LinesFetched += romLines
+					for l := int64(0); l < romLines; l++ {
+						s.bus.Transfer(lineData(s.rom, romFirst+l, s.cfg.LineBytes))
 					}
-					s.bus.Transfer(s.rom.Data[romBlk.Addr:end])
 				} else {
 					res.LinesFetched += int64(nFetch)
 					// Miss repair fetches the whole block over the bus
 					// and validates all its lines (atomic fetch unit).
 					for l := int64(0); l < int64(nFetch); l++ {
-						s.bus.Transfer(s.lineData(firstLine + l))
+						s.bus.Transfer(lineData(s.im, firstLine+l, s.cfg.LineBytes))
 					}
 				}
 				for l := int64(0); l < int64(nFetch); l++ {
@@ -305,23 +337,25 @@ func (s *Sim) Run(tr *trace.Trace) Result {
 	}
 	res.BusBeats, res.BitFlips, res.BytesFetched = s.bus.Counts()
 	res.ATBHitRate = s.atb.HitRate()
-	return res
+	return res, nil
 }
 
-// lineData returns the ROM bytes of one memory line (zero-padded past the
-// end of the image).
-func (s *Sim) lineData(line int64) []byte {
-	start := int(line) * s.cfg.LineBytes
-	end := start + s.cfg.LineBytes
-	if start >= len(s.im.Data) {
-		return make([]byte, s.cfg.LineBytes)
+// lineData returns the bytes of one memory line of an image's encoded
+// data (zero-padded past the end of the image) — the payload a
+// line-granular miss repair puts on the bus, whether the line lives in
+// the cache's own image or a behind-the-bus ROM image.
+func lineData(im *image.Image, line int64, lineBytes int) []byte {
+	start := int(line) * lineBytes
+	end := start + lineBytes
+	if start >= len(im.Data) {
+		return make([]byte, lineBytes)
 	}
-	if end > len(s.im.Data) {
-		padded := make([]byte, s.cfg.LineBytes)
-		copy(padded, s.im.Data[start:])
+	if end > len(im.Data) {
+		padded := make([]byte, lineBytes)
+		copy(padded, im.Data[start:])
 		return padded
 	}
-	return s.im.Data[start:end]
+	return im.Data[start:end]
 }
 
 // RunIdeal returns the perfect-cache, perfect-predictor result: one cycle

@@ -24,8 +24,14 @@ type Predictor = atb.DirectionPredictor
 type ATBStage interface {
 	// Touch records an access for hit-rate accounting.
 	Touch(block int)
-	// Predict returns the predicted next block; ok reports an ATB hit.
-	Predict(block int) (next int, ok bool)
+	// Predict returns the predicted next block together with the
+	// direction prediction: taken reports whether the block's terminator
+	// is predicted taken (next is then the last recorded taken target),
+	// not whether the ATB hit — residency is Touch/HitRate's business. A
+	// next of -1 means the predictor has no target yet (a cold taken
+	// prediction, or a block outside the loaded table) and will count as
+	// a misprediction.
+	Predict(block int) (next int, taken bool)
 	// Update trains the entry with the branch outcome and actual target.
 	Update(block int, taken bool, next int) error
 	// HitRate returns the fraction of touches that hit the buffer.

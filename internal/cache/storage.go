@@ -18,7 +18,7 @@ type LineCache struct {
 // NewLineCache builds a cache with the given geometry.
 func NewLineCache(sets, assoc, lineBytes int) (*LineCache, error) {
 	if sets < 1 || assoc < 1 || lineBytes < 1 {
-		return nil, fmt.Errorf("cache: bad geometry %d sets x %d ways x %dB", sets, assoc, lineBytes)
+		return nil, fmt.Errorf("%w: %d sets x %d ways x %dB", ErrBadGeometry, sets, assoc, lineBytes)
 	}
 	c := &LineCache{sets: sets, assoc: assoc, lineBytes: lineBytes}
 	c.tags = make([][]int64, sets)

@@ -347,7 +347,11 @@ func (s *Suite) Figure13() (*Fig13Result, error) {
 					return Fig13Row{}, err
 				}
 				if err := simTimer.Time(func() error {
-					row.Results[p.Name] = sim.Run(tr)
+					res, rerr := sim.Run(tr)
+					if rerr != nil {
+						return rerr
+					}
+					row.Results[p.Name] = res
 					return nil
 				}); err != nil {
 					return Fig13Row{}, err

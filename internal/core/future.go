@@ -44,7 +44,7 @@ func (s *Suite) LayoutStudy() ([]LayoutRow, error) {
 			if err != nil {
 				return cache.Result{}, err
 			}
-			return sim.Run(tr), nil
+			return sim.Run(tr)
 		}
 		natural, err := run(nil)
 		if err != nil {
@@ -138,7 +138,14 @@ func (s *Suite) PredictorSweep(bench string) ([]PredictorRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		bRes, cRes := bSim.Run(tr), cSim.Run(tr)
+		bRes, err := bSim.Run(tr)
+		if err != nil {
+			return nil, err
+		}
+		cRes, err := cSim.Run(tr)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, PredictorRow{
 			Predictor:      pred.label,
 			MispredictRate: bRes.MispredictRate(),

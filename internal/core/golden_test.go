@@ -37,7 +37,11 @@ func goldenResults(t *testing.T) map[string]cache.Result {
 			if err != nil {
 				t.Fatal(err)
 			}
-			out[fmt.Sprintf("%s/%s", bench, p.Name)] = sim.Run(tr)
+			res, err := sim.Run(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[fmt.Sprintf("%s/%s", bench, p.Name)] = res
 		}
 	}
 	return out

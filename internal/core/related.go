@@ -84,7 +84,10 @@ func (s *Suite) RelatedWork() ([]RelatedRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		baseRes := baseSim.Run(tr)
+		baseRes, err := baseSim.Run(tr)
+		if err != nil {
+			return nil, err
+		}
 
 		add := func(approach string, romRatio float64, res *cache.Result) {
 			row := RelatedRow{Benchmark: name, Approach: approach, ROMRatio: romRatio}
@@ -109,7 +112,10 @@ func (s *Suite) RelatedWork() ([]RelatedRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			res := sim.Run(tr)
+			res, err := sim.Run(tr)
+			if err != nil {
+				return nil, err
+			}
 			add(approachLabel(p), float64(rom.TotalBytes())/float64(base.CodeBytes), &res)
 		}
 

@@ -35,10 +35,13 @@ func TestRelatedWork(t *testing.T) {
 	if cp.ROMRatio >= 1 || thumb.ROMRatio >= 1 || tl.ROMRatio >= 1 {
 		t.Error("every compression approach must shrink the ROM")
 	}
-	// §6's criticisms quantified: CodePack saves bus energy but not
-	// performance; on the capacity benchmark the paper's Compressed wins.
-	if cp.FlipRatio >= 1 {
-		t.Errorf("codepack flip ratio %.3f not below base", cp.FlipRatio)
+	// §6's criticisms quantified: with the ROM miss path charged whole
+	// bus lines (not raw compressed bytes), CodePack's entropy-dense
+	// lines toggle MORE per beat than Base's — no bus-energy win — and
+	// it buys no performance either; on the capacity benchmark the
+	// paper's Compressed wins.
+	if cp.FlipRatio <= 1 {
+		t.Errorf("codepack flip ratio %.3f not above base under line-granular accounting", cp.FlipRatio)
 	}
 	if cp.IPC >= base.IPC {
 		t.Errorf("codepack IPC %.3f not below base %.3f", cp.IPC, base.IPC)

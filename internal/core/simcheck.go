@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/image"
+	"repro/internal/scheme"
+	"repro/internal/simcheck"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// CheckSim runs the simulation checking layer (internal/simcheck) for
+// one registered pairing over this compilation: the analytical oracle
+// diff, the accounting identities, the metamorphic invariants and the
+// fault-injection matrix. Image builds share the compilation's artifact
+// cache. Findings land in the report; the error covers only failures to
+// run the checks at all.
+func (c *Compiled) CheckSim(p scheme.Pairing, cfg cache.Config, tr *trace.Trace) (*verify.Report, error) {
+	im, err := c.Image(p.CacheScheme)
+	if err != nil {
+		return nil, err
+	}
+	var rom *image.Image
+	if p.ROMScheme != "" {
+		if rom, err = c.Image(p.ROMScheme); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := simcheck.Check(simcheck.Input{
+		Org: p.Org, Cfg: cfg, Im: im, ROM: rom, Prog: c.Prog, Tr: tr,
+		Stage: "sim:" + p.Name,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: simcheck pairing %s: %w", p.Name, err)
+	}
+	return rep, nil
+}
+
+// SimLint is the dynamic counterpart of Lint: it replays one trace of
+// the given length (0 = profile default) through every registered
+// pairing at its default geometry and runs the full checking layer on
+// each, merging one sorted report.
+func (c *Compiled) SimLint(blocks int) (*verify.Report, error) {
+	tr, err := c.Trace(blocks)
+	if err != nil {
+		return nil, err
+	}
+	rep := &verify.Report{}
+	for _, p := range scheme.Pairings() {
+		r, err := c.CheckSim(p, cache.DefaultConfig(p.Org), tr)
+		if err != nil {
+			return nil, err
+		}
+		rep.Merge(r)
+	}
+	rep.Sort()
+	return rep, nil
+}
+
+// SimCheck runs SimLint for every benchmark of the suite on the
+// driver's worker pool — the opt-in post-run check behind tepicbench
+// -check — merging one sorted report.
+func (s *Suite) SimCheck() (*verify.Report, error) {
+	reps, err := forEachBenchmark(s, func(name string) (*verify.Report, error) {
+		c, err := s.Compiled(name)
+		if err != nil {
+			return nil, err
+		}
+		return c.SimLint(s.opt.TraceBlocks)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &verify.Report{}
+	for _, r := range reps {
+		rep.Merge(r)
+	}
+	rep.Sort()
+	return rep, nil
+}

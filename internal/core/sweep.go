@@ -117,8 +117,9 @@ func (s *Suite) GeometrySweep(bench string, points []SweepPoint) ([]SweepRow, er
 		}
 		var r cache.Result
 		if err := simTimer.Time(func() error {
-			r = sim.Run(tr)
-			return nil
+			var rerr error
+			r, rerr = sim.Run(tr)
+			return rerr
 		}); err != nil {
 			return SweepRow{}, err
 		}

@@ -127,7 +127,11 @@ func TestHotLayoutImprovesBaseCache(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sim.Run(tr)
+		res, err := sim.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
 	natural := run(nil)
 	hot, err := FromTrace(sp, tr)

@@ -84,7 +84,11 @@ func TestRegisterNewPair(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sim.Run(tr)
+		res, err := sim.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
 
 	mirror := run("MirrorPack")

@@ -1,0 +1,54 @@
+package trace
+
+import "testing"
+
+// FuzzTraceValidate drives Validate/ValidateRefs with arbitrary event
+// streams decoded from fuzz bytes — the validators are the simulator's
+// only shield against malformed traces, so they must never panic and
+// must stay mutually consistent: a chain-consistent trace (Validate)
+// is necessarily reference-valid (ValidateRefs), and a trace accepted
+// by ValidateRefs holds no out-of-range reference.
+func FuzzTraceValidate(f *testing.F) {
+	f.Add(4, []byte{0, 1, 1, 1, 0, 1, 255, 255, 0})
+	f.Add(1, []byte{0, 0, 0})
+	f.Add(0, []byte{})
+	f.Add(3, []byte{2, 1, 200, 7, 0, 0})
+	f.Fuzz(func(t *testing.T, numBlocks int, raw []byte) {
+		if numBlocks < 0 || numBlocks > 1<<16 {
+			return
+		}
+		// Decode byte triples into events; the third byte's low bit is
+		// the outcome and 255 in the second byte is End, so the corpus
+		// reaches in-range, out-of-range and terminator successors.
+		tr := &Trace{Name: "fuzz"}
+		for i := 0; i+2 < len(raw); i += 3 {
+			next := int(raw[i+1])
+			if raw[i+1] == 255 {
+				next = End
+			}
+			tr.Events = append(tr.Events, Event{
+				Block: int(raw[i]) - 2, // negatives reachable
+				Taken: raw[i+2]&1 == 1,
+				Next:  next,
+			})
+		}
+
+		refsErr := tr.ValidateRefs(numBlocks)
+		chainErr := tr.Validate(numBlocks)
+		if refsErr != nil && chainErr == nil {
+			t.Fatalf("Validate accepted a trace ValidateRefs rejects: %v", refsErr)
+		}
+		if refsErr == nil {
+			for i, e := range tr.Events {
+				if e.Block < 0 || e.Block >= numBlocks {
+					t.Fatalf("ValidateRefs accepted event %d with block %d of %d",
+						i, e.Block, numBlocks)
+				}
+				if e.Next != End && (e.Next < 0 || e.Next >= numBlocks) {
+					t.Fatalf("ValidateRefs accepted event %d with successor %d of %d",
+						i, e.Next, numBlocks)
+				}
+			}
+		}
+	})
+}

@@ -29,16 +29,33 @@ type Trace struct {
 // Len returns the number of block executions.
 func (t *Trace) Len() int { return len(t.Events) }
 
-// Validate checks that successor links are consistent.
+// Validate checks that every block reference is in range (ValidateRefs)
+// and that successor links are consistent: each event's Next must name
+// the block the following event executes.
 func (t *Trace) Validate(numBlocks int) error {
+	if err := t.ValidateRefs(numBlocks); err != nil {
+		return err
+	}
+	for i, e := range t.Events {
+		if i+1 < len(t.Events) && e.Next != t.Events[i+1].Block {
+			return fmt.Errorf("trace: event %d Next=%d but event %d executes %d",
+				i, e.Next, i+1, t.Events[i+1].Block)
+		}
+	}
+	return nil
+}
+
+// ValidateRefs checks only that every event's block references lie
+// inside [0, numBlocks): the executed block, and the successor (which may
+// also be End). Unlike Validate it does not require the successor chain
+// to be consistent, so stitched or concatenated traces (whose seam events
+// name a Next that differs from the following event) still pass — this
+// is the precondition the IFetch simulators enforce before replay.
+func (t *Trace) ValidateRefs(numBlocks int) error {
 	for i, e := range t.Events {
 		if e.Block < 0 || e.Block >= numBlocks {
 			return fmt.Errorf("trace: event %d references block %d of %d",
 				i, e.Block, numBlocks)
-		}
-		if i+1 < len(t.Events) && e.Next != t.Events[i+1].Block {
-			return fmt.Errorf("trace: event %d Next=%d but event %d executes %d",
-				i, e.Next, i+1, t.Events[i+1].Block)
 		}
 		if e.Next != End && (e.Next < 0 || e.Next >= numBlocks) {
 			return fmt.Errorf("trace: event %d has bad successor %d", i, e.Next)

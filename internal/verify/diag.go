@@ -183,6 +183,33 @@ const (
 	CheckATBInfo CheckID = "atb-info"
 )
 
+// Simulation checks (internal/simcheck): dynamic cross-checks of the
+// IFetch simulator — a differential diff against an independent
+// analytical oracle, intra-result accounting identities, metamorphic
+// invariants across configuration perturbations, and a fault-injection
+// matrix asserting typed rejection of malformed inputs.
+const (
+	// CheckSimOracle: every counter of a simulation result must equal the
+	// analytical oracle's independent recomputation exactly.
+	CheckSimOracle CheckID = "sim-oracle"
+	// CheckSimIdentity: a result's counters must satisfy the pipeline's
+	// conservation laws (L0 filter accounting, line-granular bus volume).
+	CheckSimIdentity CheckID = "sim-identity"
+	// CheckSimMetaPerfect: perfect next-block prediction must never
+	// increase cycles and must record zero mispredictions.
+	CheckSimMetaPerfect CheckID = "sim-meta-perfect"
+	// CheckSimMetaLRU: growing associativity at fixed sets must never
+	// increase misses or fetched lines (the LRU stack property).
+	CheckSimMetaLRU CheckID = "sim-meta-lru"
+	// CheckSimMetaAdditive: replaying a self-concatenated trace must
+	// yield exactly additive operation counts.
+	CheckSimMetaAdditive CheckID = "sim-meta-additive"
+	// CheckSimFault: injected faults (corrupt images, malformed traces,
+	// degenerate geometries) must be rejected with the documented typed
+	// error — never accepted, never a panic.
+	CheckSimFault CheckID = "sim-fault"
+)
+
 // Pos locates a diagnostic within an artifact. Fields are -1 when not
 // applicable; Bit is a bit offset within the containing operation or
 // image (check-dependent).
