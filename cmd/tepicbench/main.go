@@ -35,6 +35,7 @@ import (
 	"time"
 
 	ccc "repro"
+	"repro/internal/cliio"
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/superblock"
@@ -103,18 +104,19 @@ func run(args []string, out io.Writer) error {
 	if *benchCSV != "" {
 		opt.Benchmarks = strings.Split(*benchCSV, ",")
 	}
+	w := cliio.New(out)
 	d := ccc.NewDriver(*par)
 	s := ccc.NewSuiteWithDriver(opt, d)
 
-	exec := func(w io.Writer) error {
+	exec := func(ew *cliio.Writer) error {
 		if *sweep != "" {
-			return runSweep(s, opt, *sweep, w)
+			return runSweep(s, opt, *sweep, ew)
 		}
-		return runFigures(s, *fig, w)
+		return runFigures(s, *fig, ew)
 	}
 
 	start := time.Now()
-	if err := exec(out); err != nil {
+	if err := exec(w); err != nil {
 		return err
 	}
 	wall := time.Since(start)
@@ -125,7 +127,7 @@ func run(args []string, out io.Writer) error {
 	if *warm {
 		h0 := d.Stats().Counter("artifact.hit").Value()
 		m0 := d.Stats().Counter("artifact.miss").Value()
-		if err := exec(io.Discard); err != nil {
+		if err := exec(cliio.New(io.Discard)); err != nil {
 			return err
 		}
 		dh := d.Stats().Counter("artifact.hit").Value() - h0
@@ -133,7 +135,7 @@ func run(args []string, out io.Writer) error {
 		if dh+dm > 0 {
 			warmRate = float64(dh) / float64(dh+dm)
 		}
-		fmt.Fprintf(out, "warm re-run: %d/%d artifact requests served from cache (%.1f%%)\n",
+		w.Printf("warm re-run: %d/%d artifact requests served from cache (%.1f%%)\n",
 			dh, dh+dm, 100*warmRate)
 	}
 
@@ -158,7 +160,7 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		if decodeOK {
-			fmt.Fprintln(out, "decode check: all built images decode back to the scheduled program")
+			w.Println("decode check: all built images decode back to the scheduled program")
 		}
 	}
 
@@ -172,7 +174,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		if rep.OK() {
-			fmt.Fprintln(out, "simulation check: oracle, invariants and fault matrix clean on every pairing")
+			w.Println("simulation check: oracle, invariants and fault matrix clean on every pairing")
 		} else {
 			simOK = false
 			if err := rep.WriteText(out); err != nil {
@@ -213,7 +215,7 @@ func run(args []string, out io.Writer) error {
 				dr.Speedup = dr.Fast.BitsPerSec / dr.Reference.BitsPerSec
 			}
 			decodeRates[scheme] = dr
-			fmt.Fprintf(out, "decode throughput %-9s fast %7.1f Mb/s  reference %6.1f Mb/s  speedup %.2fx\n",
+			w.Printf("decode throughput %-9s fast %7.1f Mb/s  reference %6.1f Mb/s  speedup %.2fx\n",
 				scheme, dr.Fast.BitsPerSec/1e6, dr.Reference.BitsPerSec/1e6, dr.Speedup)
 		}
 	}
@@ -258,7 +260,7 @@ func run(args []string, out io.Writer) error {
 		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "benchmark report written to %s\n", *jsonPath)
+		w.Printf("benchmark report written to %s\n", *jsonPath)
 	}
 	if checkErr != nil {
 		return checkErr
@@ -268,11 +270,11 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("decode speedup on full scheme %.2fx below minimum %.2fx", got, *decodeMin)
 		}
 	}
-	return nil
+	return w.Err()
 }
 
 // runFigures regenerates the requested figure tables.
-func runFigures(s *ccc.Suite, fig string, out io.Writer) error {
+func runFigures(s *ccc.Suite, fig string, w *cliio.Writer) error {
 	want := func(n string) bool { return fig == "all" || fig == n }
 	type figure struct {
 		name string
@@ -328,7 +330,7 @@ func runFigures(s *ccc.Suite, fig string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, tab.Render())
+		w.Println(tab.Render())
 	}
 	if !matched {
 		return fmt.Errorf("unknown figure %q", fig)
@@ -336,34 +338,34 @@ func runFigures(s *ccc.Suite, fig string, out io.Writer) error {
 	return nil
 }
 
-func runSweep(s *ccc.Suite, opt ccc.Options, sweep string, out io.Writer) error {
+func runSweep(s *ccc.Suite, opt ccc.Options, sweep string, w *cliio.Writer) error {
 	switch sweep {
 	case "streams":
 		rows, err := s.StreamSweep()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, "Stream configuration exploration (six configurations of §2.2):")
-		fmt.Fprintf(out, "%-10s %12s %18s\n", "config", "mean ratio", "decoder log10(T)")
+		w.Println("Stream configuration exploration (six configurations of §2.2):")
+		w.Printf("%-10s %12s %18s\n", "config", "mean ratio", "decoder log10(T)")
 		for _, r := range rows {
-			fmt.Fprintf(out, "%-10s %11.1f%% %18.2f\n", r.Config, 100*r.MeanRatio, r.Log10T)
+			w.Printf("%-10s %11.1f%% %18.2f\n", r.Config, 100*r.MeanRatio, r.Log10T)
 		}
 	case "related":
 		rows, err := s.RelatedWork()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, core.RelatedWorkTable(rows).Render())
+		w.Println(core.RelatedWorkTable(rows).Render())
 	case "dict":
 		rows, err := s.DictionarySweep(8)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, "Beyond-Huffman dictionary scheme (§7 future work), 256-entry dictionary:")
-		fmt.Fprintf(out, "%-10s %10s %10s %14s %14s\n",
+		w.Println("Beyond-Huffman dictionary scheme (§7 future work), 256-entry dictionary:")
+		w.Printf("%-10s %10s %10s %14s %14s\n",
 			"benchmark", "dict", "full", "dict RAM bits", "full log10(T)")
 		for _, r := range rows {
-			fmt.Fprintf(out, "%-10s %9.1f%% %9.1f%% %14d %14.2f\n",
+			w.Printf("%-10s %9.1f%% %9.1f%% %14d %14.2f\n",
 				r.Benchmark, 100*r.DictRatio, 100*r.FullRatio, r.DictRAMBits, r.FullLog10T)
 		}
 	case "predictors":
@@ -375,26 +377,26 @@ func runSweep(s *ccc.Suite, opt ccc.Options, sweep string, out io.Writer) error 
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, core.PredictorTable(bench, rows).Render())
+		w.Println(core.PredictorTable(bench, rows).Render())
 	case "layout":
 		rows, err := s.LayoutStudy()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, core.LayoutTable(rows).Render())
+		w.Println(core.LayoutTable(rows).Render())
 	case "speculation":
 		rows, err := s.SpeculationStudy()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, core.SpeculationTable(rows).Render())
+		w.Println(core.SpeculationTable(rows).Render())
 	case "superblocks":
 		names := opt.Benchmarks
 		if len(names) == 0 {
 			names = ccc.Benchmarks
 		}
-		fmt.Fprintln(out, "Complex fetch units (§7 future work): superblock formation")
-		fmt.Fprintf(out, "%-10s %7s %7s %9s %12s %10s %10s\n",
+		w.Println("Complex fetch units (§7 future work): superblock formation")
+		w.Printf("%-10s %7s %7s %9s %12s %10s %10s\n",
 			"benchmark", "blocks", "units", "ops/unit", "fetch starts", "reduction", "side exits")
 		for _, name := range names {
 			c, err := s.Compiled(name)
@@ -410,7 +412,7 @@ func runSweep(s *ccc.Suite, opt ccc.Options, sweep string, out io.Writer) error 
 				return err
 			}
 			st := plan.Evaluate(c.Prog, tr)
-			fmt.Fprintf(out, "%-10s %7d %7d %9.2f %12d %9.1f%% %9.1f%%\n",
+			w.Printf("%-10s %7d %7d %9.2f %12d %9.1f%% %9.1f%%\n",
 				name, st.Blocks, st.Units, st.AvgUnitOps,
 				st.FetchStartsSB, 100*st.FetchReduction(), 100*st.SideExitRate())
 		}

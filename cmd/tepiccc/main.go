@@ -20,6 +20,7 @@ import (
 
 	ccc "repro"
 	"repro/internal/asm"
+	"repro/internal/cliio"
 	"repro/internal/core"
 	"repro/internal/declogic"
 	"repro/internal/sched"
@@ -49,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	w := cliio.New(out)
 
 	d := ccc.NewDriver(*par)
 	var (
@@ -70,7 +72,7 @@ func run(args []string, out io.Writer) error {
 			if hoisted, err = sched.Speculate(p); err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "speculation: %d ops hoisted\n", hoisted)
+			w.Printf("speculation: %d ops hoisted\n", hoisted)
 		}
 		if c, err = core.ScheduleOnly(p); err == nil {
 			d.Bind(c)
@@ -79,7 +81,7 @@ func run(args []string, out io.Writer) error {
 		var hoisted int
 		c, hoisted, err = core.CompileBenchmarkSpeculative(*bench)
 		if err == nil {
-			fmt.Fprintf(out, "speculation: %d ops hoisted\n", hoisted)
+			w.Printf("speculation: %d ops hoisted\n", hoisted)
 			d.Bind(c)
 		}
 	default:
@@ -105,7 +107,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "%-10s %10s %8s %10s %8s  %s\n",
+	w.Printf("%-10s %10s %8s %10s %8s  %s\n",
 		"scheme", "code B", "of base", "ATT B", "total B", "decoder")
 	for _, s := range schemes {
 		im, err := c.Image(s)
@@ -131,14 +133,14 @@ func run(args []string, out io.Writer) error {
 			}
 			dec = fmt.Sprintf("PLA %d entries", tl.DictionaryEntries())
 		}
-		fmt.Fprintf(out, "%-10s %10d %7.1f%% %10d %8d  %s\n",
+		w.Printf("%-10s %10d %7.1f%% %10d %8d  %s\n",
 			s, im.CodeBytes, 100*im.Ratio(base), att, im.TotalBytes(), dec)
 	}
 
 	if err := c.Verify(); err != nil {
 		return fmt.Errorf("round-trip verification FAILED: %w", err)
 	}
-	fmt.Fprintln(out, "\nround-trip verification: all built images decode back to the scheduled program")
+	w.Println("\nround-trip verification: all built images decode back to the scheduled program")
 
 	if *verifyFlag {
 		rep, err := c.Lint(schemes)
@@ -158,19 +160,16 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(*verilog)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
 		module := "tepic_" + *bench + "_decoder"
 		if *asmFile != "" {
 			module = "tepic_custom_decoder"
 		}
-		if err := tl.EmitVerilog(f, module); err != nil {
+		if err := cliio.WriteFile(*verilog, func(f io.Writer) error {
+			return tl.EmitVerilog(f, module)
+		}); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "tailored decoder written to %s\n", *verilog)
+		w.Printf("tailored decoder written to %s\n", *verilog)
 	}
 
 	if *huffV != "" {
@@ -182,30 +181,31 @@ func run(args []string, out io.Writer) error {
 		if len(tabs) == 0 {
 			return fmt.Errorf("scheme %s has no Huffman tables", *schemeFlag)
 		}
-		f, err := os.Create(*huffV)
-		if err != nil {
+		if err := cliio.WriteFile(*huffV, func(f io.Writer) error {
+			fw := cliio.New(f)
+			for i, tab := range tabs {
+				module := fmt.Sprintf("huff_%s_decoder", *schemeFlag)
+				if len(tabs) > 1 {
+					module = fmt.Sprintf("huff_%s_stream%d_decoder", *schemeFlag, i)
+				}
+				if err := tab.EmitVerilog(fw, module); err != nil {
+					return err
+				}
+				fw.Println()
+			}
+			return fw.Err()
+		}); err != nil {
 			return err
 		}
-		defer f.Close()
-		for i, tab := range tabs {
-			module := fmt.Sprintf("huff_%s_decoder", *schemeFlag)
-			if len(tabs) > 1 {
-				module = fmt.Sprintf("huff_%s_stream%d_decoder", *schemeFlag, i)
-			}
-			if err := tab.EmitVerilog(f, module); err != nil {
-				return err
-			}
-			fmt.Fprintln(f)
-		}
-		fmt.Fprintf(out, "Huffman decoder(s) written to %s\n", *huffV)
+		w.Printf("Huffman decoder(s) written to %s\n", *huffV)
 	}
 
 	if *statsFlag {
-		fmt.Fprintln(out, d.Stats().Snapshot().Table("pipeline stages").Render())
-		fmt.Fprintf(out, "artifact cache: %d hits / %d misses (%.1f%% hit rate)\n",
+		w.Println(d.Stats().Snapshot().Table("pipeline stages").Render())
+		w.Printf("artifact cache: %d hits / %d misses (%.1f%% hit rate)\n",
 			d.Stats().Counter("artifact.hit").Value(),
 			d.Stats().Counter("artifact.miss").Value(),
 			100*d.CacheHitRate())
 	}
-	return nil
+	return w.Err()
 }

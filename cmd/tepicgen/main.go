@@ -12,12 +12,12 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
 	"log"
 	"os"
 
 	ccc "repro"
+	"repro/internal/cliio"
 	"repro/internal/ir"
 	"repro/internal/isa"
 )
@@ -41,13 +41,14 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	w := cliio.New(out)
 
 	if *list {
 		for _, n := range ccc.Benchmarks {
 			p, _ := ccc.ProfileFor(n)
-			fmt.Fprintf(out, "%-9s funcs=%-4d phases=%-3d seed=%d\n", n, p.Funcs, p.Phases, p.Seed)
+			w.Printf("%-9s funcs=%-4d phases=%-3d seed=%d\n", n, p.Funcs, p.Phases, p.Seed)
 		}
-		return nil
+		return w.Err()
 	}
 
 	c, err := ccc.CompileBenchmark(*bench)
@@ -61,36 +62,36 @@ func run(args []string, out io.Writer) error {
 
 	if *stats {
 		s := ir.Collect(c.IR)
-		fmt.Fprintf(out, "benchmark %s\n", *bench)
-		fmt.Fprintf(out, "  static: %s\n", s.String())
-		fmt.Fprintf(out, "  scheduled: %d MOPs, density %.2f ops/MOP\n",
+		w.Printf("benchmark %s\n", *bench)
+		w.Printf("  static: %s\n", s.String())
+		w.Printf("  scheduled: %d MOPs, density %.2f ops/MOP\n",
 			c.Prog.TotalMOPs(), c.Prog.Density())
-		fmt.Fprintf(out, "  regalloc: %d/%d/%d regs used (gpr/fpr/pred), %d steals\n",
+		w.Printf("  regalloc: %d/%d/%d regs used (gpr/fpr/pred), %d steals\n",
 			c.Alloc.GPRUsed, c.Alloc.FPRUsed, c.Alloc.PredUsed, c.Alloc.Steals)
 		base, err := c.Image("base")
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  baseline image: %d bytes\n", base.CodeBytes)
+		w.Printf("  baseline image: %d bytes\n", base.CodeBytes)
 
 		tr, err := c.Trace(*blocks)
 		if err != nil {
 			return err
 		}
 		fp := tr.Footprint(len(c.Prog.Blocks))
-		fmt.Fprintf(out, "  dynamic: %d blocks, %d ops, footprint %d blocks (%.0f%% of static)\n",
+		w.Printf("  dynamic: %d blocks, %d ops, footprint %d blocks (%.0f%% of static)\n",
 			tr.Len(), tr.Ops, fp, 100*float64(fp)/float64(len(c.Prog.Blocks)))
 	}
 
 	if *disasm > 0 {
 		for i := 0; i < *disasm && i < len(c.Prog.Blocks); i++ {
 			b := c.Prog.Blocks[i]
-			fmt.Fprintf(out, "\nblock %d (fn %d, %d MOPs, taken->%d fall->%d):\n",
+			w.Printf("\nblock %d (fn %d, %d MOPs, taken->%d fall->%d):\n",
 				b.ID, b.Fn, b.NumMOPs(), b.TakenTarget, b.FallTarget)
 			for _, m := range b.MOPs {
-				fmt.Fprintln(out, isa.DisasmMOP(m))
+				w.Println(isa.DisasmMOP(m))
 			}
 		}
 	}
-	return nil
+	return w.Err()
 }

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	ccc "repro"
+	"repro/internal/cliio"
 	"repro/internal/core"
 	"repro/internal/image"
 	"repro/internal/layout"
@@ -36,7 +37,7 @@ func main() {
 		os.Exit(1)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tepiclint:", err)
+		fmt.Fprintln(os.Stderr, "tepiclint:", err) //tepic:ignore-err best-effort stderr report before exit
 		os.Exit(2)
 	}
 }
@@ -58,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	w := cliio.New(out)
 
 	benches := []string{*bench}
 	if *bench == "all" {
@@ -75,12 +77,12 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		if *jsonOut {
-			fmt.Fprintf(out, "// %s\n", name)
+			w.Printf("// %s\n", name)
 			if err := rep.WriteJSON(out); err != nil {
 				return err
 			}
 		} else {
-			fmt.Fprintf(out, "%s:\n", name)
+			w.Printf("%s:\n", name)
 			if err := rep.WriteText(out); err != nil {
 				return err
 			}
@@ -92,7 +94,7 @@ func run(args []string, out io.Writer) error {
 	if failed {
 		return errFindings
 	}
-	return nil
+	return w.Err()
 }
 
 // lintBenchmark compiles one benchmark and verifies its pipeline; with

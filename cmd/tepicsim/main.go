@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	ccc "repro"
+	"repro/internal/cliio"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	w := cliio.New(out)
 
 	p, ok := ccc.PairingByName(*orgName)
 	if !ok {
@@ -103,26 +105,26 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "benchmark   %s (%s scheme, %s organization)\n", *bench, p.CacheScheme, p.Org)
+	w.Printf("benchmark   %s (%s scheme, %s organization)\n", *bench, p.CacheScheme, p.Org)
 	if p.ROMScheme != "" {
-		fmt.Fprintf(out, "ROM         %s scheme, decompressed on the miss path\n", p.ROMScheme)
+		w.Printf("ROM         %s scheme, decompressed on the miss path\n", p.ROMScheme)
 	}
-	fmt.Fprintf(out, "cache       %d sets x %d ways x %dB = %dKB\n",
+	w.Printf("cache       %d sets x %d ways x %dB = %dKB\n",
 		cfg.Sets, cfg.Assoc, cfg.LineBytes, cfg.Sets*cfg.Assoc*cfg.LineBytes/1024)
-	fmt.Fprintf(out, "trace       %d blocks, %d ops, %d MOPs\n", tr.Len(), r.Ops, r.MOPs)
-	fmt.Fprintf(out, "cycles      %d\n", r.Cycles)
-	fmt.Fprintf(out, "IPC         %.4f (ideal %.4f)\n", r.IPC(), float64(r.Ops)/float64(r.MOPs))
-	fmt.Fprintf(out, "miss rate   %.2f%% of block fetches (%d lines fetched)\n",
+	w.Printf("trace       %d blocks, %d ops, %d MOPs\n", tr.Len(), r.Ops, r.MOPs)
+	w.Printf("cycles      %d\n", r.Cycles)
+	w.Printf("IPC         %.4f (ideal %.4f)\n", r.IPC(), float64(r.Ops)/float64(r.MOPs))
+	w.Printf("miss rate   %.2f%% of block fetches (%d lines fetched)\n",
 		100*r.MissRate(), r.LinesFetched)
-	fmt.Fprintf(out, "mispredict  %.2f%%\n", 100*r.MispredictRate())
+	w.Printf("mispredict  %.2f%%\n", 100*r.MispredictRate())
 	if spec, ok := p.Org.Spec(); ok && spec.HasL0 {
-		fmt.Fprintf(out, "L0 buffer   %.2f%% hit rate (%d ops capacity)\n",
+		w.Printf("L0 buffer   %.2f%% hit rate (%d ops capacity)\n",
 			100*float64(r.BufferHits)/float64(r.BlockFetches), cfg.L0Ops)
 	}
-	fmt.Fprintf(out, "bus         %d beats, %d bytes, %d bit flips (%.2f flips/beat)\n",
+	w.Printf("bus         %d beats, %d bytes, %d bit flips (%.2f flips/beat)\n",
 		r.BusBeats, r.BytesFetched, r.BitFlips,
 		float64(r.BitFlips)/float64(max64(r.BusBeats, 1)))
-	fmt.Fprintf(out, "ATB         %.2f%% hit rate\n", 100*r.ATBHitRate)
+	w.Printf("ATB         %.2f%% hit rate\n", 100*r.ATBHitRate)
 	if *check {
 		rep, err := c.CheckSim(p, cfg, tr)
 		if err != nil {
@@ -134,15 +136,16 @@ func run(args []string, out io.Writer) error {
 			}
 			return fmt.Errorf("simulation checks found %d error(s)", rep.Errors())
 		}
-		fmt.Fprintf(out, "simcheck    oracle, invariants and fault matrix clean (%d warning(s))\n",
+		w.Printf("simcheck    oracle, invariants and fault matrix clean (%d warning(s))\n",
 			rep.Warnings())
 	}
-	return nil
+	return w.Err()
 }
 
 // runSweep fans the pairing's default geometry x predictor grid out over
 // the driver's worker pool and reports every point.
 func runSweep(out io.Writer, bench string, p ccc.Pairing, blocks, par int, jsonOut bool) error {
+	w := cliio.New(out)
 	points := ccc.DefaultSweepPoints(p)
 	if len(points) == 0 {
 		return fmt.Errorf("no sweep points for pairing %s", p.Name)
@@ -161,9 +164,9 @@ func runSweep(out io.Writer, bench string, p ccc.Pairing, blocks, par int, jsonO
 		_, err = out.Write(data)
 		return err
 	}
-	fmt.Fprint(out, ccc.SweepTable(rows).Render())
-	fmt.Fprintf(out, "%d points\n", len(rows))
-	return nil
+	w.Print(ccc.SweepTable(rows).Render())
+	w.Printf("%d points\n", len(rows))
+	return w.Err()
 }
 
 // pairingNames lists the registered pairing labels for flag help and

@@ -7,12 +7,12 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
 	"log"
 	"os"
 
 	ccc "repro"
+	"repro/internal/cliio"
 	"repro/internal/isa"
 )
 
@@ -31,6 +31,7 @@ func run(args []string, vOut, report io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	rw := cliio.New(report)
 
 	c, err := ccc.CompileBenchmark(*bench)
 	if err != nil {
@@ -42,9 +43,9 @@ func run(args []string, vOut, report io.Writer) error {
 	}
 
 	opt, opc := tl.PrefixWidths()
-	fmt.Fprintf(report, "tailored ISA for %q: fixed prefix tail(1)+opt(%d)+opcode(%d)\n\n",
+	rw.Printf("tailored ISA for %q: fixed prefix tail(1)+opt(%d)+opcode(%d)\n\n",
 		*bench, opt, opc)
-	fmt.Fprintf(report, "%-8s  %-9s  %5s  %5s  %s\n", "format", "field", "orig", "now", "note")
+	rw.Printf("%-8s  %-9s  %5s  %5s  %s\n", "format", "field", "orig", "now", "note")
 	for _, fr := range tl.Report() {
 		note := ""
 		if fr.Constant {
@@ -52,24 +53,24 @@ func run(args []string, vOut, report io.Writer) error {
 		} else if fr.Width < fr.Orig {
 			note = "narrowed"
 		}
-		fmt.Fprintf(report, "%-8v  %-9v  %5d  %5d  %s\n",
+		rw.Printf("%-8v  %-9v  %5d  %5d  %s\n",
 			fr.Format, fr.Field, fr.Orig, fr.Width, note)
 	}
 	for _, ty := range []isa.OpType{isa.TypeInt, isa.TypeMemory, isa.TypeBranch} {
 		if bits, err := tl.OpBits(ty, 0); err == nil {
-			fmt.Fprintf(report, "\nfirst %v op: %d bits (was %d)", ty, bits, isa.OpBits)
+			rw.Printf("\nfirst %v op: %d bits (was %d)", ty, bits, isa.OpBits)
 		}
 	}
-	fmt.Fprintln(report)
+	rw.Println()
 
-	w := vOut
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	if rw.Err() != nil {
+		return rw.Err()
 	}
-	return tl.EmitVerilog(w, "tepic_"+*bench+"_decoder")
+	module := "tepic_" + *bench + "_decoder"
+	if *out != "" {
+		return cliio.WriteFile(*out, func(f io.Writer) error {
+			return tl.EmitVerilog(f, module)
+		})
+	}
+	return tl.EmitVerilog(vOut, module)
 }

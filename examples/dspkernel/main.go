@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cache"
+	"repro/internal/cliio"
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/isa"
@@ -90,11 +91,12 @@ func main() {
 
 // run holds the example body, writing to out (tested by main_test.go).
 func run(out io.Writer) error {
+	w := cliio.New(out)
 	c, err := buildFIR()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "FIR kernel: %d ops in %d blocks, %.2f ops/MOP\n",
+	w.Printf("FIR kernel: %d ops in %d blocks, %.2f ops/MOP\n",
 		c.Prog.TotalOps(), len(c.Prog.Blocks), c.Prog.Density())
 
 	// Execute on the interpreter with real data and verify the result.
@@ -124,7 +126,7 @@ func run(out io.Writer) error {
 			bad++
 		}
 	}
-	fmt.Fprintf(out, "interpreter: %d samples filtered, %d mismatches, %d ops executed\n",
+	w.Printf("interpreter: %d samples filtered, %d mismatches, %d ops executed\n",
 		nSamples, bad, m.Steps)
 	if bad > 0 {
 		return fmt.Errorf("FIR output incorrect: %d mismatches", bad)
@@ -136,17 +138,17 @@ func run(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "\nROM image: base %d bytes\n", base.CodeBytes)
+	w.Printf("\nROM image: base %d bytes\n", base.CodeBytes)
 	for _, scheme := range []string{"byte", "stream_1", "full", "tailored"} {
 		im, err := c.Image(scheme)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  %-9s %4d bytes (%.1f%%)\n", scheme, im.CodeBytes, 100*im.Ratio(base))
+		w.Printf("  %-9s %4d bytes (%.1f%%)\n", scheme, im.CodeBytes, 100*im.Ratio(base))
 	}
 
-	fmt.Fprintf(out, "\ntrace: %d blocks, %d dynamic ops\n", tr.Len(), tr.Ops)
-	fmt.Fprintln(out, "organization  IPC    buffer-hit rate")
+	w.Printf("\ntrace: %d blocks, %d dynamic ops\n", tr.Len(), tr.Ops)
+	w.Println("organization  IPC    buffer-hit rate")
 	for _, org := range []cache.Org{cache.OrgBase, cache.OrgCompressed, cache.OrgTailored} {
 		p, ok := scheme.PairingFor(org)
 		if !ok {
@@ -164,9 +166,9 @@ func run(out io.Writer) error {
 		if org == cache.OrgCompressed {
 			bh = fmt.Sprintf("%.1f%%", 100*float64(r.BufferHits)/float64(r.BlockFetches))
 		}
-		fmt.Fprintf(out, "%-12s  %.3f  %s\n", org, r.IPC(), bh)
+		w.Printf("%-12s  %.3f  %s\n", org, r.IPC(), bh)
 	}
-	fmt.Fprintln(out, "\nThe inner loop fits the 32-op L0 buffer, so the Compressed")
-	fmt.Fprintln(out, "organization matches the uncompressed cache on this kernel (§4).")
-	return nil
+	w.Println("\nThe inner loop fits the 32-op L0 buffer, so the Compressed")
+	w.Println("organization matches the uncompressed cache on this kernel (§4).")
+	return w.Err()
 }

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	ccc "repro"
+	"repro/internal/cliio"
 	"repro/internal/declogic"
 )
 
@@ -23,6 +24,7 @@ func main() {
 
 // run holds the example body, writing to out (tested by main_test.go).
 func run(out io.Writer) error {
+	w := cliio.New(out)
 	// A hypothetical engine-controller workload: small, loop-heavy,
 	// highly biased branches, almost no floating point.
 	prof := ccc.Profile{
@@ -42,10 +44,10 @@ func run(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "workload %q: %d ops, base image %d bytes\n\n",
+	w.Printf("workload %q: %d ops, base image %d bytes\n\n",
 		prof.Name, c.Prog.TotalOps(), base.CodeBytes)
 
-	fmt.Fprintln(out, "scheme      size(of base)  decoder(log10 T)  ROM incl. ATT")
+	w.Println("scheme      size(of base)  decoder(log10 T)  ROM incl. ATT")
 	for _, scheme := range ccc.SchemeNames() {
 		if scheme == "base" {
 			continue
@@ -62,7 +64,7 @@ func run(out io.Writer) error {
 		if tabs := enc.Tables(); len(tabs) > 0 {
 			dec = fmt.Sprintf("%16.2f", declogic.ForTables(scheme, tabs).Log10Transistors())
 		}
-		fmt.Fprintf(out, "%-10s  %12.1f%%  %16s  %8d B\n",
+		w.Printf("%-10s  %12.1f%%  %16s  %8d B\n",
 			scheme, 100*im.Ratio(base), dec, im.TotalBytes())
 	}
 
@@ -72,7 +74,7 @@ func run(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "\ntrace: %d blocks\n", tr.Len())
+	w.Printf("\ntrace: %d blocks\n", tr.Len())
 	for org, scheme := range map[ccc.Org]string{
 		ccc.OrgBase:       "base",
 		ccc.OrgCompressed: "full",
@@ -90,9 +92,9 @@ func run(out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  %-10s -> IPC %.3f, bus bit flips %d\n", org, r.IPC(), r.BitFlips)
+		w.Printf("  %-10s -> IPC %.3f, bus bit flips %d\n", org, r.IPC(), r.BitFlips)
 	}
-	fmt.Fprintln(out, "\nPick full compression if ROM dominates cost; pick the tailored")
-	fmt.Fprintln(out, "ISA if decoder area and misprediction latency dominate (§7).")
-	return nil
+	w.Println("\nPick full compression if ROM dominates cost; pick the tailored")
+	w.Println("ISA if decoder area and misprediction latency dominate (§7).")
+	return w.Err()
 }

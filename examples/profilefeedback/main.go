@@ -7,12 +7,12 @@
 package main
 
 import (
-	"fmt"
 	"io"
 	"log"
 	"os"
 
 	ccc "repro"
+	"repro/internal/cliio"
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/superblock"
@@ -26,6 +26,7 @@ func main() {
 
 // run holds the example body, writing to out (tested by main_test.go).
 func run(out io.Writer) error {
+	w := cliio.New(out)
 	const bench = "gcc"
 	c, err := ccc.CompileBenchmark(bench)
 	if err != nil {
@@ -38,7 +39,7 @@ func run(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "%s: traced %d block executions (%d ops)\n\n", bench, tr.Len(), tr.Ops)
+	w.Printf("%s: traced %d block executions (%d ops)\n\n", bench, tr.Len(), tr.Ops)
 
 	measure := func(label string) error {
 		plan, err := superblock.Build(c.Prog, 0)
@@ -46,7 +47,7 @@ func run(out io.Writer) error {
 			return err
 		}
 		st := plan.Evaluate(c.Prog, tr)
-		fmt.Fprintf(out, "%-22s units=%5d  ops/unit=%6.2f  fetch-start reduction=%5.1f%%  side exits=%4.1f%%\n",
+		w.Printf("%-22s units=%5d  ops/unit=%6.2f  fetch-start reduction=%5.1f%%  side exits=%4.1f%%\n",
 			label, st.Units, st.AvgUnitOps, 100*st.FetchReduction(), 100*st.SideExitRate())
 		return nil
 	}
@@ -89,11 +90,11 @@ func run(out io.Writer) error {
 		}
 	}
 	blk := c.Prog.Blocks[hottest]
-	fmt.Fprintf(out, "\nhottest block: %d (%d executions, %d ops, %d MOPs)\n",
+	w.Printf("\nhottest block: %d (%d executions, %d ops, %d MOPs)\n",
 		hottest, execs, blk.NumOps(), blk.NumMOPs())
 	if len(blk.Ops) > 0 {
-		fmt.Fprintln(out, "first MOP:")
-		fmt.Fprintln(out, isa.DisasmMOP(blk.MOPs[0]))
+		w.Println("first MOP:")
+		w.Println(isa.DisasmMOP(blk.MOPs[0]))
 	}
-	return nil
+	return w.Err()
 }

@@ -5,12 +5,12 @@
 package main
 
 import (
-	"fmt"
 	"io"
 	"log"
 	"os"
 
 	ccc "repro"
+	"repro/internal/cliio"
 )
 
 func main() {
@@ -21,12 +21,13 @@ func main() {
 
 // run holds the example body, writing to out (tested by main_test.go).
 func run(out io.Writer) error {
+	w := cliio.New(out)
 	const bench = "compress"
 	c, err := ccc.CompileBenchmark(bench)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "benchmark %q: %d ops in %d blocks, %.2f ops/MOP after scheduling\n\n",
+	w.Printf("benchmark %q: %d ops in %d blocks, %.2f ops/MOP after scheduling\n\n",
 		bench, c.Prog.TotalOps(), len(c.Prog.Blocks), c.Prog.Density())
 
 	// Code size under every encoding scheme (the paper's Figure 5 axis).
@@ -34,13 +35,13 @@ func run(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(out, "scheme      code bytes   of original")
+	w.Println("scheme      code bytes   of original")
 	for _, scheme := range ccc.SchemeNames() {
 		im, err := c.Image(scheme)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%-10s  %10d   %10.1f%%\n", scheme, im.CodeBytes, 100*im.Ratio(base))
+		w.Printf("%-10s  %10d   %10.1f%%\n", scheme, im.CodeBytes, 100*im.Ratio(base))
 	}
 
 	// Delivered performance under the three IFetch organizations (the
@@ -51,8 +52,8 @@ func run(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "\ntrace: %d blocks, %d ops\n\n", tr.Len(), tr.Ops)
-	fmt.Fprintln(out, "organization  scheme    IPC    miss   mispredict")
+	w.Printf("\ntrace: %d blocks, %d ops\n\n", tr.Len(), tr.Ops)
+	w.Println("organization  scheme    IPC    miss   mispredict")
 	for org, scheme := range map[ccc.Org]string{
 		ccc.OrgBase:       "base",
 		ccc.OrgCompressed: "full",
@@ -70,10 +71,10 @@ func run(out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%-12s  %-8s  %.3f  %4.1f%%  %4.1f%%\n",
+		w.Printf("%-12s  %-8s  %.3f  %4.1f%%  %4.1f%%\n",
 			org, scheme, r.IPC(), 100*r.MissRate(), 100*r.MispredictRate())
 	}
-	fmt.Fprintln(out, "\nNote how the ROM shrinks to a third under the full scheme while")
-	fmt.Fprintln(out, "delivered IPC stays within a few percent of the uncompressed baseline.")
-	return nil
+	w.Println("\nNote how the ROM shrinks to a third under the full scheme while")
+	w.Println("delivered IPC stays within a few percent of the uncompressed baseline.")
+	return w.Err()
 }

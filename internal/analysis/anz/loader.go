@@ -1,0 +1,255 @@
+package anz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the slice of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// LoadPatterns enumerates packages with the go command (so pattern
+// semantics — "./...", package paths — match the build) and type-checks
+// each with the stdlib source importer. Only non-test files are loaded:
+// the analyzers enforce production-code invariants, and several of them
+// (typederr's discard rule, hotalloc) explicitly exempt tests. dir is
+// the working directory for the go command and must lie inside the
+// module.
+func LoadPatterns(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("anz: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("anz: decoding go list output: %w", err)
+		}
+		if len(p.GoFiles) > 0 {
+			pkgs = append(pkgs, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset: fset,
+		src:  importer.ForCompiler(fset, "source", nil),
+		prog: &Program{Fset: fset, ByPath: map[string]*Package{}},
+	}
+	// Check dependencies before dependents so every loaded package
+	// resolves module-internal imports from the loader's own cache (one
+	// type-check per package) rather than re-checking through the source
+	// importer.
+	order, err := topo(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range order {
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		if _, err := ld.check(p.ImportPath, p.Dir, files, nil); err != nil {
+			return nil, err
+		}
+	}
+	// Report packages in the order go list produced them, which follows
+	// the pattern expansion order users expect.
+	byPath := map[string]*Package{}
+	for _, pkg := range ld.prog.Packages {
+		byPath[pkg.ImportPath] = pkg
+	}
+	ordered := make([]*Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		ordered = append(ordered, byPath[p.ImportPath])
+	}
+	ld.prog.Packages = ordered
+	return ld.prog, nil
+}
+
+// topo sorts packages so that imports within the listed set precede
+// their importers.
+func topo(pkgs []listPackage) ([]listPackage, error) {
+	byPath := map[string]*listPackage{}
+	for i := range pkgs {
+		byPath[pkgs[i].ImportPath] = &pkgs[i]
+	}
+	var (
+		out     []listPackage
+		visit   func(p *listPackage) error
+		state   = map[string]int{} // 1 = visiting, 2 = done
+		pending []string
+	)
+	visit = func(p *listPackage) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("anz: import cycle through %s (via %s)",
+				p.ImportPath, strings.Join(pending, " -> "))
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		pending = append(pending, p.ImportPath)
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		pending = pending[:len(pending)-1]
+		state[p.ImportPath] = 2
+		out = append(out, *p)
+		return nil
+	}
+	for i := range pkgs {
+		if err := visit(&pkgs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Source is one in-memory fixture file for LoadSources.
+type Source struct {
+	// Name is the file name reported in positions (absolute paths keep
+	// fixture diagnostics clickable).
+	Name string
+	// Content holds the file's source text.
+	Content []byte
+}
+
+// Dir names one fixture package for LoadSources.
+type Dir struct {
+	// ImportPath is the synthetic path the package is known by; other
+	// fixture packages may import it.
+	ImportPath string
+	// Dir is the directory positions are reported under.
+	Dir string
+	// Files are the package's sources.
+	Files []Source
+}
+
+// LoadSources type-checks fixture packages, in order (dependencies
+// first). Imports resolve against earlier fixture packages, then the
+// stdlib/module source importer — so fixtures may import both each
+// other and real repro packages.
+func LoadSources(dirs []Dir) (*Program, error) {
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset: fset,
+		src:  importer.ForCompiler(fset, "source", nil),
+		prog: &Program{Fset: fset, ByPath: map[string]*Package{}},
+	}
+	for _, d := range dirs {
+		if _, err := ld.check(d.ImportPath, d.Dir, nil, d.Files); err != nil {
+			return nil, err
+		}
+	}
+	return ld.prog, nil
+}
+
+// loader accumulates checked packages and resolves imports map-first.
+type loader struct {
+	fset *token.FileSet
+	src  types.Importer
+	prog *Program
+}
+
+// Import implements types.Importer: fixture/loaded packages first, then
+// the source importer for stdlib and not-yet-loaded module packages.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.prog.ByPath[path]; ok {
+		return p.Types, nil
+	}
+	return ld.src.Import(path)
+}
+
+// ImportFrom keeps srcDir-relative resolution working for the source
+// importer fallback.
+func (ld *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := ld.prog.ByPath[path]; ok {
+		return p.Types, nil
+	}
+	if from, ok := ld.src.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, srcDir, mode)
+	}
+	return ld.src.Import(path)
+}
+
+// check parses and type-checks one package from files on disk (paths)
+// or in memory (srcs), records it in the program, and returns it.
+func (ld *loader) check(importPath, dir string, paths []string, srcs []Source) (*Package, error) {
+	var files []*ast.File
+	const mode = parser.ParseComments | parser.SkipObjectResolution
+	for _, p := range paths {
+		f, err := parser.ParseFile(ld.fset, p, nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("anz: %w", err)
+		}
+		files = append(files, f)
+	}
+	for _, s := range srcs {
+		f, err := parser.ParseFile(ld.fset, s.Name, s.Content, mode)
+		if err != nil {
+			return nil, fmt.Errorf("anz: %w", err)
+		}
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return ld.fset.Position(files[i].Pos()).Filename <
+			ld.fset.Position(files[j].Pos()).Filename
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("anz: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	ld.prog.Packages = append(ld.prog.Packages, pkg)
+	ld.prog.ByPath[importPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,173 @@
+// Package anztest runs anz analyzers over testdata fixture packages and
+// checks their diagnostics against expectations written in the fixture
+// source, the analysistest convention: a comment
+//
+//	// want "regexp"
+//
+// on a line means the analyzer must report at least one diagnostic on
+// that line whose message matches the regexp; several quoted regexps
+// may follow one want. Lines without a want comment must stay clean.
+// Every analyzer ships at least one positive (reported) and one
+// negative (clean) fixture case through this harness.
+package anztest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/anz"
+)
+
+// Fixture names one fixture package rooted under dir: the files of
+// testdata/src/<name> loaded as import path <name>.
+type Fixture struct {
+	ImportPath string
+	Dir        string
+}
+
+// Load reads fixture packages (dependencies first) into a program.
+func Load(t *testing.T, fixtures ...Fixture) *anz.Program {
+	t.Helper()
+	var dirs []anz.Dir
+	for _, fx := range fixtures {
+		entries, err := os.ReadDir(fx.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := anz.Dir{ImportPath: fx.ImportPath, Dir: fx.Dir}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(fx.Dir, e.Name())
+			content, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Files = append(d.Files, anz.Source{Name: path, Content: content})
+		}
+		if len(d.Files) == 0 {
+			t.Fatalf("anztest: no .go files in %s", fx.Dir)
+		}
+		dirs = append(dirs, d)
+	}
+	prog, err := anz.LoadSources(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// RunDir is the common single-package case: load testdata/src/<pkg>
+// relative to the test's working directory and check the analyzer
+// against its want comments.
+func RunDir(t *testing.T, pkg string, a *anz.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(t, Load(t, Fixture{ImportPath: pkg, Dir: abs}), a)
+}
+
+// Run executes the analyzer over a loaded fixture program and fails the
+// test on any mismatch between reported diagnostics and want comments.
+func Run(t *testing.T, prog *anz.Program, a *anz.Analyzer) {
+	t.Helper()
+	findings, err := anz.Run(prog, []*anz.Analyzer{a})
+	if err != nil {
+		t.Fatalf("anztest: %v", err)
+	}
+	wants := collectWants(t, prog)
+
+	matched := map[*want]bool{}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		ws := wants[key]
+		ok := false
+		for _, w := range ws {
+			if w.re.MatchString(f.Message) {
+				matched[w] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !matched[w] {
+				t.Errorf("%s: no diagnostic matching %q", k, w.re)
+			}
+		}
+	}
+}
+
+type want struct{ re *regexp.Regexp }
+
+// wantRE pulls the quoted regexps out of a want comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans every fixture file's comments for want
+// expectations, keyed by "file:line".
+func collectWants(t *testing.T, prog *anz.Program) map[string][]*want {
+	t.Helper()
+	out := map[string][]*want{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(strings.TrimSpace(c.Text), "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+						pat, err := unquoteWant(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+						}
+						out[key] = append(out[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// unquoteWant undoes the quote escaping inside a want pattern: \" and
+// \\ unescape, every other backslash is regexp syntax and stays.
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+			if s[i+1] == '"' || s[i+1] == '\\' {
+				i++
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

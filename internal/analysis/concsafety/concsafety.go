@@ -1,0 +1,251 @@
+// Package concsafety enforces the pre-tepicd concurrency hygiene rules:
+// all fan-out goes through the core.Driver worker pool, so the daemon
+// work can trust that nothing in the tree spawns unsupervised
+// goroutines or leaks timers.
+//
+//   - A go statement may appear only inside a function annotated
+//     //tepic:pool (the pool abstraction itself — core.Driver's mapN).
+//   - time.After inside a loop leaks one timer per iteration; use a
+//     reusable time.Timer or a context deadline.
+//   - A sync.Mutex / RWMutex / WaitGroup / Once / Cond reached by value
+//     (parameter, receiver, plain assignment, call argument, or range
+//     variable) is a copied lock: the copy guards nothing.
+//   - An unbuffered channel made in a function that also launches
+//     goroutines is unbounded fan-out waiting to deadlock; give the
+//     channel a capacity tied to the worker bound (the driver's
+//     semaphore pattern).
+package concsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/anz"
+)
+
+// Doc is the analyzer's one-line invariant.
+const Doc = "goroutines only under //tepic:pool; no time.After in loops, copied locks, or unbounded fan-out channels"
+
+// New returns the analyzer.
+func New() *anz.Analyzer {
+	return &anz.Analyzer{Name: "concsafety", Doc: Doc, Run: run}
+}
+
+func run(pass *anz.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// span is a source interval; loop bodies collect into a list so call
+// sites can ask "am I inside a loop?".
+type span struct{ from, to token.Pos }
+
+func checkFunc(pass *anz.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	pool := anz.Directive(fd, "pool")
+
+	// Copied locks entering through the signature.
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			reportLockValue(pass, info, f.Type, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			reportLockValue(pass, info, f.Type, "parameter")
+		}
+	}
+
+	// First pass: loop extents and range-value copies.
+	var loops []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+			checkRangeCopy(pass, info, n)
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, s := range loops {
+			if s.from <= pos && pos < s.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Second pass: goroutines, timers, channels, copies.
+	hasGo := false
+	var unbuffered []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			hasGo = true
+			if !pool {
+				pass.Reportf(n.Pos(),
+					"go statement outside the //tepic:pool abstraction; fan out on the core.Driver pool instead")
+			}
+		case *ast.CallExpr:
+			if pkg, name := anz.CalleePath(info, n); pkg == "time" && name == "After" && inLoop(n.Pos()) {
+				pass.Reportf(n.Pos(),
+					"time.After in a loop leaks a timer per iteration; use time.NewTimer and Reset")
+			}
+			if isUnbufferedChanMake(info, n) {
+				unbuffered = append(unbuffered, n)
+			}
+			checkCallLockArgs(pass, info, n)
+		case *ast.AssignStmt:
+			checkAssignCopy(pass, info, n)
+		}
+		return true
+	})
+	if hasGo {
+		for _, mk := range unbuffered {
+			pass.Reportf(mk.Pos(),
+				"unbuffered channel in a goroutine-launching function is unbounded fan-out; bound its capacity like the driver semaphore")
+		}
+	}
+}
+
+// isUnbufferedChanMake reports make(chan T) with no capacity argument.
+func isUnbufferedChanMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// lockTypes are the sync types that must never be copied.
+var lockTypes = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Once": true, "sync.Cond": true, "sync.Map": true, "sync.Pool": true,
+}
+
+// containsLock reports whether t (held by value) is or embeds a lock
+// type, following named types, struct fields and arrays.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if n.Obj().Pkg() != nil && lockTypes[n.Obj().Pkg().Path()+"."+n.Obj().Name()] {
+			return true
+		}
+		return containsLock(n.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// lockByValue reports whether a value of type t carries a lock by
+// value (pointers to locks are the correct way to share them).
+func lockByValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return containsLock(t, map[types.Type]bool{})
+}
+
+func reportLockValue(pass *anz.Pass, info *types.Info, texpr ast.Expr, what string) {
+	tv, ok := info.Types[texpr]
+	if !ok {
+		return
+	}
+	if lockByValue(tv.Type) {
+		pass.Reportf(texpr.Pos(), "%s copies a lock (%s); pass it by pointer", what, tv.Type)
+	}
+}
+
+// checkAssignCopy flags `a = b` where the copied value contains a lock.
+// Composite literals construct rather than copy and stay legal.
+func checkAssignCopy(pass *anz.Pass, info *types.Info, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		tv, ok := info.Types[rhs]
+		if !ok {
+			continue
+		}
+		if _, isLit := ast.Unparen(rhs).(*ast.CompositeLit); isLit {
+			continue
+		}
+		if lockByValue(tv.Type) {
+			pass.Reportf(as.Lhs[i].Pos(), "assignment copies a lock (%s)", tv.Type)
+		}
+	}
+}
+
+// checkRangeCopy flags ranging by value over elements containing locks.
+func checkRangeCopy(pass *anz.Pass, info *types.Info, r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	var t types.Type
+	if tv, ok := info.Types[r.Value]; ok {
+		t = tv.Type
+	} else if id, ok := r.Value.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if lockByValue(t) {
+		pass.Reportf(r.Value.Pos(), "range value copies a lock (%s); range over indices or pointers", t)
+	}
+}
+
+// checkCallLockArgs flags lock values passed by value as arguments.
+func checkCallLockArgs(pass *anz.Pass, info *types.Info, call *ast.CallExpr) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	for _, arg := range call.Args {
+		tv, ok := info.Types[arg]
+		if !ok {
+			continue
+		}
+		if _, isLit := ast.Unparen(arg).(*ast.CompositeLit); isLit {
+			continue
+		}
+		if lockByValue(tv.Type) {
+			pass.Reportf(arg.Pos(), "argument copies a lock (%s); pass it by pointer", tv.Type)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package concsafety_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/concsafety"
+)
+
+func TestConcsafety(t *testing.T) {
+	anztest.RunDir(t, "conc", concsafety.New())
+}

@@ -1,0 +1,103 @@
+// Package conc is the concsafety fixture: each rule has a flagged case
+// and a clean counterpart.
+package conc
+
+import (
+	"sync"
+	"time"
+)
+
+// guarded embeds a mutex; copying it by value copies the lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+var registry []guarded
+
+// spawn launches a goroutine without the pool annotation.
+func spawn(work func()) {
+	go work() // want "go statement outside the //tepic:pool abstraction"
+}
+
+// pool is the sanctioned fan-out point.
+//
+//tepic:pool
+func pool(n int, fn func(int)) {
+	results := make(chan int, n) // buffered: bounded fan-out
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+			results <- i
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+}
+
+// unbounded makes an unbuffered channel and launches workers on it.
+func unbounded(n int) {
+	ch := make(chan int) // want "unbuffered channel in a goroutine-launching function"
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i }(i) // want "go statement outside the //tepic:pool abstraction"
+	}
+}
+
+// leakyTimer calls time.After once per iteration.
+func leakyTimer(n int, tick chan struct{}) {
+	for i := 0; i < n; i++ {
+		select {
+		case <-time.After(time.Second): // want "time.After in a loop leaks a timer"
+		case <-tick:
+		}
+	}
+}
+
+// okTimer uses time.After outside any loop, and a reusable timer inside.
+func okTimer(tick chan struct{}) {
+	<-time.After(time.Millisecond)
+	t := time.NewTimer(time.Second)
+	for range tick {
+		t.Reset(time.Second)
+	}
+	t.Stop()
+}
+
+// byValue receives and passes locks by value.
+func byValue(g guarded) int { // want "parameter copies a lock"
+	h := g                          // want "assignment copies a lock"
+	use(g)                          // want "argument copies a lock"
+	for _, item := range registry { // want "range value copies a lock"
+		h.n += item.n
+	}
+	return h.n
+}
+
+func use(g guarded) int { return g.n } // want "parameter copies a lock"
+
+// valueRecv copies its lock on every call.
+func (g guarded) valueRecv() int { return g.n } // want "receiver copies a lock"
+
+// byPointer is the clean shape for every lock rule.
+func byPointer(g *guarded) int {
+	h := g
+	usePtr(g)
+	for i := range registry {
+		h.n += registry[i].n
+	}
+	return h.n
+}
+
+func usePtr(g *guarded) int { return g.n }
+
+func (g *guarded) ptrRecv() int { return g.n }
+
+// construct builds lock-holding values with composite literals, which
+// is construction rather than copying.
+func construct(n int) *guarded {
+	g := guarded{n: n}
+	return &g
+}

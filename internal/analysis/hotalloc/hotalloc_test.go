@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	anztest.RunDir(t, "a", hotalloc.New())
+}

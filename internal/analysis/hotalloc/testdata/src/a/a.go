@@ -1,0 +1,67 @@
+// Package a is the hotalloc fixture: hot annotates every construct the
+// analyzer must flag, cold shows the same constructs are legal without
+// the annotation, and clean is a hot-path function with nothing to
+// report.
+package a
+
+import "fmt"
+
+type sink interface{ M() }
+
+type impl struct{ v int }
+
+func (impl) M() {}
+
+var global sink
+
+// hot is the positive case.
+//
+//tepic:hotpath
+func hot(n int, s string, bs []byte) int {
+	m := map[int]int{}           // want "map literal allocates"
+	sl := []int{1, 2, 3}         // want "slice literal allocates"
+	p := &impl{v: n}             // want "&composite literal escapes"
+	sl = append(sl, n)           // want "append may grow"
+	buf := make([]byte, n)       // want "make allocates"
+	q := new(impl)               // want "new allocates"
+	f := func() int { return n } // want "closure allocates"
+	go hotHelper()               // want "go statement allocates"
+	defer hotHelper()            // want "defer in hot path"
+	s2 := s + string(bs)         // want "string concatenation allocates" "conversion string allocates"
+	fmt.Println(n)               // want "call to fmt.Println allocates" "argument boxes int into interface"
+	global = impl{v: n}          // want "assignment boxes a.impl into interface"
+	return len(m) + len(sl) + p.v + len(buf) + q.v + f() + len(s2)
+}
+
+func hotHelper() {}
+
+// cold does all the same things with no annotation: no findings.
+func cold(n int) []int {
+	sl := []int{1, 2, 3}
+	m := map[int]int{n: n}
+	fmt.Println(len(m))
+	return append(sl, n)
+}
+
+// clean is annotated and allocation-free: the negative case.
+//
+//tepic:hotpath
+func clean(data []byte, out []uint64) error {
+	var acc uint64
+	for i := range out {
+		if i < len(data) {
+			acc = acc<<8 | uint64(data[i])
+		}
+		out[i] = acc
+	}
+	if acc == 0 {
+		return errSentinel // an existing error value: no boxing
+	}
+	return nil
+}
+
+var errSentinel error = fixtureErr{}
+
+type fixtureErr struct{}
+
+func (fixtureErr) Error() string { return "fixture" }

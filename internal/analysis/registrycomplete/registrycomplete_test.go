@@ -1,0 +1,48 @@
+package registrycomplete_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/registrycomplete"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	a := registrycomplete.New(registrycomplete.Config{
+		Registrars: []registrycomplete.Registrar{
+			{Pkg: "reg", Func: "Register", Kind: "items"},
+			{Pkg: "reg", Func: "MustRegister", Kind: "items"},
+		},
+		ManifestPkg:  "regcorpus",
+		ManifestFile: "manifest.json",
+	})
+	prog := anztest.Load(t,
+		anztest.Fixture{ImportPath: "reg", Dir: fixdir(t, "reg")},
+		anztest.Fixture{ImportPath: "regcfg", Dir: fixdir(t, "regcfg")},
+		anztest.Fixture{ImportPath: "regbuiltin", Dir: fixdir(t, "regbuiltin")},
+		anztest.Fixture{ImportPath: "regcorpus", Dir: fixdir(t, "regcorpus")},
+	)
+	anztest.Run(t, prog, a)
+}
+
+// TestPartialLoad checks the analyzer stays silent when the manifest
+// anchor package is outside the loaded set (tepicvet on a sub-tree).
+func TestPartialLoad(t *testing.T) {
+	a := registrycomplete.New(registrycomplete.Config{
+		Registrars:   []registrycomplete.Registrar{{Pkg: "reg", Func: "Register", Kind: "items"}},
+		ManifestPkg:  "regcorpus",
+		ManifestFile: "manifest.json",
+	})
+	prog := anztest.Load(t, anztest.Fixture{ImportPath: "reg", Dir: fixdir(t, "reg")})
+	anztest.Run(t, prog, a)
+}
+
+func fixdir(t *testing.T, pkg string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

@@ -1,0 +1,25 @@
+// Package reg is the registrycomplete fixture's registry: the
+// forwarding wrapper mirrors scheme.MustRegister calling Register, which
+// the analyzer must not treat as a registration site.
+package reg
+
+// Item is the registered entity.
+type Item struct {
+	Name string
+	Rank int
+}
+
+var items = map[string]Item{}
+
+// Register adds an item.
+func Register(it Item) error {
+	items[it.Name] = it
+	return nil
+}
+
+// MustRegister forwards to Register.
+func MustRegister(it Item) {
+	if err := Register(it); err != nil {
+		panic(err)
+	}
+}

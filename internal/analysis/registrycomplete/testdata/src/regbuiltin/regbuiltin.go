@@ -1,0 +1,43 @@
+// Package regbuiltin registers fixture items through every shape the
+// analyzer must resolve: literal names, named constants, a range over
+// another package's config slice, and a local builtins slice — plus one
+// dynamic registration it must refuse.
+package regbuiltin
+
+import (
+	"reg"
+	"regcfg"
+)
+
+// extraName is a named-constant registration name.
+const extraName = "extra-missing"
+
+func init() {
+	reg.MustRegister(reg.Item{Name: "alpha-base", Rank: 1})
+
+	reg.MustRegister(reg.Item{Name: extraName}) // want "items \"extra-missing\" registered but absent"
+
+	for _, cfg := range regcfg.Configs {
+		reg.MustRegister(reg.Item{ // want "items \"stream-rogue\" registered but absent"
+			Name: cfg.Name,
+			Rank: cfg.Cut,
+		})
+	}
+
+	builtins := []struct {
+		n  int
+		it reg.Item
+	}{
+		{1, reg.Item{Name: "spec-one"}},
+		{2, reg.Item{Name: "spec-two"}},
+	}
+	for _, b := range builtins {
+		reg.MustRegister(b.it)
+	}
+
+	if err := reg.Register(makeItem()); err != nil { // want "statically unresolvable Name"
+		panic(err)
+	}
+}
+
+func makeItem() reg.Item { return reg.Item{Name: "runtime-made"} }

@@ -1,0 +1,16 @@
+// Package regcfg mirrors compress.StreamConfigs: a package-level config
+// slice that another package registers by ranging over.
+package regcfg
+
+// Cfg is one configuration.
+type Cfg struct {
+	Name string
+	Cut  int
+}
+
+// Configs is the registration source slice.
+var Configs = []Cfg{
+	{Name: "stream-a", Cut: 5},
+	{Name: "stream-b", Cut: 20},
+	{Name: "stream-rogue", Cut: 9},
+}

@@ -1,0 +1,4 @@
+// Package regcorpus anchors the fixture manifest: the analyzer reads
+// manifest.json from this package's directory, and stale manifest
+// entries are reported against this file's package clause.
+package regcorpus // want "items entry \"ghost-entry\" in manifest.json has no registration call site"

@@ -1,0 +1,167 @@
+// Package stableid guards the verifier's stable check-ID namespace.
+// Check IDs are contract surface: CI greps for them, the simcheck
+// oracle matrix keys on them, and external tooling pins them. The
+// analyzer enforces that every ID is a kebab-case string literal with
+// at least two segments, unique, and declared only in the one central
+// package — nothing anywhere else may mint one from a string.
+package stableid
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"repro/internal/analysis/anz"
+)
+
+// Doc is the analyzer's one-line invariant.
+const Doc = "check IDs are unique kebab-case literals declared only in the central package"
+
+// idPattern is the required shape: lowercase kebab-case with at least
+// two segments, e.g. "sim-oracle" or "ir-block-id".
+var idPattern = regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)+$`)
+
+// Config names the ID type and its single legal declaration package.
+type Config struct {
+	// TypePkg is the import path of the package declaring the ID type;
+	// it is also the only package allowed to declare ID literals.
+	TypePkg string
+	// TypeName is the ID type's name within TypePkg.
+	TypeName string
+}
+
+// DefaultConfig covers the repo's verify.CheckID namespace.
+func DefaultConfig() Config {
+	return Config{TypePkg: "repro/internal/verify", TypeName: "CheckID"}
+}
+
+// New returns the analyzer for a configuration.
+func New(cfg Config) *anz.Analyzer {
+	return &anz.Analyzer{
+		Name: "stableid",
+		Doc:  Doc,
+		Run:  func(pass *anz.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func run(pass *anz.Pass, cfg Config) error {
+	isIDType := func(t types.Type) bool {
+		n, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := n.Obj()
+		return obj.Name() == cfg.TypeName &&
+			obj.Pkg() != nil && obj.Pkg().Path() == cfg.TypePkg
+	}
+	declPkg := pass.Pkg.ImportPath == cfg.TypePkg
+
+	// Package-level ID declarations in the central package are the one
+	// legal literal site; collect them first, checking format and
+	// uniqueness.
+	allowed := map[*ast.BasicLit]bool{}
+	seen := map[string]token.Pos{}
+	if declPkg {
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || (gd.Tok != token.CONST && gd.Tok != token.VAR) {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					collectDecl(pass, vs, isIDType, allowed, seen)
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, n, cfg, isIDType, allowed)
+			case *ast.BasicLit:
+				if n.Kind != token.STRING || allowed[n] {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[n]
+				if !ok || tv.Type == nil || !isIDType(tv.Type) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"%s literal outside the central declaration package %s; use a declared constant",
+					cfg.TypeName, cfg.TypePkg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectDecl validates one package-level value spec in the central
+// package, marking its string literals as the sanctioned ones.
+func collectDecl(pass *anz.Pass, vs *ast.ValueSpec, isIDType func(types.Type) bool,
+	allowed map[*ast.BasicLit]bool, seen map[string]token.Pos) {
+	for i, name := range vs.Names {
+		obj := pass.Pkg.Info.Defs[name]
+		if obj == nil || !isIDType(obj.Type()) || i >= len(vs.Values) {
+			continue
+		}
+		lit, ok := ast.Unparen(vs.Values[i]).(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			// Conversions and other dynamic values are reported by
+			// checkConversion during the walk.
+			continue
+		}
+		allowed[lit] = true
+		val, err := literalValue(lit)
+		if err != nil {
+			continue
+		}
+		if !idPattern.MatchString(val) {
+			pass.Reportf(lit.Pos(),
+				"check ID %q is not kebab-case with at least two segments (want %s)",
+				val, idPattern)
+		}
+		if prev, dup := seen[val]; dup {
+			pass.Reportf(lit.Pos(), "duplicate check ID %q (first declared at %s)",
+				val, pass.Fset.Position(prev))
+		} else {
+			seen[val] = lit.Pos()
+		}
+	}
+}
+
+// checkConversion flags IDType(expr) conversions: IDs must be literal
+// declarations, never computed.
+func checkConversion(pass *anz.Pass, call *ast.CallExpr, cfg Config, isIDType func(types.Type) bool,
+	allowed map[*ast.BasicLit]bool) {
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isIDType(tv.Type) {
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		allowed[lit] = true // the conversion diagnostic covers the operand
+		pass.Reportf(call.Pos(),
+			"%s conversion of a string literal; declare the ID as a constant in %s",
+			cfg.TypeName, cfg.TypePkg)
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"dynamically constructed %s; check IDs must be stable literals declared in %s",
+		cfg.TypeName, cfg.TypePkg)
+}
+
+// literalValue unquotes a string literal.
+func literalValue(lit *ast.BasicLit) (string, error) {
+	return strconv.Unquote(lit.Value)
+}

@@ -1,0 +1,17 @@
+package stableid_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/stableid"
+)
+
+func TestStableID(t *testing.T) {
+	a := stableid.New(stableid.Config{TypePkg: "ids", TypeName: "ID"})
+	prog := anztest.Load(t,
+		anztest.Fixture{ImportPath: "ids", Dir: "testdata/src/ids"},
+		anztest.Fixture{ImportPath: "idsuse", Dir: "testdata/src/idsuse"},
+	)
+	anztest.Run(t, prog, a)
+}

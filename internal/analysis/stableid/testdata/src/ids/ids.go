@@ -1,0 +1,28 @@
+// Package ids is the stableid fixture's central declaration package:
+// the test configures the ID type as ids.ID, so literals here are the
+// sanctioned ones and must be well-formed and unique.
+package ids
+
+// ID is the fixture's stable-identifier type.
+type ID string
+
+const (
+	// Good and AlsoGood are conforming declarations.
+	Good     ID = "ir-good"
+	AlsoGood ID = "mop-two-part"
+
+	// The rest violate one rule each.
+	Dup      ID = "ir-good"  // want "duplicate check ID"
+	BadCase  ID = "Ir-Upper" // want "not kebab-case"
+	OneWord  ID = "oneword"  // want "not kebab-case"
+	Trailing ID = "ir-"      // want "not kebab-case"
+)
+
+// VarID shows package-level vars count as declarations too.
+var VarID ID = "ir-var-form"
+
+// Seed feeds the dynamic-conversion case.
+func Seed() string { return "ir-seed" }
+
+// Runtime mints an ID from a call result: never stable.
+var Runtime = ID(Seed()) // want "dynamically constructed ID"

@@ -1,0 +1,24 @@
+// Package idsuse consumes the fixture ID type from outside its central
+// package: every literal or conversion here must be flagged.
+package idsuse
+
+import "ids"
+
+// byConstant is the clean shape: reference the declared constant.
+func byConstant() ids.ID { return ids.Good }
+
+// local declares an ID literal outside the central package.
+var local ids.ID = "ir-local" // want "literal outside the central declaration package"
+
+// convert mints IDs through conversions.
+func convert(s string) ids.ID {
+	if s == "" {
+		return ids.ID("ir-fixed") // want "conversion of a string literal"
+	}
+	return ids.ID("made-" + s) // want "dynamically constructed ID"
+}
+
+// compare matches against a raw literal instead of the constant.
+func compare(d ids.ID) bool {
+	return d == "ir-good" // want "literal outside the central declaration package"
+}

@@ -1,0 +1,69 @@
+// Package terr is the typederr fixture. The test configures it as a
+// sentinel (error-taxonomy) package, so both rule families apply: the
+// sentinel-wrap rule on error construction and the no-discard rule on
+// error returns.
+package terr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBad is the package's registered sentinel: package-level errors.New
+// is the one legal construction site.
+var ErrBad = errors.New("terr: bad")
+
+// fail is an error source for the discard cases.
+func fail() error { return ErrBad }
+
+// pair returns a value and an error.
+func pair() (int, error) { return 0, ErrBad }
+
+// wrapOK wraps the sentinel: the clean construction case.
+func wrapOK(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: %d", ErrBad, n)
+	}
+	if err := fail(); err != nil {
+		return fmt.Errorf("terr: pass-through: %w", err)
+	}
+	return nil
+}
+
+// wrapBad mints unclassifiable errors.
+func wrapBad(n int) error {
+	if n == 1 {
+		return fmt.Errorf("terr: naked %d", n) // want "fmt.Errorf without %w"
+	}
+	if n == 2 {
+		return errors.New("terr: inline") // want "errors.New outside a package-level sentinel"
+	}
+	return nil
+}
+
+// drops discards errors every way the analyzer must catch.
+func drops() int {
+	fail()         // want "result of terr.fail includes an error that is discarded"
+	_ = fail()     // want "error discarded with blank identifier"
+	v, _ := pair() // want "error discarded with blank identifier"
+	defer fail()   // want "result of terr.fail includes an error that is discarded"
+	go fail()      // want "result of terr.fail includes an error that is discarded"
+	return v
+}
+
+// handled is the clean side of the discard rule.
+func handled() (int, error) {
+	if err := fail(); err != nil {
+		return 0, err
+	}
+	v, err := pair()
+	if err != nil {
+		return 0, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", v) // infallible writer: exempt
+	b.WriteString("x")       // infallible writer method: exempt
+	fail()                   //tepic:ignore-err fixture demonstrates the escape hatch
+	return v + len(b.String()), nil
+}

@@ -1,0 +1,17 @@
+// Package terr is the typederr negative fixture for the sentinel rules:
+// the test does NOT configure it as a taxonomy package, so bare
+// fmt.Errorf construction is legal here — only discards are flagged.
+package terr
+
+import "fmt"
+
+func free(n int) error {
+	if n < 0 {
+		return fmt.Errorf("terr2: naked %d is fine here", n)
+	}
+	return nil
+}
+
+func drop() {
+	free(1) // want "includes an error that is discarded"
+}

@@ -1,0 +1,257 @@
+// Package typederr enforces the repo's typed-error discipline, the
+// contract the simcheck fault matrix and every errors.Is caller depend
+// on:
+//
+//   - In the designated error-taxonomy packages (internal/cache,
+//     internal/huffman, internal/compress, internal/bitio), fmt.Errorf
+//     must wrap (%w) a registered sentinel or a propagated error — a
+//     bare fmt.Errorf mints an unclassifiable error that errors.Is can
+//     never match — and errors.New may appear only as a package-level
+//     sentinel declaration.
+//   - Everywhere in production code, an error return may not be
+//     discarded: not with a blank identifier, and not by dropping an
+//     error-returning call's results on the floor (fmt.Fprintf results
+//     included — the CLIs' report writers latch them instead). A site
+//     where ignoring the error is genuinely the right thing must say so
+//     with a trailing "//tepic:ignore-err <reason>" directive.
+//
+// Writers that cannot fail (strings.Builder, bytes.Buffer) are exempt
+// from the discard rule, as are calls to them through fmt.
+package typederr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/anz"
+)
+
+// Doc is the analyzer's one-line invariant.
+const Doc = "errors wrap package sentinels in the taxonomy packages; no error return is discarded"
+
+// Config parameterizes the analyzer for fixtures.
+type Config struct {
+	// SentinelPkgs are the import paths under the sentinel-wrap rule.
+	SentinelPkgs []string
+}
+
+// DefaultConfig covers the repo's error-taxonomy packages.
+func DefaultConfig() Config {
+	return Config{SentinelPkgs: []string{
+		"repro/internal/cache",
+		"repro/internal/huffman",
+		"repro/internal/compress",
+		"repro/internal/bitio",
+	}}
+}
+
+// New returns the analyzer for a configuration.
+func New(cfg Config) *anz.Analyzer {
+	sentinel := map[string]bool{}
+	for _, p := range cfg.SentinelPkgs {
+		sentinel[p] = true
+	}
+	return &anz.Analyzer{
+		Name: "typederr",
+		Doc:  Doc,
+		Run: func(pass *anz.Pass) error {
+			return run(pass, sentinel[pass.Pkg.ImportPath])
+		},
+	}
+}
+
+func run(pass *anz.Pass, sentinelPkg bool) error {
+	for _, file := range pass.Pkg.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				// Package-level var blocks may declare sentinels.
+				return !isPackageLevel(file, n)
+			case *ast.CallExpr:
+				if sentinelPkg {
+					checkConstruction(pass, n)
+				}
+			case *ast.ExprStmt:
+				checkDroppedCall(pass, file, n.X)
+				return true
+			case *ast.GoStmt:
+				checkDroppedCall(pass, file, n.Call)
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, file, n.Call)
+			case *ast.AssignStmt:
+				checkBlankError(pass, file, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPackageLevel reports whether decl is one of the file's top-level
+// declarations.
+func isPackageLevel(file *ast.File, decl *ast.GenDecl) bool {
+	for _, d := range file.Decls {
+		if d == decl {
+			return true
+		}
+	}
+	return false
+}
+
+// checkConstruction enforces the sentinel-wrap rule on error
+// constructors inside function bodies of designated packages.
+func checkConstruction(pass *anz.Pass, call *ast.CallExpr) {
+	pkg, name := anz.CalleePath(pass.Pkg.Info, call)
+	switch {
+	case pkg == "errors" && name == "New":
+		pass.Reportf(call.Pos(),
+			"errors.New outside a package-level sentinel declaration; register a sentinel and wrap it")
+	case pkg == "fmt" && name == "Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		format, ok := constString(pass.Pkg.Info, call.Args[0])
+		if !ok {
+			pass.Reportf(call.Pos(), "fmt.Errorf with non-constant format cannot be checked for %%w")
+			return
+		}
+		if !strings.Contains(format, "%w") {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf without %%w drops the error class; wrap a package sentinel or the underlying error")
+		}
+	}
+}
+
+// checkDroppedCall flags a call whose results include an error that the
+// statement discards.
+func checkDroppedCall(pass *anz.Pass, file *ast.File, x ast.Expr) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.Info
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if !resultsIncludeError(tv.Type) {
+		return
+	}
+	if exemptWriter(info, call) {
+		return
+	}
+	if anz.LineDirective(pass.Fset, file, call.Pos(), "ignore-err") {
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or annotate //tepic:ignore-err",
+		calleeLabel(info, call))
+}
+
+// checkBlankError flags `_ = errExpr` and `v, _ := f()` discards where
+// the blanked value is an error.
+func checkBlankError(pass *anz.Pass, file *ast.File, as *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		switch {
+		case len(as.Lhs) == len(as.Rhs):
+			if tv, ok := info.Types[as.Rhs[i]]; ok {
+				t = tv.Type
+			}
+		case len(as.Rhs) == 1:
+			// Multi-value call: pull the i-th result type.
+			if tv, ok := info.Types[as.Rhs[0]]; ok {
+				if tup, ok := tv.Type.(*types.Tuple); ok && i < tup.Len() {
+					t = tup.At(i).Type()
+				}
+			}
+		}
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if anz.LineDirective(pass.Fset, file, as.Pos(), "ignore-err") {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "error discarded with blank identifier; handle it or annotate //tepic:ignore-err")
+	}
+}
+
+// resultsIncludeError reports whether a call's result type carries an
+// error (sole result or within the tuple).
+func resultsIncludeError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface) && types.IsInterface(t)
+}
+
+// exemptWriter exempts writes that cannot fail: methods on
+// strings.Builder / bytes.Buffer, and fmt.Fprint* targeting one.
+func exemptWriter(info *types.Info, call *ast.CallExpr) bool {
+	pkg, name := anz.CalleePath(info, call)
+	if pkg == "fmt" && strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		return isInfallibleWriter(info.Types[call.Args[0]].Type)
+	}
+	if f := anz.FuncFor(info, call); f != nil {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return isInfallibleWriter(sig.Recv().Type())
+		}
+	}
+	return false
+}
+
+func isInfallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	full := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// constString resolves an expression to its constant string value.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// calleeLabel names a call for diagnostics.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if f := anz.FuncFor(info, call); f != nil {
+		if f.Pkg() != nil {
+			return f.Pkg().Name() + "." + f.Name()
+		}
+		return f.Name()
+	}
+	return "call"
+}

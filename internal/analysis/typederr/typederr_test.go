@@ -1,0 +1,21 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/typederr"
+)
+
+func TestTypederr(t *testing.T) {
+	a := typederr.New(typederr.Config{SentinelPkgs: []string{"terr"}})
+	anztest.RunDir(t, "terr", a)
+}
+
+// TestNonSentinelPackage checks the construction rules switch off
+// outside the configured packages while the discard rules stay on.
+func TestNonSentinelPackage(t *testing.T) {
+	a := typederr.New(typederr.Config{SentinelPkgs: []string{"somewhere/else"}})
+	prog := anztest.Load(t, anztest.Fixture{ImportPath: "terr", Dir: "testdata/src/terr2"})
+	anztest.Run(t, prog, a)
+}

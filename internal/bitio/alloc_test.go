@@ -1,0 +1,45 @@
+package bitio
+
+import "testing"
+
+// TestReaderZeroAlloc is the dynamic half of the //tepic:hotpath
+// contract on PeekBits, ConsumeBits, ReadBits and refill: the static
+// hotalloc analyzer proves the bodies contain no allocating construct,
+// and this test pins the compiler's side — zero allocations per drained
+// stream, exercising the word-wide refill, the accumulator fast paths
+// and the zero-padded tail.
+func TestReaderZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	r := NewReader(data)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := r.SeekBit(0); err != nil {
+			t.Fatal(err)
+		}
+		for r.Remaining() >= 37 {
+			v, avail := r.PeekBits(13)
+			if avail != 13 {
+				t.Fatalf("PeekBits avail %d with %d bits remaining", avail, r.Remaining())
+			}
+			r.ConsumeBits(13)
+			got, err := r.ReadBits(24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = v, got
+		}
+		// The tail: peeks shorter than the request pad with zeros.
+		if v, avail := r.PeekBits(57); avail >= 57 {
+			t.Fatalf("tail peek returned avail %d (v=%d)", avail, v)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("reader hot path: %.1f allocs per drained stream, want 0", allocs)
+	}
+}

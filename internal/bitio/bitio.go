@@ -90,6 +90,8 @@ func NewReader(data []byte) *Reader { return &Reader{data: data} }
 // many as the stream still holds. The hot path loads a whole 64-bit word
 // at a time; only the stream tail and partially drained accumulators fall
 // back to byte loads.
+//
+//tepic:hotpath
 func (r *Reader) refill(width uint) {
 	if r.nbit >= width {
 		return
@@ -115,6 +117,8 @@ func badWidth(width int) {
 
 // ReadBits reads `width` bits, MSB first. Width must be in [0, 57] to keep
 // the refill window safe; all users read at most 40 bits at once.
+//
+//tepic:hotpath
 func (r *Reader) ReadBits(width int) (uint64, error) {
 	if width < 0 || width > 57 {
 		badWidth(width)
@@ -142,6 +146,8 @@ func (r *Reader) ReadBits(width int) (uint64, error) {
 // compiler's inlining budget: width validation lives on the slow path
 // (a width that never leaves the accumulator path is trusted — all
 // callers pass table-derived constants bounded by MaxCodeLen).
+//
+//tepic:hotpath
 func (r *Reader) PeekBits(width int) (v uint64, avail int) {
 	if r.nbit >= uint(width) {
 		return r.cur >> (r.nbit - uint(width)) & (1<<uint(width) - 1), width
@@ -165,6 +171,8 @@ func (r *Reader) peekSlow(width int) (uint64, int) {
 // ConsumeBits discards `width` bits previously examined with PeekBits.
 // Consuming past the end of the stream panics: callers must bound width
 // by PeekBits's avail (or Remaining).
+//
+//tepic:hotpath
 func (r *Reader) ConsumeBits(width int) {
 	if r.nbit >= uint(width) {
 		r.nbit -= uint(width)
@@ -209,8 +217,8 @@ func (r *Reader) Offset() int { return r.read }
 // of the underlying data.
 func (r *Reader) SeekBit(bit int) error {
 	if bit < 0 || bit > 8*len(r.data) {
-		return fmt.Errorf("bitio: seek to bit %d outside stream of %d bits",
-			bit, 8*len(r.data))
+		return fmt.Errorf("%w: seek to bit %d outside stream of %d bits",
+			ErrExhausted, bit, 8*len(r.data))
 	}
 	r.pos = bit / 8
 	r.cur, r.nbit = 0, 0

@@ -37,7 +37,7 @@ func (s BankedStats) StraddleRate() float64 {
 // cache).
 func VerifyBankedExtraction(im *image.Image, sp *sched.Program, enc compress.Encoder, lineBytes int) (BankedStats, error) {
 	if lineBytes < 1 {
-		return BankedStats{}, fmt.Errorf("cache: bad line size %d", lineBytes)
+		return BankedStats{}, fmt.Errorf("%w: bad line size %d", ErrBadGeometry, lineBytes)
 	}
 	var stats BankedStats
 	lineBits := lineBytes * 8
@@ -46,7 +46,7 @@ func VerifyBankedExtraction(im *image.Image, sp *sched.Program, enc compress.Enc
 		for _, mop := range b.MOPs {
 			mopBits := enc.BlockBits(mop)
 			if mopBits == 0 && len(mop) > 0 {
-				return stats, fmt.Errorf("cache: block %d: zero-size MOP", b.ID)
+				return stats, fmt.Errorf("%w: block %d: zero-size MOP", ErrNotExtractable, b.ID)
 			}
 			first := bit / lineBits
 			last := (bit + mopBits - 1) / lineBits
@@ -60,8 +60,8 @@ func VerifyBankedExtraction(im *image.Image, sp *sched.Program, enc compress.Enc
 			}
 			if span > 2 {
 				return stats, fmt.Errorf(
-					"cache: block %d: a MOP spans %d lines (%d bits at bit %d, %dB lines) — not extractable in one banked reference",
-					b.ID, span, mopBits, bit, lineBytes)
+					"%w: block %d: a MOP spans %d lines (%d bits at bit %d, %dB lines)",
+					ErrNotExtractable, b.ID, span, mopBits, bit, lineBytes)
 			}
 			bit += mopBits
 		}

@@ -17,4 +17,15 @@ var (
 	// ErrBadGeometry marks a degenerate cache configuration (non-positive
 	// sets, associativity or line size).
 	ErrBadGeometry = errors.New("cache: bad geometry")
+	// ErrBadSpec marks an invalid registration: an organization or
+	// predictor spec missing required pieces, or a duplicate name.
+	ErrBadSpec = errors.New("cache: bad spec")
+	// ErrBadConfig marks a simulator misconfiguration: an unknown
+	// organization or predictor, or a ROM image supplied (or omitted)
+	// against the organization's spec.
+	ErrBadConfig = errors.New("cache: bad configuration")
+	// ErrNotExtractable marks an encoding the banked cache cannot serve:
+	// a MOP that spans more than two lines (or decodes to nothing), so a
+	// single banked reference cannot extract it.
+	ErrNotExtractable = errors.New("cache: not extractable in one banked reference")
 )

@@ -39,16 +39,16 @@ var (
 // id. Names are unique case-insensitively; the Decode stage is required.
 func RegisterOrg(spec OrgSpec) (Org, error) {
 	if spec.Name == "" {
-		return 0, fmt.Errorf("cache: organization needs a name")
+		return 0, fmt.Errorf("%w: organization needs a name", ErrBadSpec)
 	}
 	if spec.Decode == nil {
-		return 0, fmt.Errorf("cache: organization %s needs a Decompressor", spec.Name)
+		return 0, fmt.Errorf("%w: organization %s needs a Decompressor", ErrBadSpec, spec.Name)
 	}
 	orgMu.Lock()
 	defer orgMu.Unlock()
 	key := strings.ToLower(spec.Name)
 	if _, dup := orgIDs[key]; dup {
-		return 0, fmt.Errorf("cache: organization %s already registered", spec.Name)
+		return 0, fmt.Errorf("%w: organization %s already registered", ErrBadSpec, spec.Name)
 	}
 	org := Org(len(orgSpecs))
 	orgSpecs = append(orgSpecs, spec)

@@ -45,15 +45,15 @@ var (
 // kind; blocks is the program's basic-block count.
 func RegisterPredictor(kind PredictorKind, build func(blocks int) (Predictor, error)) error {
 	if kind == PredictorDefault {
-		return fmt.Errorf("cache: predictor needs a non-empty kind")
+		return fmt.Errorf("%w: predictor needs a non-empty kind", ErrBadSpec)
 	}
 	if build == nil {
-		return fmt.Errorf("cache: predictor %s needs a constructor", kind)
+		return fmt.Errorf("%w: predictor %s needs a constructor", ErrBadSpec, kind)
 	}
 	predMu.Lock()
 	defer predMu.Unlock()
 	if _, dup := predCtor[kind]; dup {
-		return fmt.Errorf("cache: predictor %s already registered", kind)
+		return fmt.Errorf("%w: predictor %s already registered", ErrBadSpec, kind)
 	}
 	predCtor[kind] = build
 	return nil
@@ -82,8 +82,8 @@ func ParsePredictor(name string) (PredictorKind, error) {
 	_, ok := predCtor[kind]
 	predMu.RUnlock()
 	if !ok {
-		return PredictorDefault, fmt.Errorf("cache: unknown predictor %q (have %v)",
-			name, PredictorKinds())
+		return PredictorDefault, fmt.Errorf("%w: unknown predictor %q (have %v)",
+			ErrBadConfig, name, PredictorKinds())
 	}
 	return kind, nil
 }
@@ -97,7 +97,7 @@ func newPredictor(kind PredictorKind, blocks int) (Predictor, error) {
 	build, ok := predCtor[kind]
 	predMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("cache: unknown predictor %q", kind)
+		return nil, fmt.Errorf("%w: unknown predictor %q", ErrBadConfig, kind)
 	}
 	return build(blocks)
 }

@@ -135,7 +135,7 @@ type Sim struct {
 // image need NewOrgSim (or NewCodePackSim).
 func NewSim(org Org, cfg Config, im *image.Image, sp *sched.Program) (*Sim, error) {
 	if spec, ok := org.Spec(); ok && spec.NeedsROM {
-		return nil, fmt.Errorf("cache: Org%s needs two images; use NewCodePackSim", spec.Name)
+		return nil, fmt.Errorf("%w: Org%s needs two images; use NewCodePackSim", ErrBadConfig, spec.Name)
 	}
 	return NewOrgSim(org, cfg, im, nil, sp)
 }
@@ -146,20 +146,20 @@ func NewSim(org Org, cfg Config, im *image.Image, sp *sched.Program) (*Sim, erro
 func NewOrgSim(org Org, cfg Config, im, rom *image.Image, sp *sched.Program) (*Sim, error) {
 	spec, ok := org.Spec()
 	if !ok {
-		return nil, fmt.Errorf("cache: unknown organization %d", int(org))
+		return nil, fmt.Errorf("%w: unknown organization %d", ErrBadConfig, int(org))
 	}
 	if err := validateImage(im, "cache", sp); err != nil {
 		return nil, err
 	}
 	if spec.NeedsROM {
 		if rom == nil {
-			return nil, fmt.Errorf("cache: organization %s needs a ROM image", spec.Name)
+			return nil, fmt.Errorf("%w: organization %s needs a ROM image", ErrBadConfig, spec.Name)
 		}
 		if err := validateImage(rom, "ROM", sp); err != nil {
 			return nil, err
 		}
 	} else if rom != nil {
-		return nil, fmt.Errorf("cache: organization %s takes no ROM image", spec.Name)
+		return nil, fmt.Errorf("%w: organization %s takes no ROM image", ErrBadConfig, spec.Name)
 	}
 	lc, err := NewLineCache(cfg.Sets, cfg.Assoc, cfg.LineBytes)
 	if err != nil {
@@ -248,6 +248,30 @@ func (s *Sim) Run(tr *trace.Trace) (Result, error) {
 	// The prediction for the very first block is a free cold start.
 	predicted := -2
 	for _, ev := range tr.Events {
+		var err error
+		if predicted, err = s.step(ev, predicted, &res); err != nil {
+			return res, err
+		}
+	}
+	res.BusBeats, res.BitFlips, res.BytesFetched = s.bus.Counts()
+	res.ATBHitRate = s.atb.HitRate()
+	return res, nil
+}
+
+// badUpdate wraps an ATB training failure; kept out of step so the
+// annotated hot path stays free of fmt.
+func badUpdate(err error) error {
+	return fmt.Errorf("%w: %v", ErrMalformedTrace, err)
+}
+
+// step replays one trace event through the stage pipeline — the
+// simulator's per-event hot loop, run once per fetched block for every
+// (benchmark, pairing, geometry) point of a sweep. It accumulates into
+// res and returns the next-block prediction for the following event.
+//
+//tepic:hotpath
+func (s *Sim) step(ev trace.Event, predicted int, res *Result) (int, error) {
+	{
 		blk := s.im.Blocks[ev.Block]
 		mops := s.sp.Blocks[ev.Block].NumMOPs()
 
@@ -333,11 +357,11 @@ func (s *Sim) Run(tr *trace.Trace) (Result, error) {
 
 		// Train the predictor and remember the next-block prediction.
 		predicted, _ = s.atb.Predict(ev.Block)
-		_ = s.atb.Update(ev.Block, ev.Taken, ev.Next)
+		if err := s.atb.Update(ev.Block, ev.Taken, ev.Next); err != nil {
+			return predicted, badUpdate(err)
+		}
 	}
-	res.BusBeats, res.BitFlips, res.BytesFetched = s.bus.Counts()
-	res.ATBHitRate = s.atb.HitRate()
-	return res, nil
+	return predicted, nil
 }
 
 // lineData returns the bytes of one memory line of an image's encoded

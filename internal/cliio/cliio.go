@@ -1,0 +1,79 @@
+// Package cliio is the report-writing discipline behind the typederr
+// analyzer's no-discard rule. CLI report code wants to print dozens of
+// lines without threading an error check through every one; dropping
+// fmt.Fprintf results on the floor instead means a full disk or closed
+// pipe goes unnoticed and the tool exits 0 with a truncated report.
+// Writer latches the first write error and skips subsequent writes, so
+// report code prints unconditionally and surfaces the failure exactly
+// once, at exit, via Err.
+package cliio
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Writer wraps an io.Writer with error latching.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// New returns a latching writer over w.
+func New(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Printf formats to the underlying writer, latching any error.
+func (w *Writer) Printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.w, format, args...)
+}
+
+// Println writes the operands and a newline, latching any error.
+func (w *Writer) Println(args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintln(w.w, args...)
+}
+
+// Print writes the operands, latching any error.
+func (w *Writer) Print(args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprint(w.w, args...)
+}
+
+// Write implements io.Writer with the same latching, so emitters that
+// take an io.Writer can share the report stream.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.w.Write(p)
+	w.err = err
+	return n, err
+}
+
+// Err returns the first write error, or nil.
+func (w *Writer) Err() error { return w.err }
+
+// WriteFile creates path, runs emit against the file, and closes it,
+// returning the first error from any step — the close error included,
+// which a bare defer f.Close() would discard after a buffered write.
+func WriteFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("%w (and closing %s: %v)", err, path, cerr)
+		}
+		return err
+	}
+	return f.Close()
+}

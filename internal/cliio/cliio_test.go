@@ -1,0 +1,94 @@
+package cliio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failAfter accepts n writes, then fails every subsequent one.
+type failAfter struct {
+	n    int
+	got  strings.Builder
+	fail error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.fail
+	}
+	f.n--
+	return f.got.Write(p)
+}
+
+func TestWriterLatchesFirstError(t *testing.T) {
+	sink := &failAfter{n: 2, fail: errors.New("pipe gone")}
+	w := New(sink)
+	w.Printf("a %d\n", 1)
+	w.Println("b")
+	if w.Err() != nil {
+		t.Fatalf("error before the writer failed: %v", w.Err())
+	}
+	w.Print("c") // first failing write latches
+	w.Printf("d")
+	w.Println("e")
+	if !errors.Is(w.Err(), sink.fail) {
+		t.Fatalf("Err() = %v, want the sink's error", w.Err())
+	}
+	if got := sink.got.String(); got != "a 1\nb\n" {
+		t.Fatalf("underlying writer got %q; writes after the latch must be skipped", got)
+	}
+	if n, err := w.Write([]byte("f")); n != 0 || !errors.Is(err, sink.fail) {
+		t.Fatalf("Write after latch = (%d, %v), want (0, latched error)", n, err)
+	}
+}
+
+func TestWriterCleanRun(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	w.Printf("%s=%d ", "x", 7)
+	w.Print("y")
+	w.Println()
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	if sb.String() != "x=7 y\n" {
+		t.Fatalf("got %q", sb.String())
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, func(f io.Writer) error {
+		_, err := io.WriteString(f, "content\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "content\n" {
+		t.Fatalf("got %q", data)
+	}
+
+	// An emit error must win over (and report) any close error, and the
+	// file must still be closed.
+	sentinel := errors.New("emit failed")
+	err = WriteFile(filepath.Join(t.TempDir(), "bad.txt"), func(io.Writer) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("WriteFile = %v, want the emit error", err)
+	}
+
+	// Creation failures surface directly.
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir.txt"),
+		func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("WriteFile created a file under a missing directory")
+	}
+}

@@ -201,7 +201,7 @@ func (c StreamConfig) Validate() error {
 	prev := 0
 	for _, cut := range c.Cuts {
 		if cut <= prev || cut >= isa.OpBits {
-			return fmt.Errorf("compress: stream config %s: bad cut %d", c.Name, cut)
+			return fmt.Errorf("%w: stream config %s: bad cut %d", ErrBadConfig, c.Name, cut)
 		}
 		prev = cut
 	}

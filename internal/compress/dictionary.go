@@ -30,7 +30,7 @@ const DefaultDictionaryBits = 8
 // frequencies.
 func NewDictionary(p *sched.Program, indexBits int) (*Dictionary, error) {
 	if indexBits < 1 || indexBits > 20 {
-		return nil, fmt.Errorf("compress: dictionary index bits %d outside [1,20]", indexBits)
+		return nil, fmt.Errorf("%w: dictionary index bits %d outside [1,20]", ErrBadConfig, indexBits)
 	}
 	freq := map[uint64]int64{}
 	for _, b := range p.Blocks {
@@ -120,7 +120,7 @@ func (d *Dictionary) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
 				return nil, err
 			}
 			if int(slot) >= len(d.words) {
-				return nil, fmt.Errorf("compress: dictionary slot %d of %d", slot, len(d.words))
+				return nil, fmt.Errorf("%w: dictionary slot %d of %d", ErrCorruptStream, slot, len(d.words))
 			}
 			word = d.words[slot]
 		} else {
@@ -152,7 +152,7 @@ func (d *Dictionary) DecoderRAMBits() int { return len(d.words) * isa.OpBits }
 // worse ratio than a per-program table.
 func NewSharedByteHuffman(progs []*sched.Program) (*ByteHuffman, error) {
 	if len(progs) == 0 {
-		return nil, fmt.Errorf("compress: no programs for shared table")
+		return nil, fmt.Errorf("%w: no programs for shared table", ErrBadConfig)
 	}
 	freq := map[uint64]int64{}
 	for _, p := range progs {

@@ -1,0 +1,16 @@
+package compress
+
+import "errors"
+
+// The typed failure classes of the compression schemes. Every rejection
+// the package produces wraps exactly one of these, so callers classify
+// with errors.Is instead of string matching.
+var (
+	// ErrBadConfig marks an invalid scheme configuration: stream cuts
+	// out of order or out of range, dictionary index widths outside the
+	// hardware bound, or a shared table built from no programs.
+	ErrBadConfig = errors.New("compress: bad configuration")
+	// ErrCorruptStream marks a compressed stream that decodes to
+	// impossible state, e.g. a dictionary slot past the table.
+	ErrCorruptStream = errors.New("compress: corrupt stream")
+)

@@ -111,6 +111,8 @@ func memoAs[T any](d *Driver, key string, build func() (T, error)) (T, error) {
 // order; the first error (by index) wins. Task functions may build
 // artifacts — builds run on the caller's worker slot — but must not call
 // mapN themselves, which could exhaust the pool with waiting parents.
+//
+//tepic:pool
 func mapN[T any](d *Driver, n int, fn func(int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)

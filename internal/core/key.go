@@ -37,7 +37,7 @@ func programHash(sp *sched.Program) string {
 	var buf [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
+		h.Write(buf[:]) //tepic:ignore-err hash.Hash.Write never fails
 	}
 	put(uint64(len(sp.Blocks)))
 	for _, b := range sp.Blocks {

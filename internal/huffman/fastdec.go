@@ -107,6 +107,8 @@ func (t *Table) NewFastDecoder() *FastDecoder {
 
 // Decode reads one symbol from the bit stream. See Decoder.Decode for
 // the exact (shared) error contract.
+//
+//tepic:hotpath
 func (d *FastDecoder) Decode(r *bitio.Reader) (uint64, error) {
 	v, avail := r.PeekBits(d.rootBits)
 	e := d.root[v]
@@ -133,6 +135,8 @@ func (d *FastDecoder) Decode(r *bitio.Reader) (uint64, error) {
 // is delegated to the per-symbol Decode, which shares its terminals with
 // the reference decoder, keeping batch error behaviour (consumed bits,
 // text, wrapped io.ErrUnexpectedEOF) bit-identical to both.
+//
+//tepic:hotpath
 func (d *FastDecoder) DecodeRun(r *bitio.Reader, out []uint64) error {
 	// The in-register loop guarantees 56 buffered bits per iteration;
 	// wider codes (possible only near MaxCodeLen) take the safe path.
@@ -211,7 +215,7 @@ func (d *FastDecoder) fail(r *bitio.Reader) error {
 		r.ConsumeBits(rem)
 		return errTruncated(start)
 	}
-	code, _ := r.ReadBits(d.maxLen)
+	code, _ := r.ReadBits(d.maxLen) //tepic:ignore-err Remaining() >= maxLen checked above; cannot fail
 	return errInvalid(code, start)
 }
 

@@ -44,11 +44,22 @@ type Table struct {
 	bits    int64 // total encoded bits at those weights
 }
 
-// Errors returned by table construction.
+// Errors returned by table construction, encoding and decoding. Every
+// failure the package produces is (or wraps) one of these, so callers
+// classify with errors.Is instead of string matching.
 var (
 	ErrEmpty    = errors.New("huffman: empty frequency table")
 	ErrTooLong  = errors.New("huffman: code length limit unreachable")
 	ErrBadLimit = errors.New("huffman: invalid length limit")
+	// ErrBadFreq marks a non-positive symbol frequency in Build's input.
+	ErrBadFreq = errors.New("huffman: non-positive frequency")
+	// ErrUnknownSymbol marks an Encode of a symbol outside the table.
+	ErrUnknownSymbol = errors.New("huffman: symbol not in table")
+	// ErrInvalidCode marks a window of MaxLen stream bits matching no
+	// codeword (reachable only through incomplete codes).
+	ErrInvalidCode = errors.New("huffman: invalid codeword")
+	// ErrSynthBound marks a dictionary too large for Verilog emission.
+	ErrSynthBound = errors.New("huffman: dictionary exceeds the synthesis bound")
 )
 
 // Build constructs an optimal (unbounded) canonical Huffman table from
@@ -74,7 +85,7 @@ func build(freq map[uint64]int64, limit int) (*Table, error) {
 	syms := make([]uint64, 0, len(freq))
 	for s, f := range freq {
 		if f <= 0 {
-			return nil, fmt.Errorf("huffman: non-positive frequency %d for symbol %d", f, s)
+			return nil, fmt.Errorf("%w %d for symbol %d", ErrBadFreq, f, s)
 		}
 		syms = append(syms, s)
 	}
@@ -295,7 +306,7 @@ func (t *Table) CodeFor(sym uint64) (Code, bool) {
 func (t *Table) Encode(w *bitio.Writer, sym uint64) error {
 	c, ok := t.codes[sym]
 	if !ok {
-		return fmt.Errorf("huffman: symbol %d not in table", sym)
+		return fmt.Errorf("%w: %d", ErrUnknownSymbol, sym)
 	}
 	w.WriteBits(c.Bits, c.Len)
 	return nil
@@ -424,7 +435,7 @@ func errTruncated(start int) error {
 // errInvalid reports maxLen bits that match no codeword (reachable only
 // through incomplete codes, e.g. the single-symbol table).
 func errInvalid(code uint64, start int) error {
-	return fmt.Errorf("huffman: invalid codeword 0b%b at bit %d", code, start)
+	return fmt.Errorf("%w 0b%b at bit %d", ErrInvalidCode, code, start)
 }
 
 // Decode reads one symbol from the bit stream.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/cliio"
 )
 
 // WriteDOT renders the program's control-flow graph in Graphviz DOT form:
@@ -13,8 +15,9 @@ import (
 // inspecting generated workloads and verifying structured-region
 // generation.
 func (p *Program) WriteDOT(w io.Writer) error {
+	cw := cliio.New(w)
 	pr := func(format string, args ...any) {
-		fmt.Fprintf(w, format+"\n", args...)
+		cw.Printf(format+"\n", args...)
 	}
 	pr("digraph %q {", sanitize(p.Name))
 	pr("  node [shape=box, fontsize=10];")
@@ -47,7 +50,7 @@ func (p *Program) WriteDOT(w io.Writer) error {
 		}
 	}
 	pr("}")
-	return nil
+	return cw.Err()
 }
 
 func sanitize(s string) string {

@@ -1,0 +1,44 @@
+#!/bin/sh
+# vet.sh runs the full static gate locally, in the same order as CI's
+# lint job: gofmt, go vet, the repo's own analyzer suite (tepicvet),
+# then staticcheck and govulncheck at the versions pinned in
+# tools/go.mod. The network-dependent tools are skipped with a notice
+# when they cannot be installed (e.g. offline), so the local gate
+# degrades to exactly what the toolchain alone can check.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$out" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== tepicvet"
+go run ./cmd/tepicvet ./...
+
+pin_of() {
+	awk -v mod="$1" '$1 == mod {print $2}' tools/go.mod
+}
+
+echo "== staticcheck"
+if go install "honnef.co/go/tools/cmd/staticcheck@$(pin_of honnef.co/go/tools)" 2>/dev/null; then
+	"$(go env GOPATH)/bin/staticcheck" ./...
+else
+	echo "staticcheck: install failed (offline?); skipped" >&2
+fi
+
+echo "== govulncheck"
+if go install "golang.org/x/vuln/cmd/govulncheck@$(pin_of golang.org/x/vuln)" 2>/dev/null; then
+	"$(go env GOPATH)/bin/govulncheck" ./...
+else
+	echo "govulncheck: install failed (offline?); skipped" >&2
+fi
+
+echo "vet.sh: all gates passed"

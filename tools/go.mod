@@ -1,0 +1,12 @@
+// Module tools pins the repo's lint and vulnerability toolchain. It is a
+// separate module so the pins never leak into the main module's build
+// graph; CI (and scripts/vet.sh) extract the versions from this file
+// instead of hard-coding them in workflow YAML.
+module repro/tools
+
+go 1.22
+
+require (
+	golang.org/x/vuln v1.1.3
+	honnef.co/go/tools v0.4.7
+)

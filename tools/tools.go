@@ -1,0 +1,15 @@
+//go:build tools
+
+// Package tools records the repo's build-time tool dependencies in the
+// standard blank-import form, so `go mod tidy` keeps their pins in
+// go.mod. The file never builds (the tools tag is never set); consumers
+// install the commands with the versions extracted from go.mod:
+//
+//	go install honnef.co/go/tools/cmd/staticcheck@<pin>
+//	go install golang.org/x/vuln/cmd/govulncheck@<pin>
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
