@@ -64,6 +64,14 @@ type (
 // width (<= 0 selects GOMAXPROCS).
 func NewDriver(workers int) *Driver { return core.NewDriver(workers) }
 
+// NewDriverWithCache returns a driver whose artifact store is sharded
+// and bounded: at most capacity cached artifacts across shards, evicted
+// least-recently-used (capacity <= 0 keeps the store unbounded). This
+// is the long-running service configuration; see cmd/tepicd.
+func NewDriverWithCache(workers, shards, capacity int) *Driver {
+	return core.NewDriverWithCache(workers, shards, capacity)
+}
+
 // NewSuiteWithDriver creates an experiment suite on an existing driver,
 // sharing its worker pool and artifact cache.
 func NewSuiteWithDriver(opt Options, d *Driver) *Suite {

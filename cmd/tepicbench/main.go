@@ -26,6 +26,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -96,8 +97,40 @@ func run(args []string, out io.Writer) error {
 	warm := fs.Bool("warm", false, "re-run the workload on the warm cache and report the hit rate")
 	decodeMin := fs.Float64("decodemin", 0,
 		"minimum fast/reference decode speedup on the full scheme; non-zero exit below it (0 = no check)")
+	serveMode := fs.Bool("serve", false,
+		"service benchmark: boot an in-process tepicd and drive the zipf-skewed client fleet against it")
+	serveWorkers := fs.Int("serveworkers", 4, "client fleet goroutine count (-serve)")
+	serveRequests := fs.Int("serverequests", 25, "requests per fleet worker (-serve)")
+	serveSkew := fs.Float64("serveskew", 1.07, "zipf skew exponent over the benchmark popularity ranks (-serve)")
+	serveMix := fs.String("servemix", "encode,decode", "comma-separated endpoint mix: encode, decode, simulate (-serve)")
+	servePairing := fs.String("servepairing", "", "registry pairing for simulate requests in the mix (-serve)")
+	serveCap := fs.Int("servecap", 4096, "daemon artifact-store capacity in entries, 0 = unbounded (-serve)")
+	serveMin := fs.Float64("servemin", 0,
+		"minimum fleet throughput in req/s; non-zero exit below it (-serve, 0 = no check)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *serveMode {
+		var benchmarks []string
+		if *benchCSV != "" {
+			benchmarks = strings.Split(*benchCSV, ",")
+		}
+		return runServe(serveRun{
+			benchmarks: benchmarks,
+			par:        *par,
+			workers:    *serveWorkers,
+			requests:   *serveRequests,
+			skew:       *serveSkew,
+			mix:        strings.Split(*serveMix, ","),
+			pairing:    *servePairing,
+			scheme:     "full",
+			blocks:     *blocks,
+			cachecap:   *serveCap,
+			check:      *check,
+			jsonPath:   *jsonPath,
+			minRPS:     *serveMin,
+		}, cliio.New(out))
 	}
 
 	opt := ccc.Options{TraceBlocks: *blocks}
@@ -177,7 +210,9 @@ func run(args []string, out io.Writer) error {
 			w.Println("simulation check: oracle, invariants and fault matrix clean on every pairing")
 		} else {
 			simOK = false
-			if err := rep.WriteText(out); err != nil {
+			// Report through the latching writer, not the raw stream: a
+			// write failure here must surface in the exit status below.
+			if err := rep.WriteText(w); err != nil {
 				return err
 			}
 			checkErr = fmt.Errorf("simulation checks found %d error(s)", rep.Errors())
@@ -263,11 +298,15 @@ func run(args []string, out io.Writer) error {
 		w.Printf("benchmark report written to %s\n", *jsonPath)
 	}
 	if checkErr != nil {
-		return checkErr
+		// Join the latched write error so a truncated -check report is
+		// never mistaken for a fully delivered one.
+		return errors.Join(checkErr, w.Err())
 	}
 	if *decodeMin > 0 {
 		if got := decodeRates["full"].Speedup; got < *decodeMin {
-			return fmt.Errorf("decode speedup on full scheme %.2fx below minimum %.2fx", got, *decodeMin)
+			return errors.Join(
+				fmt.Errorf("decode speedup on full scheme %.2fx below minimum %.2fx", got, *decodeMin),
+				w.Err())
 		}
 	}
 	return w.Err()

@@ -115,3 +115,57 @@ func TestRunErrors(t *testing.T) {
 		t.Error("accepted unknown benchmark")
 	}
 }
+
+func TestRunServeMode(t *testing.T) {
+	dir := t.TempDir()
+	jsonFile := filepath.Join(dir, "BENCH_serve.json")
+	out := benchOut(t, "-serve", "-benchmarks", "compress,go", "-par", "2",
+		"-serveworkers", "2", "-serverequests", "6", "-check",
+		"-json", jsonFile, "-servemin", "0.1")
+	for _, want := range []string{
+		"service benchmark: in-process tepicd on http://127.0.0.1:",
+		"fleet: 2 workers x 6 requests",
+		"decode audit:",
+		"bit-identical to the direct pipeline",
+		"artifact store:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serve output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("serve report is not valid JSON: %v", err)
+	}
+	if rep.Tool != "tepicbench" || rep.Mode != "serve" {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if rep.Fleet == nil || rep.Fleet.Requests != 12 || rep.Fleet.Errors != 0 {
+		t.Errorf("fleet tally wrong: %+v", rep.Fleet)
+	}
+	if rep.Fleet.RequestsPerSec <= 0 || rep.Fleet.P99MS < rep.Fleet.P50MS {
+		t.Errorf("fleet latency stats wrong: %+v", rep.Fleet)
+	}
+	if rep.CacheHits+rep.CacheMisses == 0 || rep.CacheHitRate <= 0 {
+		t.Errorf("artifact store traffic missing: %+v", rep)
+	}
+	if !rep.DecodeChecked || !rep.DecodeOK || rep.DecodeAudited == 0 {
+		t.Errorf("decode audit not recorded: %+v", rep)
+	}
+}
+
+func TestRunServeModeRatchet(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-serve", "-benchmarks", "compress",
+		"-serveworkers", "1", "-serverequests", "2", "-servemin", "1e12"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "below minimum") {
+		t.Errorf("throughput ratchet did not trip: %v", err)
+	}
+	if err := run([]string{"-serve", "-benchmarks", "compress", "-servemix", "teleport"}, &sb); err == nil {
+		t.Error("accepted unknown mix endpoint")
+	}
+}

@@ -44,6 +44,7 @@ func DefaultConfig() Config {
 		"repro/internal/huffman",
 		"repro/internal/compress",
 		"repro/internal/bitio",
+		"repro/internal/serve",
 	}}
 }
 

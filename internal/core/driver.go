@@ -15,43 +15,47 @@ import (
 
 // Driver is the concurrent compilation driver: a bounded worker pool
 // that fans out over (benchmark, encoding-scheme) build jobs, backed by
-// a content-addressed artifact cache. Every artifact — compiled
+// a content-addressed artifact store. Every artifact — compiled
 // program, encoder (Huffman tables / tailored dictionary), image with
 // ATT, stochastic trace — is keyed by a hash of its exact inputs
 // (program content, scheme configuration, cache version; see key.go),
 // built once under single-flight, and shared by every job that asks for
-// it. Stage latencies and cache traffic are recorded in a stats.Registry
-// so drivers of the driver (tepicbench, tepiccc) can export them.
+// it. The store is sharded and optionally bounded with LRU eviction
+// (see store.go), so a long-running service driver holds steady memory
+// under skewed traffic. Stage latencies and cache traffic are recorded
+// in a stats.Registry so drivers of the driver (tepicbench, tepiccc,
+// tepicd) can export them.
 //
 // All methods are safe for concurrent use.
 type Driver struct {
 	workers int
 	obs     *stats.Registry
 	sem     chan struct{}
-
-	mu      sync.Mutex
-	flights map[string]*flight
-}
-
-// flight is one single-flight artifact build: the first requester builds
-// while later requesters block on done and share the result.
-type flight struct {
-	done chan struct{}
-	val  any
-	err  error
+	store   *artifactStore
 }
 
 // NewDriver returns a driver with the given worker-pool width; width <= 0
-// selects GOMAXPROCS.
+// selects GOMAXPROCS. The artifact store is unbounded — the right shape
+// for batch runs that want every figure's artifacts resident.
 func NewDriver(workers int) *Driver {
+	return NewDriverWithCache(workers, 0, 0)
+}
+
+// NewDriverWithCache returns a driver whose artifact store has the given
+// shard count (<= 0 selects the default, 8) and total entry capacity
+// (<= 0 means unbounded). Service drivers (tepicd) bound the store so a
+// long tail of cold programs cannot grow memory without limit; the hot
+// set stays resident under LRU.
+func NewDriverWithCache(workers, shards, capacity int) *Driver {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	obs := stats.NewRegistry()
 	return &Driver{
 		workers: workers,
-		obs:     stats.NewRegistry(),
+		obs:     obs,
 		sem:     make(chan struct{}, workers),
-		flights: map[string]*flight{},
+		store:   newArtifactStore(shards, capacity, obs),
 	}
 }
 
@@ -74,27 +78,17 @@ func (d *Driver) CacheHitRate() float64 {
 	return float64(hits) / float64(hits+misses)
 }
 
+// CacheEntries returns the number of artifacts currently resident in
+// the store (in-flight builds included).
+func (d *Driver) CacheEntries() int { return d.store.len() }
+
 // memo returns the artifact stored under key, building it with build on
 // first request. Concurrent requests for one key are deduplicated: one
 // goroutine builds, the rest wait. A failed build is cached too — the
-// inputs are content-hashed, so retrying cannot succeed.
+// inputs are content-hashed, so retrying cannot succeed. On a bounded
+// store an evicted artifact rebuilds on its next request.
 func (d *Driver) memo(key string, build func() (any, error)) (any, error) {
-	d.mu.Lock()
-	f, ok := d.flights[key]
-	if !ok {
-		f = &flight{done: make(chan struct{})}
-		d.flights[key] = f
-	}
-	d.mu.Unlock()
-	if ok {
-		d.obs.Counter("artifact.hit").Add(1)
-		<-f.done
-		return f.val, f.err
-	}
-	d.obs.Counter("artifact.miss").Add(1)
-	f.val, f.err = build()
-	close(f.done)
-	return f.val, f.err
+	return d.store.do(key, build)
 }
 
 // memoAs is the typed face of memo.

@@ -113,6 +113,12 @@ func (c *Compiled) contentKey() string {
 	return c.key
 }
 
+// ContentKey exposes the program's content hash — the prefix of every
+// artifact-cache key derived from this compilation (see key.go). The
+// service layer returns it to clients so identical programs are
+// recognizably identical across requests.
+func (c *Compiled) ContentKey() string { return c.contentKey() }
+
 // CompileBenchmark generates and compiles one of the eight SPECint95
 // benchmark stand-ins.
 func CompileBenchmark(name string) (*Compiled, error) {

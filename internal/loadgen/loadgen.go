@@ -1,0 +1,329 @@
+// Package loadgen is the service load harness: a client fleet of worker
+// goroutines hammering the tepicd API with zipf-skewed program
+// popularity — a few hot benchmarks dominate, the cold tail trickles —
+// mirroring the ddtxn-style benchmark harnesses and the access-pattern
+// skew that makes the daemon's LRU artifact store earn its keep. The
+// fleet is fully deterministic given its seed: each worker draws from
+// its own fixed-seed zipf sampler, so a run's request sequence (though
+// not its timing) replays exactly.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrBadOptions marks an invalid fleet or sampler configuration.
+var ErrBadOptions = errors.New("loadgen: bad options")
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s by inverse-CDF lookup over a precomputed cumulative
+// table. Rank 0 is the hottest key. The sampler is deterministic for a
+// given (n, s, seed) and is NOT safe for concurrent use — give each
+// worker its own.
+type Zipf struct {
+	cum []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over n ranks with skew exponent s > 0
+// (s ≈ 1 is the classic zipf; larger s concentrates more mass on the
+// hot ranks).
+func NewZipf(n int, s float64, seed int64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n = %d, want > 0", ErrBadOptions, n)
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("%w: skew = %v, want finite > 0", ErrBadOptions, s)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // exact upper bound against rounding
+	return &Zipf{cum: cum, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// Ranks returns the sampler's rank-space size.
+func (z *Zipf) Ranks() int { return len(z.cum) }
+
+// Percentile returns the p-th percentile (0 < p <= 100) of ds by the
+// nearest-rank method: the smallest element with at least p% of the
+// sample at or below it. Empty input returns 0.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Options parameterizes a fleet run.
+type Options struct {
+	// Workers is the client goroutine count (default 4).
+	Workers int
+	// RequestsPerWorker is each worker's request budget (default 25).
+	RequestsPerWorker int
+	// Benchmarks is the program population in hot-first rank order; the
+	// zipf sampler makes Benchmarks[0] the dominant program. Must be
+	// non-empty.
+	Benchmarks []string
+	// Skew is the zipf exponent (default 1.07, the ddtxn harness's
+	// classic setting).
+	Skew float64
+	// Seed fixes every worker's request sequence (worker w draws from
+	// seed Seed + w).
+	Seed int64
+	// Mix cycles each worker through these endpoints; entries are
+	// "encode", "decode" or "simulate" (default encode, decode).
+	Mix []string
+	// Scheme is the encoding scheme requested by encode/decode
+	// endpoints (default "full").
+	Scheme string
+	// Pairing is the registry pairing requested by simulate endpoints
+	// (required only when Mix contains "simulate").
+	Pairing string
+	// Blocks is the simulate trace length (0 = profile default).
+	Blocks int
+	// Timeout bounds each request (default 60s).
+	Timeout time.Duration
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	opt := *o
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	if opt.RequestsPerWorker <= 0 {
+		opt.RequestsPerWorker = 25
+	}
+	if len(opt.Benchmarks) == 0 {
+		return opt, fmt.Errorf("%w: no benchmarks", ErrBadOptions)
+	}
+	if opt.Skew == 0 {
+		opt.Skew = 1.07
+	}
+	if opt.Skew <= 0 {
+		return opt, fmt.Errorf("%w: skew %v", ErrBadOptions, opt.Skew)
+	}
+	if len(opt.Mix) == 0 {
+		opt.Mix = []string{"encode", "decode"}
+	}
+	for _, m := range opt.Mix {
+		switch m {
+		case "encode", "decode", "simulate":
+		default:
+			return opt, fmt.Errorf("%w: unknown mix endpoint %q", ErrBadOptions, m)
+		}
+		if m == "simulate" && opt.Pairing == "" {
+			return opt, fmt.Errorf("%w: simulate in mix needs a pairing", ErrBadOptions)
+		}
+	}
+	if opt.Scheme == "" {
+		opt.Scheme = "full"
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 60 * time.Second
+	}
+	return opt, nil
+}
+
+// WorkerReport is one client goroutine's tally.
+type WorkerReport struct {
+	Worker   int     `json:"worker"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	MeanMS   float64 `json:"mean_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+// Report is one fleet run's result: aggregate throughput, latency
+// percentiles over every request, per-worker stats and the observed
+// popularity histogram (which the zipf skew shapes).
+type Report struct {
+	Workers           int            `json:"workers"`
+	RequestsPerWorker int            `json:"requests_per_worker"`
+	Requests          int            `json:"requests"`
+	Errors            int            `json:"errors"`
+	Skew              float64        `json:"skew"`
+	Seed              int64          `json:"seed"`
+	WallMS            float64        `json:"wall_ms"`
+	RequestsPerSec    float64        `json:"requests_per_sec"`
+	P50MS             float64        `json:"p50_ms"`
+	P95MS             float64        `json:"p95_ms"`
+	P99MS             float64        `json:"p99_ms"`
+	PerWorker         []WorkerReport `json:"per_worker"`
+	Popularity        map[string]int `json:"popularity"`
+}
+
+// worker holds one goroutine's private state; no field is shared while
+// the fleet runs.
+type worker struct {
+	id        int
+	zipf      *Zipf
+	latencies []time.Duration
+	errors    int
+	drawn     map[string]int
+	err       error
+}
+
+// Run drives the fleet against a tepicd base URL ("http://host:port")
+// and aggregates the report. Request errors (non-2xx statuses,
+// transport failures) are counted per worker and do not stop the run;
+// the returned error covers only configuration faults.
+//
+//tepic:pool
+func Run(baseURL string, o Options) (*Report, error) {
+	opt, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: opt.Timeout}
+	workers := make([]*worker, opt.Workers)
+	for i := range workers {
+		z, err := NewZipf(len(opt.Benchmarks), opt.Skew, opt.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = &worker{
+			id:        i,
+			zipf:      z,
+			latencies: make([]time.Duration, 0, opt.RequestsPerWorker),
+			drawn:     map[string]int{},
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(len(workers))
+	for _, w := range workers {
+		go func(w *worker) {
+			defer wg.Done()
+			w.run(client, baseURL, opt)
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{
+		Workers:           opt.Workers,
+		RequestsPerWorker: opt.RequestsPerWorker,
+		Skew:              opt.Skew,
+		Seed:              opt.Seed,
+		WallMS:            float64(wall) / float64(time.Millisecond),
+		Popularity:        map[string]int{},
+	}
+	var all []time.Duration
+	for _, w := range workers {
+		if w.err != nil {
+			return nil, w.err
+		}
+		wr := WorkerReport{Worker: w.id, Requests: len(w.latencies) + w.errors, Errors: w.errors}
+		var sum, max time.Duration
+		for _, d := range w.latencies {
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		if n := len(w.latencies); n > 0 {
+			wr.MeanMS = float64(sum) / float64(n) / float64(time.Millisecond)
+			wr.MaxMS = float64(max) / float64(time.Millisecond)
+		}
+		rep.PerWorker = append(rep.PerWorker, wr)
+		rep.Requests += wr.Requests
+		rep.Errors += w.errors
+		all = append(all, w.latencies...)
+		for name, n := range w.drawn {
+			rep.Popularity[name] += n
+		}
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		rep.RequestsPerSec = float64(rep.Requests) / secs
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rep.P50MS = ms(Percentile(all, 50))
+	rep.P95MS = ms(Percentile(all, 95))
+	rep.P99MS = ms(Percentile(all, 99))
+	return rep, nil
+}
+
+// run is one worker's request loop.
+func (w *worker) run(client *http.Client, baseURL string, opt Options) {
+	for i := 0; i < opt.RequestsPerWorker; i++ {
+		bench := opt.Benchmarks[w.zipf.Next()]
+		w.drawn[bench]++
+		endpoint := opt.Mix[i%len(opt.Mix)]
+		var path string
+		var body any
+		switch endpoint {
+		case "encode":
+			path = "/v1/encode"
+			body = map[string]any{"benchmark": bench, "scheme": opt.Scheme}
+		case "decode":
+			path = "/v1/decode"
+			body = map[string]any{"benchmark": bench, "scheme": opt.Scheme}
+		case "simulate":
+			path = "/v1/simulate"
+			body = map[string]any{"benchmark": bench, "pairing": opt.Pairing, "blocks": opt.Blocks}
+		}
+		data, err := json.Marshal(body)
+		if err != nil {
+			w.err = fmt.Errorf("loadgen: worker %d: %w", w.id, err)
+			return
+		}
+		start := time.Now()
+		ok, err := post(client, baseURL+path, data)
+		elapsed := time.Since(start)
+		if err != nil || !ok {
+			w.errors++
+			continue
+		}
+		w.latencies = append(w.latencies, elapsed)
+	}
+}
+
+// post sends one request and fully drains the response so connections
+// are reused. ok reports a 2xx status.
+func post(client *http.Client, url string, body []byte) (ok bool, err error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	_, cerr := io.Copy(io.Discard, resp.Body)
+	if err := resp.Body.Close(); cerr == nil {
+		cerr = err
+	}
+	if cerr != nil {
+		return false, cerr
+	}
+	return resp.StatusCode >= 200 && resp.StatusCode < 300, nil
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/compress"
+	"repro/internal/image"
+	"repro/internal/isa"
+)
+
+// DecodeSummary is the digest of one full image decode: operation
+// count, Huffman symbols consumed by the fast decoder (0 for schemes
+// without a symbol stream), and the content hash over every decoded
+// operation word in image placement order. Two decode paths are
+// bit-identical exactly when their OpsHash values match.
+type DecodeSummary struct {
+	Ops     int
+	Symbols int64
+	OpsHash string
+}
+
+// DecodeImage decodes every block of the image through the encoder and
+// digests the result. For schemes exposing a Huffman symbol stream the
+// fast table-driven decoder first scans the whole image through the
+// allocation-free hot loop (scanBlocks) — the same entropy-decode path
+// a hardware-model fetch would take — before the operations are
+// materialized for hashing.
+func DecodeImage(im *image.Image, enc compress.Encoder) (DecodeSummary, error) {
+	var sum DecodeSummary
+	r := bitio.NewReader(im.Data)
+	if sd, ok := enc.(compress.SymbolDecoder); ok {
+		syms, err := scanBlocks(sd, r, im.Blocks)
+		if err != nil {
+			return sum, fmt.Errorf("symbol scan %s/%s: %w", im.Name, im.Scheme, err)
+		}
+		sum.Symbols = syms
+	}
+	h := sha256.New()
+	var buf [8]byte
+	for i := range im.Blocks {
+		if err := r.SeekBit(im.Blocks[i].Addr * 8); err != nil {
+			return sum, fmt.Errorf("seek block %d: %w", i, err)
+		}
+		ops, err := enc.DecodeBlock(r, im.Blocks[i].Ops)
+		if err != nil {
+			return sum, fmt.Errorf("decode block %d of %s/%s: %w", i, im.Name, im.Scheme, err)
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(ops)))
+		h.Write(buf[:]) //tepic:ignore-err hash.Hash.Write never fails
+		for j := range ops {
+			binary.LittleEndian.PutUint64(buf[:], ops[j].Encode())
+			h.Write(buf[:]) //tepic:ignore-err hash.Hash.Write never fails
+		}
+		sum.Ops += len(ops)
+	}
+	sum.OpsHash = hex.EncodeToString(h.Sum(nil))
+	return sum, nil
+}
+
+// HashOps digests a program's operations block by block with the exact
+// construction DecodeImage uses, so a direct (in-process) artifact path
+// can be compared bit-for-bit against a daemon-served decode. blocks
+// supplies each block's operations in image placement order.
+func HashOps(blocks [][]isa.Op) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, ops := range blocks {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(ops)))
+		h.Write(buf[:]) //tepic:ignore-err hash.Hash.Write never fails
+		for j := range ops {
+			binary.LittleEndian.PutUint64(buf[:], ops[j].Encode())
+			h.Write(buf[:]) //tepic:ignore-err hash.Hash.Write never fails
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// scanBlocks drives the scheme's table-driven fast decoder over every
+// block's symbol stream through a caller-owned reader. This is the
+// service decode hot loop: it must stay allocation-free (the static
+// half is the hotalloc analyzer; the dynamic half is
+// TestScanBlocksZeroAlloc).
+//
+//tepic:hotpath
+func scanBlocks(sd compress.SymbolDecoder, r *bitio.Reader, blocks []image.Block) (int64, error) {
+	syms := int64(0)
+	for i := range blocks {
+		if err := r.SeekBit(blocks[i].Addr * 8); err != nil {
+			return syms, err
+		}
+		n, err := sd.DecodeBlockSymbols(r, blocks[i].Ops)
+		syms += int64(n)
+		if err != nil {
+			return syms, err
+		}
+	}
+	return syms, nil
+}

@@ -1,0 +1,50 @@
+package serve
+
+import "errors"
+
+// The service error taxonomy. Every error a /v1 handler produces wraps
+// exactly one of these sentinels (enforced by tepicvet's typederr
+// analyzer and the FuzzServeRequest harness), and each sentinel maps to
+// one HTTP status code (statusFor), so clients can dispatch on either
+// the status or the machine-readable "kind" field of the error body.
+var (
+	// ErrMalformedRequest marks a request body that is not the
+	// endpoint's JSON shape: syntax errors, unknown fields, trailing
+	// data, or field values outside the accepted range. HTTP 400.
+	ErrMalformedRequest = errors.New("serve: malformed request")
+	// ErrBodyTooLarge marks a request body over the server's byte
+	// bound. HTTP 413.
+	ErrBodyTooLarge = errors.New("serve: request body too large")
+	// ErrUnknownBenchmark marks a benchmark name absent from the
+	// workload profile registry. HTTP 404.
+	ErrUnknownBenchmark = errors.New("serve: unknown benchmark")
+	// ErrUnknownScheme marks an encoding scheme name absent from the
+	// scheme registry. HTTP 404.
+	ErrUnknownScheme = errors.New("serve: unknown scheme")
+	// ErrUnknownPairing marks a (scheme, organization) pairing label
+	// absent from the pairing registry. HTTP 404.
+	ErrUnknownPairing = errors.New("serve: unknown pairing")
+	// ErrMethod marks a request with the wrong HTTP method for its
+	// endpoint. HTTP 405.
+	ErrMethod = errors.New("serve: method not allowed")
+)
+
+// kindOf names the sentinel an error wraps, for the error body's "kind"
+// field; unclassified errors (artifact build failures) report "internal".
+func kindOf(err error) string {
+	switch {
+	case errors.Is(err, ErrMalformedRequest):
+		return "malformed-request"
+	case errors.Is(err, ErrBodyTooLarge):
+		return "body-too-large"
+	case errors.Is(err, ErrUnknownBenchmark):
+		return "unknown-benchmark"
+	case errors.Is(err, ErrUnknownScheme):
+		return "unknown-scheme"
+	case errors.Is(err, ErrUnknownPairing):
+		return "unknown-pairing"
+	case errors.Is(err, ErrMethod):
+		return "method-not-allowed"
+	}
+	return "internal"
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzServeRequest drives arbitrary bytes through every /v1 endpoint's
+// JSON decoder and validator — the exact parse path a request body
+// takes before any artifact build. The contract under fuzz: no panics,
+// and every rejection wraps one of the package's typed sentinels (so
+// statusFor never falls through to 500 for a client-side fault and
+// kindOf never reports "internal" for one).
+func FuzzServeRequest(f *testing.F) {
+	f.Add([]byte(`{"benchmark":"compress"}`))
+	f.Add([]byte(`{"benchmark":"compress","scheme":"full"}`))
+	f.Add([]byte(`{"benchmark":"compress","schemes":["full","byte"]}`))
+	f.Add([]byte(`{"benchmark":"compress","pairing":"full/compressed","blocks":1000}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"benchmark": 7}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"benchmark":"compress"} trailing`))
+	f.Add([]byte(``))
+	f.Add(bytes.Repeat([]byte("a"), 600))
+
+	sentinels := []error{
+		ErrMalformedRequest, ErrBodyTooLarge,
+		ErrUnknownBenchmark, ErrUnknownScheme, ErrUnknownPairing,
+	}
+	const limit = 512
+	f.Fuzz(func(t *testing.T, data []byte) {
+		requests := []validator{
+			&CompileRequest{},
+			&EncodeRequest{},
+			&DecodeRequest{},
+			&LintRequest{},
+			&SimulateRequest{},
+		}
+		for _, req := range requests {
+			err := parseRequest(bytes.NewReader(data), limit, req)
+			if err == nil {
+				continue
+			}
+			wrapped := false
+			for _, s := range sentinels {
+				if errors.Is(err, s) {
+					wrapped = true
+					break
+				}
+			}
+			if !wrapped {
+				t.Fatalf("%T rejection does not wrap a sentinel: %v", req, err)
+			}
+			if kindOf(err) == "internal" {
+				t.Fatalf("%T rejection classified internal: %v", req, err)
+			}
+			if statusFor(err) >= 500 {
+				t.Fatalf("%T rejection mapped to %d: %v", req, statusFor(err), err)
+			}
+		}
+	})
+}

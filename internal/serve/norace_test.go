@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports that the race detector is instrumenting this
+// build (it is not; see race_test.go).
+const raceEnabled = false
