@@ -32,7 +32,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/image"
 	"repro/internal/scheme"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -58,6 +60,9 @@ type (
 	Job = core.Job
 	// Built is one completed build job.
 	Built = core.Built
+	// Image is an encoded program image with its Address Translation
+	// Table; see Compiled.Image.
+	Image = image.Image
 )
 
 // NewDriver returns a compilation driver with the given worker-pool
@@ -175,3 +180,35 @@ var NewSim = cache.NewSim
 
 // NewMachine returns a fresh TEPIC interpreter.
 func NewMachine() *Machine { return emu.NewMachine() }
+
+// Trace streaming.
+type (
+	// Stream delivers a dynamic trace as a bounded sequence of reusable
+	// chunks; see trace.Stream for the lifecycle contract.
+	Stream = trace.Stream
+	// Chunk is one window of streamed trace events.
+	Chunk = trace.Chunk
+	// MemUsage is a point-in-time heap snapshot (see emu.MemSnapshot).
+	MemUsage = emu.MemUsage
+)
+
+// NewSliceStream adapts a materialized trace into the Stream interface,
+// cutting it into chunkEvents-sized windows (<= 0 selects the default).
+var NewSliceStream = trace.NewSliceStream
+
+// StochasticStream streams maxBlocks events out of the stochastic
+// walker without materializing the trace.
+var StochasticStream = emu.StochasticStream
+
+// StochasticStreamOps streams events until at least maxOps dynamic
+// operations have been delivered.
+var StochasticStreamOps = emu.StochasticStreamOps
+
+// RunSharded replays a streamed trace through window-sharded workers
+// with warm-state handoff; the merged Result is bit-identical to the
+// sequential replay of the same stream.
+var RunSharded = cache.RunSharded
+
+// MemSnapshot forces a GC and returns the current heap usage — the
+// instrument behind the streaming pipeline's bounded-memory assertions.
+var MemSnapshot = emu.MemSnapshot

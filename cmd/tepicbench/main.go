@@ -22,6 +22,8 @@
 //	tepicbench -sweep superblocks   # §7 complex fetch units
 //	tepicbench -sweep speculation   # treegion-style hoisting study
 //	tepicbench -sweep dict          # §7 beyond-Huffman dictionary scheme
+//	tepicbench -stream -ops 100000000 -simshards 4 -json BENCH_stream.json
+//	tepicbench -stream -streammin 10 -streammaxmb 256   # gated streaming run
 package main
 
 import (
@@ -107,8 +109,34 @@ func run(args []string, out io.Writer) error {
 	serveCap := fs.Int("servecap", 4096, "daemon artifact-store capacity in entries, 0 = unbounded (-serve)")
 	serveMin := fs.Float64("servemin", 0,
 		"minimum fleet throughput in req/s; non-zero exit below it (-serve, 0 = no check)")
+	streamMode := fs.Bool("stream", false,
+		"streaming benchmark: window-sharded replay of a never-materialized trace, differentially gated against the sequential replay")
+	streamOps := fs.Int64("ops", 100_000_000, "dynamic-operation horizon (-stream)")
+	simShards := fs.Int("simshards", 0, "window-shard worker count, 0 = GOMAXPROCS (-stream)")
+	streamPairing := fs.String("streampairing", "Compressed", "registry pairing for the streamed run (-stream)")
+	streamMin := fs.Float64("streammin", 0,
+		"minimum streaming throughput in Mops/s; non-zero exit below it (-stream, 0 = no check)")
+	streamMaxMB := fs.Int64("streammaxmb", 0,
+		"maximum HeapSys growth in MB over the streamed replays; non-zero exit above it (-stream, 0 = no check)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *streamMode {
+		bench := "compress"
+		if *benchCSV != "" {
+			bench = strings.Split(*benchCSV, ",")[0]
+		}
+		return runStreamBench(streamRun{
+			bench:     bench,
+			pairing:   *streamPairing,
+			ops:       *streamOps,
+			shards:    *simShards,
+			check:     *check,
+			jsonPath:  *jsonPath,
+			minMops:   *streamMin,
+			maxHeapMB: *streamMaxMB,
+		}, cliio.New(out))
 	}
 
 	if *serveMode {

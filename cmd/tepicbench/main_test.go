@@ -158,6 +158,55 @@ func TestRunServeMode(t *testing.T) {
 	}
 }
 
+func TestRunStreamMode(t *testing.T) {
+	dir := t.TempDir()
+	jsonFile := filepath.Join(dir, "BENCH_stream.json")
+	out := benchOut(t, "-stream", "-benchmarks", "compress", "-ops", "2000000",
+		"-simshards", "2", "-check", "-json", jsonFile,
+		"-streammin", "0.1", "-streammaxmb", "512")
+	for _, want := range []string{
+		"stream benchmark compress/Compressed",
+		"sharded == sequential: every counter identical",
+		"Mops/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stream output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep streamReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("stream report is not valid JSON: %v", err)
+	}
+	if rep.Tool != "tepicbench" || rep.Mode != "stream" || rep.Shards != 2 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if rep.Ops < 2000000 || rep.Events <= 0 || rep.Cycles <= 0 || rep.MopsPerSec <= 0 {
+		t.Errorf("report missing run data: %+v", rep)
+	}
+	if !rep.SeqIdentical {
+		t.Errorf("sharded run diverged from sequential: %+v", rep)
+	}
+	if !rep.OracleChecked || !rep.OracleOK {
+		t.Errorf("oracle check not recorded: %+v", rep)
+	}
+}
+
+func TestRunStreamModeRatchets(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-stream", "-benchmarks", "compress", "-ops", "100000",
+		"-streammin", "1e12"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "below minimum") {
+		t.Errorf("throughput ratchet did not trip: %v", err)
+	}
+	if err := run([]string{"-stream", "-streampairing", "warp-drive"}, &sb); err == nil {
+		t.Error("accepted unknown pairing")
+	}
+}
+
 func TestRunServeModeRatchet(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{"-serve", "-benchmarks", "compress",

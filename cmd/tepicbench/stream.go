@@ -1,0 +1,203 @@
+package main
+
+// The -stream mode: benchmark the streaming trace pipeline end to end.
+// A fixed-seed trace flows out of the stochastic walker in bounded
+// chunks straight into the window-sharded simulator — never
+// materialized — and the run fails unless the sharded counters are
+// bit-identical to a sequential incremental replay of the same seed.
+// -streammin gates the throughput (Mops/s) and -streammaxmb the HeapSys
+// growth, mirroring -decodemin; -json writes BENCH_stream.json.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	ccc "repro"
+	"repro/internal/cliio"
+	"repro/internal/simcheck"
+)
+
+// streamRun parameterizes one -stream invocation.
+type streamRun struct {
+	bench     string
+	pairing   string
+	ops       int64
+	shards    int
+	check     bool
+	jsonPath  string
+	minMops   float64
+	maxHeapMB int64
+}
+
+// streamReport is the machine-readable -stream summary (BENCH_stream.json).
+type streamReport struct {
+	Tool       string  `json:"tool"`
+	Mode       string  `json:"mode"`
+	Benchmark  string  `json:"benchmark"`
+	Pairing    string  `json:"pairing"`
+	Shards     int     `json:"shards"`
+	Ops        int64   `json:"ops"`
+	Events     int64   `json:"events"`
+	Cycles     int64   `json:"cycles"`
+	WallMS     float64 `json:"wall_ms"`
+	MopsPerSec float64 `json:"mops_per_sec"`
+	// HeapSysMB / HeapGrowthMB bound the streamed run's peak footprint:
+	// HeapSys is monotonic within the process, so its growth over the
+	// replays is an upper bound on what the pipeline held live.
+	HeapSysMB    int64 `json:"heap_sys_mb"`
+	HeapGrowthMB int64 `json:"heap_growth_mb"`
+	// SeqIdentical records the always-on differential gate: the
+	// window-sharded counters against the sequential incremental replay.
+	SeqIdentical  bool `json:"seq_identical"`
+	OracleChecked bool `json:"oracle_checked"`
+	OracleOK      bool `json:"oracle_ok"`
+}
+
+// runStreamBench executes the -stream benchmark and its gates.
+func runStreamBench(sr streamRun, w *cliio.Writer) error {
+	c, err := ccc.CompileBenchmark(sr.bench)
+	if err != nil {
+		return err
+	}
+	p, ok := ccc.PairingByName(sr.pairing)
+	if !ok {
+		return fmt.Errorf("unknown pairing %q", sr.pairing)
+	}
+	cfg := ccc.DefaultConfig(p.Org)
+	shards := sr.shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+
+	mkStream := func() (ccc.Stream, error) { return c.StreamTraceOps(sr.ops, 0) }
+
+	before := ccc.MemSnapshot()
+	start := time.Now()
+	sim, err := c.SimFor(p, cfg)
+	if err != nil {
+		return err
+	}
+	st, err := mkStream()
+	if err != nil {
+		return err
+	}
+	res, err := ccc.RunSharded(sim, st, shards)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	// Differential gate, always on: a fresh simulator replays the same
+	// seed through the sequential incremental path.
+	seqSim, err := c.SimFor(p, cfg)
+	if err != nil {
+		return err
+	}
+	st2, err := mkStream()
+	if err != nil {
+		return err
+	}
+	seq, err := seqSim.RunStream(st2)
+	if err != nil {
+		return err
+	}
+	after := ccc.MemSnapshot()
+	seqIdentical := res == seq
+
+	oracleOK := true
+	if sr.check {
+		im, err := c.Image(p.CacheScheme)
+		if err != nil {
+			return err
+		}
+		var rom *ccc.Image
+		if p.ROMScheme != "" {
+			if rom, err = c.Image(p.ROMScheme); err != nil {
+				return err
+			}
+		}
+		st3, err := mkStream()
+		if err != nil {
+			return err
+		}
+		oracle, oerr := simcheck.ExpectedStream(p.Org, cfg, im, rom, c.Prog, st3)
+		switch {
+		case errors.Is(oerr, simcheck.ErrUnsupported):
+			w.Printf("stream oracle: skipped (%v)\n", oerr)
+		case oerr != nil:
+			return oerr
+		default:
+			for _, m := range simcheck.Diff(res, oracle) {
+				oracleOK = false
+				w.Printf("stream oracle disagrees on %s: simulator %d, oracle %d\n",
+					m.Field, m.Got, m.Want)
+			}
+		}
+	}
+
+	mops := float64(res.Ops) / 1e6 / wall.Seconds()
+	growthMB := (int64(after.HeapSys) - int64(before.HeapSys)) >> 20
+	w.Printf("stream benchmark %s/%s: %d ops (%d events) in %.2fs over %d shard(s)\n",
+		sr.bench, p.Name, res.Ops, res.BlockFetches, wall.Seconds(), shards)
+	w.Printf("  throughput %.1f Mops/s, cycles %d, IPC %.4f\n", mops, res.Cycles, res.IPC())
+	w.Printf("  heap sys %d MB (grew %d MB during the streamed replays)\n",
+		int64(after.HeapSys)>>20, growthMB)
+	if seqIdentical {
+		w.Printf("  sharded == sequential: every counter identical\n")
+	} else {
+		w.Printf("  sharded:    %+v\n  sequential: %+v\n", res, seq)
+	}
+
+	if sr.jsonPath != "" {
+		rep := streamReport{
+			Tool:          "tepicbench",
+			Mode:          "stream",
+			Benchmark:     sr.bench,
+			Pairing:       p.Name,
+			Shards:        shards,
+			Ops:           res.Ops,
+			Events:        res.BlockFetches,
+			Cycles:        res.Cycles,
+			WallMS:        float64(wall) / float64(time.Millisecond),
+			MopsPerSec:    mops,
+			HeapSysMB:     int64(after.HeapSys) >> 20,
+			HeapGrowthMB:  growthMB,
+			SeqIdentical:  seqIdentical,
+			OracleChecked: sr.check,
+			OracleOK:      oracleOK,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(sr.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		w.Printf("benchmark report written to %s\n", sr.jsonPath)
+	}
+
+	if !seqIdentical {
+		return errors.Join(
+			fmt.Errorf("window-sharded result diverges from sequential incremental replay"),
+			w.Err())
+	}
+	if !oracleOK {
+		return errors.Join(fmt.Errorf("streaming oracle found mismatches"), w.Err())
+	}
+	if sr.minMops > 0 && mops < sr.minMops {
+		return errors.Join(
+			fmt.Errorf("streaming throughput %.1f Mops/s below minimum %.1f", mops, sr.minMops),
+			w.Err())
+	}
+	if sr.maxHeapMB > 0 && growthMB > sr.maxHeapMB {
+		return errors.Join(
+			fmt.Errorf("heap grew %d MB during the streamed run, above the %d MB bound",
+				growthMB, sr.maxHeapMB),
+			w.Err())
+	}
+	return w.Err()
+}

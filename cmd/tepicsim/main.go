@@ -18,18 +18,31 @@
 //	tepicsim -bench vortex -org compressed -check
 //	tepicsim -bench gcc -org base -sweep
 //	tepicsim -bench gcc -org compressed -sweep -json
+//	tepicsim -bench compress -org compressed -stream -ops 100000000 -simshards 4
+//	tepicsim -bench go -org base -stream -check
+//
+// With -stream the trace is never materialized: events flow out of the
+// stochastic walker in bounded chunks straight into the window-sharded
+// simulator (-simshards workers), so the horizon (-ops) can exceed what
+// would fit in memory. -check in stream mode replays the same seed
+// through the sequential incremental path and the analytical oracle and
+// requires all three bit-identical.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	ccc "repro"
 	"repro/internal/cliio"
+	"repro/internal/simcheck"
 )
 
 func main() {
@@ -55,6 +68,9 @@ func run(args []string, out io.Writer) error {
 	sweep := fs.Bool("sweep", false, "run the registry-driven geometry x predictor sweep")
 	jsonOut := fs.Bool("json", false, "with -sweep: emit the report as JSON")
 	par := fs.Int("par", 0, "with -sweep: worker-pool width (0 = GOMAXPROCS)")
+	stream := fs.Bool("stream", false, "stream the trace through the window-sharded simulator instead of materializing it")
+	opsBound := fs.Int64("ops", 0, "with -stream: dynamic-operation horizon (0 = use -blocks)")
+	simShards := fs.Int("simshards", 0, "with -stream: window-shard worker count (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,16 +80,18 @@ func run(args []string, out io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown organization %q (have %s)", *orgName, pairingNames())
 	}
+	if *opsBound != 0 && !*stream {
+		return fmt.Errorf("-ops requires -stream")
+	}
+	if *simShards != 0 && !*stream {
+		return fmt.Errorf("-simshards requires -stream")
+	}
 
 	if *sweep {
 		return runSweep(out, *bench, p, *blocks, *par, *jsonOut)
 	}
 
 	c, err := ccc.CompileBenchmark(*bench)
-	if err != nil {
-		return err
-	}
-	tr, err := c.Trace(*blocks)
 	if err != nil {
 		return err
 	}
@@ -96,6 +114,14 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg.PerfectPrediction = *perfect
 
+	if *stream {
+		return runStream(w, c, p, cfg, *blocks, *opsBound, *simShards, *check, *bench)
+	}
+
+	tr, err := c.Trace(*blocks)
+	if err != nil {
+		return err
+	}
 	sim, err := c.SimFor(p, cfg)
 	if err != nil {
 		return err
@@ -105,26 +131,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	w.Printf("benchmark   %s (%s scheme, %s organization)\n", *bench, p.CacheScheme, p.Org)
-	if p.ROMScheme != "" {
-		w.Printf("ROM         %s scheme, decompressed on the miss path\n", p.ROMScheme)
-	}
-	w.Printf("cache       %d sets x %d ways x %dB = %dKB\n",
-		cfg.Sets, cfg.Assoc, cfg.LineBytes, cfg.Sets*cfg.Assoc*cfg.LineBytes/1024)
-	w.Printf("trace       %d blocks, %d ops, %d MOPs\n", tr.Len(), r.Ops, r.MOPs)
-	w.Printf("cycles      %d\n", r.Cycles)
-	w.Printf("IPC         %.4f (ideal %.4f)\n", r.IPC(), float64(r.Ops)/float64(r.MOPs))
-	w.Printf("miss rate   %.2f%% of block fetches (%d lines fetched)\n",
-		100*r.MissRate(), r.LinesFetched)
-	w.Printf("mispredict  %.2f%%\n", 100*r.MispredictRate())
-	if spec, ok := p.Org.Spec(); ok && spec.HasL0 {
-		w.Printf("L0 buffer   %.2f%% hit rate (%d ops capacity)\n",
-			100*float64(r.BufferHits)/float64(r.BlockFetches), cfg.L0Ops)
-	}
-	w.Printf("bus         %d beats, %d bytes, %d bit flips (%.2f flips/beat)\n",
-		r.BusBeats, r.BytesFetched, r.BitFlips,
-		float64(r.BitFlips)/float64(max64(r.BusBeats, 1)))
-	w.Printf("ATB         %.2f%% hit rate\n", 100*r.ATBHitRate)
+	printMetrics(w, *bench, p, cfg, int64(tr.Len()), r)
 	if *check {
 		rep, err := c.CheckSim(p, cfg, tr)
 		if err != nil {
@@ -140,6 +147,136 @@ func run(args []string, out io.Writer) error {
 			rep.Warnings())
 	}
 	return w.Err()
+}
+
+// printMetrics reports one simulation point in the tool's standard
+// layout; traceBlocks is the dynamic event count however it was
+// obtained (materialized length or streamed BlockFetches).
+func printMetrics(w *cliio.Writer, bench string, p ccc.Pairing, cfg ccc.Config, traceBlocks int64, r ccc.Result) {
+	w.Printf("benchmark   %s (%s scheme, %s organization)\n", bench, p.CacheScheme, p.Org)
+	if p.ROMScheme != "" {
+		w.Printf("ROM         %s scheme, decompressed on the miss path\n", p.ROMScheme)
+	}
+	w.Printf("cache       %d sets x %d ways x %dB = %dKB\n",
+		cfg.Sets, cfg.Assoc, cfg.LineBytes, cfg.Sets*cfg.Assoc*cfg.LineBytes/1024)
+	w.Printf("trace       %d blocks, %d ops, %d MOPs\n", traceBlocks, r.Ops, r.MOPs)
+	w.Printf("cycles      %d\n", r.Cycles)
+	w.Printf("IPC         %.4f (ideal %.4f)\n", r.IPC(), float64(r.Ops)/float64(r.MOPs))
+	w.Printf("miss rate   %.2f%% of block fetches (%d lines fetched)\n",
+		100*r.MissRate(), r.LinesFetched)
+	w.Printf("mispredict  %.2f%%\n", 100*r.MispredictRate())
+	if spec, ok := p.Org.Spec(); ok && spec.HasL0 {
+		w.Printf("L0 buffer   %.2f%% hit rate (%d ops capacity)\n",
+			100*float64(r.BufferHits)/float64(r.BlockFetches), cfg.L0Ops)
+	}
+	w.Printf("bus         %d beats, %d bytes, %d bit flips (%.2f flips/beat)\n",
+		r.BusBeats, r.BytesFetched, r.BitFlips,
+		float64(r.BitFlips)/float64(max64(r.BusBeats, 1)))
+	w.Printf("ATB         %.2f%% hit rate\n", 100*r.ATBHitRate)
+}
+
+// runStream is the -stream path: events flow out of the stochastic
+// walker in bounded chunks into the window-sharded simulator, so the
+// horizon never materializes. With check it replays the identical seed
+// through the sequential incremental path and the analytical oracle and
+// requires every counter bit-identical across all three.
+func runStream(w *cliio.Writer, c *ccc.Compiled, p ccc.Pairing, cfg ccc.Config,
+	blocks int, ops int64, shards int, check bool, bench string) error {
+	mkStream := func() (ccc.Stream, error) {
+		if ops > 0 {
+			return c.StreamTraceOps(ops, 0)
+		}
+		return c.StreamTrace(blocks, 0)
+	}
+
+	before := ccc.MemSnapshot()
+	start := time.Now()
+	sim, err := c.SimFor(p, cfg)
+	if err != nil {
+		return err
+	}
+	st, err := mkStream()
+	if err != nil {
+		return err
+	}
+	r, err := ccc.RunSharded(sim, st, shards)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	after := ccc.MemSnapshot()
+
+	printMetrics(w, bench, p, cfg, r.BlockFetches, r)
+	mops := float64(r.Ops) / 1e6 / elapsed.Seconds()
+	w.Printf("streamed    %d shard(s), %.1f Mops/s, heap sys %d MB (was %d MB)\n",
+		effectiveShards(shards), mops, after.HeapSys>>20, before.HeapSys>>20)
+
+	if !check {
+		return w.Err()
+	}
+
+	// Sequential incremental replay of the same seed must agree exactly.
+	seqSim, err := c.SimFor(p, cfg)
+	if err != nil {
+		return err
+	}
+	st2, err := mkStream()
+	if err != nil {
+		return err
+	}
+	seq, err := seqSim.RunStream(st2)
+	if err != nil {
+		return err
+	}
+	if seq != r {
+		w.Printf("sharded:    %+v\nsequential: %+v\n", r, seq)
+		return errors.Join(
+			fmt.Errorf("window-sharded result diverges from sequential incremental replay"),
+			w.Err())
+	}
+
+	// The oracle's streaming face recomputes the counters analytically.
+	im, err := c.Image(p.CacheScheme)
+	if err != nil {
+		return err
+	}
+	var rom *ccc.Image
+	if p.ROMScheme != "" {
+		if rom, err = c.Image(p.ROMScheme); err != nil {
+			return err
+		}
+	}
+	st3, err := mkStream()
+	if err != nil {
+		return err
+	}
+	oracle, err := simcheck.ExpectedStream(p.Org, cfg, im, rom, c.Prog, st3)
+	switch {
+	case errors.Is(err, simcheck.ErrUnsupported):
+		w.Printf("simcheck    sequential replay identical; oracle skipped (%v)\n", err)
+		return w.Err()
+	case err != nil:
+		return err
+	}
+	if ms := simcheck.Diff(r, oracle); len(ms) > 0 {
+		for _, m := range ms {
+			w.Printf("oracle disagrees on %s: simulator %d, oracle %d\n", m.Field, m.Got, m.Want)
+		}
+		return errors.Join(
+			fmt.Errorf("streaming oracle found %d mismatch(es)", len(ms)),
+			w.Err())
+	}
+	w.Printf("simcheck    sequential replay and streaming oracle identical\n")
+	return w.Err()
+}
+
+// effectiveShards echoes the worker count RunSharded resolves for its
+// report line.
+func effectiveShards(shards int) int {
+	if shards <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return shards
 }
 
 // runSweep fans the pairing's default geometry x predictor grid out over

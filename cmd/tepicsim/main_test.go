@@ -71,3 +71,37 @@ func TestRunUnknownOrg(t *testing.T) {
 		t.Error("accepted unknown organization")
 	}
 }
+
+func TestRunStreamChecked(t *testing.T) {
+	out := simOut(t, "-bench", "compress", "-org", "compressed",
+		"-stream", "-simshards", "2", "-check")
+	if !strings.Contains(out, "streamed") || !strings.Contains(out, "2 shard(s)") {
+		t.Errorf("stream report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "oracle identical") {
+		t.Errorf("stream -check report missing:\n%s", out)
+	}
+}
+
+func TestRunStreamOpsBound(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "compress", "-org", "base",
+		"-stream", "-ops", "50000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "streamed") {
+		t.Errorf("stream report missing:\n%s", sb.String())
+	}
+}
+
+func TestRunStreamFlagMisuse(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "compress", "-org", "base", "-ops", "1000"},
+		{"-bench", "compress", "-org", "base", "-simshards", "2"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("accepted %v without -stream", args)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Merge accumulates another result's counters into r — the window-merge
+// operation of the sharded simulator. Every int64 counter is summed;
+// the identifying labels and the derived ATBHitRate are left for the
+// caller, which knows the whole run.
+func (r *Result) Merge(o Result) {
+	r.Cycles += o.Cycles
+	r.Ops += o.Ops
+	r.MOPs += o.MOPs
+	r.BlockFetches += o.BlockFetches
+	r.CacheLookups += o.CacheLookups
+	r.CacheMisses += o.CacheMisses
+	r.LinesFetched += o.LinesFetched
+	r.BufferHits += o.BufferHits
+	r.Mispredicts += o.Mispredicts
+	r.BusBeats += o.BusBeats
+	r.BitFlips += o.BitFlips
+	r.BytesFetched += o.BytesFetched
+}
+
+// handoff is the warm-state token passed from each sample window to its
+// successor. The fetch pipeline's state (cache array, ATB, predictor,
+// L0 buffer, bus) lives in the shared Sim and is only touched by the
+// window holding the token, so window k+1 replays against exactly the
+// state window k left behind — which is why the sharded run is
+// bit-identical to the sequential one. The token also carries the
+// cumulative bus counters at the handoff point, letting each window
+// report its bus traffic as a delta.
+type handoff struct {
+	pred   int  // next-block prediction carried across the seam
+	failed bool // a prior window failed; later windows skip replay
+
+	beats, flips, bytes int64 // cumulative bus counters at handoff
+}
+
+// window is one sample window of the sharded run: a chunk plus the
+// token channels chaining it to its neighbours.
+type window struct {
+	seq   int
+	chunk *trace.Chunk
+	in    chan handoff
+	out   chan handoff
+}
+
+// windowResult is one window's contribution to the merged result.
+type windowResult struct {
+	seq     int
+	res     Result
+	err     error
+	skipped bool
+}
+
+// RunSharded replays a chunked trace stream through the simulator as a
+// sequence of sample windows on a worker pool: every window's chunk is
+// validated concurrently, while the replay itself passes a warm-state
+// handoff token from window to window, so each window starts from the
+// exact pipeline state its predecessor left (see handoff). Per-window
+// Result counters (bus traffic as deltas of the cumulative bus model)
+// are merged by summation. The merged result is bit-identical to
+// Sim.Run / Sim.RunStream over the same events — the parallelism
+// overlaps chunk validation, stream production and merging with the
+// serialized replay, and peak memory stays bounded by the stream's
+// chunk working set.
+//
+// Like Run, a malformed chunk returns the merged counters of the
+// windows before it plus an error wrapping ErrMalformedTrace naming
+// the absolute event offset; the first failing window by stream order
+// decides the error. shards <= 0 selects GOMAXPROCS. The Sim is
+// single-use, exactly as with Run.
+//
+//tepic:pool
+func RunSharded(s *Sim, st trace.Stream, shards int) (Result, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	numBlocks := len(s.im.Blocks)
+
+	work := make(chan *window, shards)
+	results := make(chan windowResult, shards)
+
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for w := range work {
+				wr := windowResult{seq: w.seq}
+				// Reference validation runs before taking the token, so
+				// it overlaps with earlier windows' replay.
+				verr := trace.ValidateChunk(w.chunk, numBlocks)
+				h := <-w.in
+				switch {
+				case h.failed:
+					wr.skipped = true
+				case verr != nil:
+					wr.err = fmt.Errorf("%w: %v", ErrMalformedTrace, verr)
+					h.failed = true
+				default:
+					wr.res.Ops = w.chunk.Ops
+					wr.res.MOPs = w.chunk.MOPs
+					pred := h.pred
+					for _, ev := range w.chunk.Events {
+						var serr error
+						if pred, serr = s.step(ev, pred, &wr.res); serr != nil {
+							wr.err = serr
+							h.failed = true
+							break
+						}
+					}
+					beats, flips, bytes := s.bus.Counts()
+					wr.res.BusBeats = beats - h.beats
+					wr.res.BitFlips = flips - h.flips
+					wr.res.BytesFetched = bytes - h.bytes
+					h.pred = pred
+					h.beats, h.flips, h.bytes = beats, flips, bytes
+				}
+				st.Recycle(w.chunk)
+				w.out <- h
+				results <- wr
+			}
+		}()
+	}
+
+	// The dispatcher chains the token channels: window k's out is
+	// window k+1's in, seeded with the cold-start prediction.
+	streamErr := make(chan error, 1)
+	go func() {
+		in := make(chan handoff, 1)
+		in <- handoff{pred: -2}
+		seq := 0
+		for {
+			c, err := st.Next()
+			if err != nil {
+				streamErr <- err
+				break
+			}
+			if c == nil {
+				streamErr <- nil
+				break
+			}
+			out := make(chan handoff, 1)
+			work <- &window{seq: seq, chunk: c, in: in, out: out}
+			in = out
+			seq++
+		}
+		close(work)
+	}()
+
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	res := Result{
+		Benchmark: st.Name(),
+		Scheme:    s.im.Scheme,
+		Org:       s.org.String(),
+	}
+	var firstErr error
+	firstSeq := -1
+	for wr := range results {
+		if wr.err != nil && (firstSeq < 0 || wr.seq < firstSeq) {
+			firstErr, firstSeq = wr.err, wr.seq
+		}
+		if !wr.skipped {
+			res.Merge(wr.res)
+		}
+	}
+	if err := <-streamErr; err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	res.BusBeats, res.BitFlips, res.BytesFetched = s.bus.Counts()
+	res.ATBHitRate = s.atb.HitRate()
+	return res, nil
+}

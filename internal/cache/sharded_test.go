@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestRunStreamMatchesRun checks the incremental stream replay is
+// bit-identical to the slice replay for every organization, across
+// chunk sizes including 1 (every event its own chunk — the hardest
+// warm-state case).
+func TestRunStreamMatchesRun(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 30000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, org := range []Org{OrgBase, OrgTailored, OrgCompressed} {
+		want := runOrg(t, org, sp, ims[org], tr)
+		for _, cs := range []int{1, 7, 4096, 30000, 30001} {
+			sim, err := NewSim(org, DefaultConfig(org), ims[org], sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sim.RunStream(trace.NewSliceStream(tr, cs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%v chunk=%d: RunStream %+v != Run %+v", org, cs, got, want)
+			}
+		}
+	}
+}
+
+// TestRunShardedMatchesRun is the window-sharded equivalence: the
+// merged windowed result must equal the sequential result in every
+// counter, for every organization, across shard counts and chunk
+// sizes — including chunkEvents=1, where every LRU/L0/predictor
+// transition crosses a window seam and the warm-state handoff carries
+// all of it.
+func TestRunShardedMatchesRun(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 30000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, org := range []Org{OrgBase, OrgTailored, OrgCompressed} {
+		want := runOrg(t, org, sp, ims[org], tr)
+		for _, shards := range []int{1, 2, 4, 0} {
+			for _, cs := range []int{1, 997, 8192} {
+				sim, err := NewSim(org, DefaultConfig(org), ims[org], sp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := RunSharded(sim, trace.NewSliceStream(tr, cs), shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%v shards=%d chunk=%d: sharded %+v != sequential %+v",
+						org, shards, cs, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunShardedStochasticStream runs the sharded simulator over the
+// live producer/consumer stream (no materialized trace anywhere on the
+// consuming side) and checks bit-identity with the slice replay of the
+// same seed.
+func TestRunShardedStochasticStream(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 30000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runOrg(t, OrgCompressed, sp, ims[OrgCompressed], tr)
+	st, err := emu.StochasticStream(sp, prof.Seed, 30000, prof.Phases, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(OrgCompressed, DefaultConfig(OrgCompressed), ims[OrgCompressed], sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSharded(sim, st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("sharded-over-stream %+v != sequential-over-slice %+v", got, want)
+	}
+}
+
+// TestResultMergeAdditivity is the unit additivity law: Merge sums
+// every int64 counter and touches nothing else.
+func TestResultMergeAdditivity(t *testing.T) {
+	a := Result{
+		Benchmark: "b", Scheme: "s", Org: "o",
+		Cycles: 1, Ops: 2, MOPs: 3,
+		BlockFetches: 4, CacheLookups: 5, CacheMisses: 6,
+		LinesFetched: 7, BufferHits: 8, Mispredicts: 9,
+		BusBeats: 10, BitFlips: 11, BytesFetched: 12,
+		ATBHitRate: 0.5,
+	}
+	b := Result{
+		Cycles: 100, Ops: 200, MOPs: 300,
+		BlockFetches: 400, CacheLookups: 500, CacheMisses: 600,
+		LinesFetched: 700, BufferHits: 800, Mispredicts: 900,
+		BusBeats: 1000, BitFlips: 1100, BytesFetched: 1200,
+	}
+	a.Merge(b)
+	want := Result{
+		Benchmark: "b", Scheme: "s", Org: "o",
+		Cycles: 101, Ops: 202, MOPs: 303,
+		BlockFetches: 404, CacheLookups: 505, CacheMisses: 606,
+		LinesFetched: 707, BufferHits: 808, Mispredicts: 909,
+		BusBeats: 1010, BitFlips: 1111, BytesFetched: 1212,
+		ATBHitRate: 0.5,
+	}
+	if a != want {
+		t.Errorf("merged %+v, want %+v", a, want)
+	}
+}
+
+// TestRunStreamMalformedChunk checks a corrupt mid-stream chunk
+// surfaces the typed sentinel with the absolute event offset, from
+// both the incremental and the sharded replay.
+func TestRunStreamMalformedChunk(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 5000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Events[3333].Block = len(sp.Blocks) + 7
+
+	sim, err := NewSim(OrgBase, DefaultConfig(OrgBase), ims[OrgBase], sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.RunStream(trace.NewSliceStream(tr, 512))
+	if !errors.Is(err, ErrMalformedTrace) {
+		t.Fatalf("RunStream err = %v, want ErrMalformedTrace", err)
+	}
+	if !strings.Contains(err.Error(), "event 3333") {
+		t.Fatalf("RunStream err %q does not name absolute event 3333", err)
+	}
+
+	sim2, err := NewSim(OrgBase, DefaultConfig(OrgBase), ims[OrgBase], sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunSharded(sim2, trace.NewSliceStream(tr, 512), 4)
+	if !errors.Is(err, ErrMalformedTrace) {
+		t.Fatalf("RunSharded err = %v, want ErrMalformedTrace", err)
+	}
+	if !strings.Contains(err.Error(), "event 3333") {
+		t.Fatalf("RunSharded err %q does not name absolute event 3333", err)
+	}
+}
+
+// TestRunShardedProducerError checks a failing producer's terminal
+// error propagates out of the sharded run.
+func TestRunShardedProducerError(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	boom := errors.New("producer boom")
+	st, p := trace.NewChanStream("t", 16, 2)
+	go func() {
+		for i := 0; i < 100; i++ {
+			if !p.Append(trace.Event{Block: 0, Next: 0}, 1, 1) {
+				p.Close(nil)
+				return
+			}
+		}
+		p.Close(boom)
+	}()
+	sim, err := NewSim(OrgBase, DefaultConfig(OrgBase), ims[OrgBase], sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSharded(sim, st, 2); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the producer's error", err)
+	}
+}

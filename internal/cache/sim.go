@@ -238,20 +238,48 @@ func (s *Sim) Run(tr *trace.Trace) (Result, error) {
 	if err := tr.ValidateRefs(len(s.im.Blocks)); err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrMalformedTrace, err)
 	}
+	return s.RunStream(trace.NewSliceStream(tr, 0))
+}
+
+// RunStream replays a chunked trace stream through the stage pipeline
+// incrementally: each chunk is validated (wrapping ErrMalformedTrace on
+// a bad reference, with the absolute event offset), replayed, and
+// recycled before the next is taken, so peak memory is the stream's
+// chunk working set regardless of trace length. Operation totals
+// accumulate from the chunks' Ops/MOPs attribution. The result is
+// bit-identical to Run over the materialized trace.
+func (s *Sim) RunStream(st trace.Stream) (Result, error) {
 	res := Result{
-		Benchmark: tr.Name,
+		Benchmark: st.Name(),
 		Scheme:    s.im.Scheme,
 		Org:       s.org.String(),
-		Ops:       tr.Ops,
-		MOPs:      tr.MOPs,
 	}
 	// The prediction for the very first block is a free cold start.
 	predicted := -2
-	for _, ev := range tr.Events {
-		var err error
-		if predicted, err = s.step(ev, predicted, &res); err != nil {
+	for {
+		c, err := st.Next()
+		if err != nil {
 			return res, err
 		}
+		if c == nil {
+			break
+		}
+		if verr := trace.ValidateChunk(c, len(s.im.Blocks)); verr != nil {
+			st.Recycle(c)
+			st.Close()
+			return res, fmt.Errorf("%w: %v", ErrMalformedTrace, verr)
+		}
+		res.Ops += c.Ops
+		res.MOPs += c.MOPs
+		for _, ev := range c.Events {
+			var serr error
+			if predicted, serr = s.step(ev, predicted, &res); serr != nil {
+				st.Recycle(c)
+				st.Close()
+				return res, serr
+			}
+		}
+		st.Recycle(c)
 	}
 	res.BusBeats, res.BitFlips, res.BytesFetched = s.bus.Counts()
 	res.ATBHitRate = s.atb.HitRate()

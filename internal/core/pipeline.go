@@ -387,6 +387,33 @@ func (c *Compiled) Trace(maxBlocks int) (*trace.Trace, error) {
 	return v.(*trace.Trace), nil
 }
 
+// StreamTrace produces the benchmark's dynamic trace as a bounded
+// producer/consumer chunk stream — the same seeded walk as Trace, but
+// never materialized, so the horizon is limited only by the consumer's
+// patience. One-shot and uncached (a stream is consumed, not an
+// artifact); maxBlocks <= 0 selects the profile's default length,
+// chunkEvents <= 0 the stream default. The consumer must drain or
+// Close the stream.
+func (c *Compiled) StreamTrace(maxBlocks, chunkEvents int) (trace.Stream, error) {
+	if c.Profile == nil {
+		return nil, fmt.Errorf("core: %s has no profile; use emu.Machine to run it", c.Name)
+	}
+	if maxBlocks <= 0 {
+		maxBlocks = c.Profile.DynBlocks
+	}
+	return emu.StochasticStream(c.Prog, c.Profile.Seed, maxBlocks, c.Profile.Phases, chunkEvents)
+}
+
+// StreamTraceOps is StreamTrace bounded by dynamic operation count —
+// the long-horizon generator ("stream 100M ops"), where the block
+// count is not known up front.
+func (c *Compiled) StreamTraceOps(maxOps int64, chunkEvents int) (trace.Stream, error) {
+	if c.Profile == nil {
+		return nil, fmt.Errorf("core: %s has no profile; use emu.Machine to run it", c.Name)
+	}
+	return emu.StochasticStreamOps(c.Prog, c.Profile.Seed, maxOps, c.Profile.Phases, chunkEvents)
+}
+
 // Verify round-trips every block of every built image, proving the
 // encodings are executable.
 func (c *Compiled) Verify() error {

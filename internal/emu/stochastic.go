@@ -29,6 +29,44 @@ import (
 // application's phases in turn (phases < 2 pins the walk to main).
 // Deterministic for a given (program, seed, maxBlocks, phases).
 func StochasticTrace(sp *sched.Program, seed int64, maxBlocks, phases int) (*trace.Trace, error) {
+	w, err := newWalker(sp, seed, phases)
+	if err != nil {
+		return nil, err
+	}
+	tr := &trace.Trace{Name: sp.Name}
+	tr.Events = make([]trace.Event, 0, maxBlocks)
+	for len(tr.Events) < maxBlocks {
+		ev, ops, mops := w.step()
+		tr.Ops += ops
+		tr.MOPs += mops
+		tr.Events = append(tr.Events, ev)
+	}
+	if len(tr.Events) > 0 {
+		// The final event has no successor within the trace window.
+		tr.Events[len(tr.Events)-1].Next = trace.End
+	}
+	return tr, nil
+}
+
+// walker is the stochastic CFG walk's state machine, shared verbatim by
+// the slice generator (StochasticTrace) and the streaming producers
+// (StochasticStream, StochasticStreamOps) so both consume the seeded
+// PRNG in exactly the same order — the determinism contract is that a
+// given (program, seed, phases) yields one event sequence no matter how
+// it is materialized.
+type walker struct {
+	sp         *sched.Program
+	r          *rand.Rand
+	phases     int
+	phaseSlice int
+	stack      []int
+	inPhase    int
+	cur        int
+}
+
+// newWalker validates the program and clamps phases, mirroring the
+// historical StochasticTrace preamble.
+func newWalker(sp *sched.Program, seed int64, phases int) (*walker, error) {
 	if len(sp.Blocks) == 0 || len(sp.FuncEntries) == 0 {
 		return nil, fmt.Errorf("emu: empty program")
 	}
@@ -38,10 +76,6 @@ func StochasticTrace(sp *sched.Program, seed int64, maxBlocks, phases int) (*tra
 	if phases > len(sp.FuncEntries) {
 		phases = len(sp.FuncEntries)
 	}
-	r := rand.New(rand.NewSource(seed))
-	tr := &trace.Trace{Name: sp.Name}
-	tr.Events = make([]trace.Event, 0, maxBlocks)
-
 	// A phase ends when its entry function returns or when its time slice
 	// expires (loop nests can make a single phase outlast the whole
 	// window); either way the walk jumps to a randomly chosen phase entry.
@@ -49,40 +83,43 @@ func StochasticTrace(sp *sched.Program, seed int64, maxBlocks, phases int) (*tra
 	// applications behave (gcc cycles its passes per function compiled;
 	// interpreters hop between handler clusters), and it is what gives
 	// them instruction working sets that genuinely stress the ICache.
-	phaseSlice := maxBlocks
-	if phases > 1 {
-		// Short slices: large applications hop between code regions every
-		// hundred-odd blocks (per-function pass cycling in gcc, handler
-		// dispatch in the interpreters), which is what keeps their
-		// instruction fetch continuously under capacity pressure.
-		phaseSlice = 120
-	}
+	// Short slices: large applications hop between code regions every
+	// hundred-odd blocks (per-function pass cycling in gcc, handler
+	// dispatch in the interpreters), which is what keeps their
+	// instruction fetch continuously under capacity pressure. The slice
+	// is only consulted when phases > 1, so the single-phase walk is
+	// unaffected by its value.
+	return &walker{
+		sp:         sp,
+		r:          rand.New(rand.NewSource(seed)),
+		phases:     phases,
+		phaseSlice: 120,
+		cur:        sp.FuncEntries[0],
+	}, nil
+}
 
-	var stack []int
-	inPhase := 0
-	cur := sp.FuncEntries[0]
-	for len(tr.Events) < maxBlocks {
-		b := sp.Blocks[cur]
-		tr.Ops += int64(b.NumOps())
-		tr.MOPs += int64(b.NumMOPs())
+// step executes one basic block: it returns the event (whose Next is
+// the genuine successor — callers bound the walk and patch the final
+// event's Next to trace.End themselves) plus the block's dynamic
+// operation counts.
+func (w *walker) step() (trace.Event, int64, int64) {
+	b := w.sp.Blocks[w.cur]
+	ops, mops := int64(b.NumOps()), int64(b.NumMOPs())
 
-		next, taken := successor(sp, b, r, &stack)
-		inPhase++
-		// Slice expiry never interrupts a call transfer, so "a call is
-		// always followed by its callee's entry" holds in every trace.
-		if next == trace.End || (phases > 1 && inPhase >= phaseSlice && !b.EndsInCall()) {
-			// Phase finished (or its slice expired): jump to a random
-			// phase entry.
-			stack = stack[:0]
-			next = sp.FuncEntries[r.Intn(phases)]
-			inPhase = 0
-		}
-		tr.Events = append(tr.Events, trace.Event{Block: cur, Taken: taken, Next: next})
-		cur = next
+	next, taken := successor(w.sp, b, w.r, &w.stack)
+	w.inPhase++
+	// Slice expiry never interrupts a call transfer, so "a call is
+	// always followed by its callee's entry" holds in every trace.
+	if next == trace.End || (w.phases > 1 && w.inPhase >= w.phaseSlice && !b.EndsInCall()) {
+		// Phase finished (or its slice expired): jump to a random
+		// phase entry.
+		w.stack = w.stack[:0]
+		next = w.sp.FuncEntries[w.r.Intn(w.phases)]
+		w.inPhase = 0
 	}
-	// The final event has no successor within the trace window.
-	tr.Events[len(tr.Events)-1].Next = trace.End
-	return tr, nil
+	ev := trace.Event{Block: w.cur, Taken: taken, Next: next}
+	w.cur = next
+	return ev, ops, mops
 }
 
 // successor resolves one dynamic control transfer.

@@ -30,12 +30,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/scheme"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/verify"
 	"repro/internal/workload"
 )
@@ -46,6 +48,16 @@ const DefaultMaxBody = 1 << 20
 // MaxTraceBlocks bounds the trace length a /v1/simulate request may ask
 // for, so one request cannot pin the service on a billion-op walk.
 const MaxTraceBlocks = 2_000_000
+
+// MaxTraceOps bounds the dynamic-operation horizon of a streamed
+// /v1/simulate request. Streaming replays hold only a chunk working
+// set, so the cap can sit far above MaxTraceBlocks' event horizon —
+// it bounds service time, not memory.
+const MaxTraceOps = 2_000_000_000
+
+// MaxSimShards bounds the worker count a streamed /v1/simulate request
+// may ask the window-sharded simulator for.
+const MaxSimShards = 64
 
 // Config parameterizes a Server.
 type Config struct {
@@ -439,11 +451,21 @@ func (s *Server) handleLint(r *http.Request) (any, error) {
 
 // SimulateRequest asks for one trace-driven IFetch simulation at the
 // pairing's default geometry. Blocks bounds the trace length (0 selects
-// the benchmark profile's default, capped at MaxTraceBlocks).
+// the benchmark profile's default, capped at MaxTraceBlocks). Stream
+// selects the long-horizon mode: the trace is produced as a bounded
+// chunk stream (never materialized) and replayed through the
+// window-sharded simulator, with Ops optionally bounding the walk by
+// dynamic operation count (capped at MaxTraceOps) instead of Blocks,
+// and Shards setting the worker count (0 selects the server's CPU
+// count). The streamed result is bit-identical to the non-streamed one
+// for the same Blocks bound.
 type SimulateRequest struct {
 	Benchmark string `json:"benchmark"`
 	Pairing   string `json:"pairing"`
 	Blocks    int    `json:"blocks,omitempty"`
+	Stream    bool   `json:"stream,omitempty"`
+	Ops       int64  `json:"ops,omitempty"`
+	Shards    int    `json:"shards,omitempty"`
 }
 
 func (r *SimulateRequest) validate() error {
@@ -455,6 +477,21 @@ func (r *SimulateRequest) validate() error {
 	}
 	if r.Blocks < 0 || r.Blocks > MaxTraceBlocks {
 		return fmt.Errorf("%w: blocks %d outside [0, %d]", ErrMalformedRequest, r.Blocks, MaxTraceBlocks)
+	}
+	if r.Ops != 0 && !r.Stream {
+		return fmt.Errorf("%w: ops bound requires stream mode", ErrMalformedRequest)
+	}
+	if r.Ops < 0 || r.Ops > MaxTraceOps {
+		return fmt.Errorf("%w: ops %d outside [0, %d]", ErrMalformedRequest, r.Ops, MaxTraceOps)
+	}
+	if r.Ops != 0 && r.Blocks != 0 {
+		return fmt.Errorf("%w: blocks and ops bounds are mutually exclusive", ErrMalformedRequest)
+	}
+	if r.Shards != 0 && !r.Stream {
+		return fmt.Errorf("%w: shards require stream mode", ErrMalformedRequest)
+	}
+	if r.Shards < 0 || r.Shards > MaxSimShards {
+		return fmt.Errorf("%w: shards %d outside [0, %d]", ErrMalformedRequest, r.Shards, MaxSimShards)
 	}
 	return nil
 }
@@ -478,6 +515,8 @@ type SimulateResponse struct {
 	BitFlips     int64   `json:"bit_flips"`
 	BytesFetched int64   `json:"bytes_fetched"`
 	ATBHitRate   float64 `json:"atb_hit_rate"`
+	Streamed     bool    `json:"streamed,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
 }
 
 //tepic:pool
@@ -491,22 +530,49 @@ func (s *Server) handleSimulate(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compile %s: %w", req.Benchmark, err)
 	}
-	tr, err := c.Trace(req.Blocks)
-	if err != nil {
-		return nil, fmt.Errorf("trace %s: %w", req.Benchmark, err)
-	}
 	sim, err := c.SimFor(p, cache.DefaultConfig(p.Org))
 	if err != nil {
 		return nil, fmt.Errorf("simulate %s/%s: %w", req.Benchmark, req.Pairing, err)
 	}
-	res, err := sim.Run(tr)
-	if err != nil {
-		return nil, fmt.Errorf("simulate %s/%s: %w", req.Benchmark, req.Pairing, err)
+
+	var res cache.Result
+	traceBlocks := 0
+	shards := 0
+	if req.Stream {
+		// Long-horizon mode: the trace streams out of the walker in
+		// bounded chunks and replays through the window-sharded
+		// simulator; nothing is materialized or cached.
+		var st trace.Stream
+		if req.Ops > 0 {
+			st, err = c.StreamTraceOps(req.Ops, 0)
+		} else {
+			st, err = c.StreamTrace(req.Blocks, 0)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace %s: %w", req.Benchmark, err)
+		}
+		shards = req.Shards
+		if shards <= 0 {
+			shards = runtime.GOMAXPROCS(0)
+		}
+		if res, err = cache.RunSharded(sim, st, shards); err != nil {
+			return nil, fmt.Errorf("simulate %s/%s: %w", req.Benchmark, req.Pairing, err)
+		}
+		traceBlocks = int(res.BlockFetches)
+	} else {
+		tr, err := c.Trace(req.Blocks)
+		if err != nil {
+			return nil, fmt.Errorf("trace %s: %w", req.Benchmark, err)
+		}
+		if res, err = sim.Run(tr); err != nil {
+			return nil, fmt.Errorf("simulate %s/%s: %w", req.Benchmark, req.Pairing, err)
+		}
+		traceBlocks = len(tr.Events)
 	}
 	return SimulateResponse{
 		Benchmark:    req.Benchmark,
 		Pairing:      req.Pairing,
-		TraceBlocks:  len(tr.Events),
+		TraceBlocks:  traceBlocks,
 		Cycles:       res.Cycles,
 		Ops:          res.Ops,
 		MOPs:         res.MOPs,
@@ -521,6 +587,8 @@ func (s *Server) handleSimulate(r *http.Request) (any, error) {
 		BitFlips:     res.BitFlips,
 		BytesFetched: res.BytesFetched,
 		ATBHitRate:   res.ATBHitRate,
+		Streamed:     req.Stream,
+		Shards:       shards,
 	}, nil
 }
 

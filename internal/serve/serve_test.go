@@ -283,6 +283,66 @@ func TestSimulateEndpoint(t *testing.T) {
 	}
 }
 
+// TestSimulateStreamEndpoint runs the same bounded simulation twice —
+// once materialized, once streamed through the window-sharded replay —
+// and requires every counter to agree, with the streamed response
+// declaring its mode and shard count.
+func TestSimulateStreamEndpoint(t *testing.T) {
+	pairings := scheme.Pairings()
+	if len(pairings) == 0 {
+		t.Fatal("no registered pairings")
+	}
+	p := pairings[0]
+	const blocks = 5000
+
+	_, ts := newTestServer(t, Config{})
+	status, body := postJSON(t, ts.URL+"/v1/simulate",
+		SimulateRequest{Benchmark: "compress", Pairing: p.Name, Blocks: blocks})
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/simulate = %d: %s", status, body)
+	}
+	var plain SimulateResponse
+	decodeInto(t, body, &plain)
+
+	status, body = postJSON(t, ts.URL+"/v1/simulate",
+		SimulateRequest{Benchmark: "compress", Pairing: p.Name, Blocks: blocks, Stream: true, Shards: 2})
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/simulate (stream) = %d: %s", status, body)
+	}
+	var streamed SimulateResponse
+	decodeInto(t, body, &streamed)
+
+	if !streamed.Streamed {
+		t.Error("streamed response does not declare streamed mode")
+	}
+	if streamed.Shards != 2 {
+		t.Errorf("streamed response shards = %d, want 2", streamed.Shards)
+	}
+	// Normalize the mode markers, then the two responses must be
+	// bit-identical in every counter.
+	streamed.Streamed, streamed.Shards = false, 0
+	if streamed != plain {
+		t.Errorf("streamed simulation diverges from materialized run:\n  streamed %+v\n  plain    %+v",
+			streamed, plain)
+	}
+
+	// An ops-bounded stream has no materialized twin, but must still
+	// deliver at least the requested horizon.
+	status, body = postJSON(t, ts.URL+"/v1/simulate",
+		SimulateRequest{Benchmark: "compress", Pairing: p.Name, Stream: true, Ops: 20000})
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/simulate (ops) = %d: %s", status, body)
+	}
+	var byOps SimulateResponse
+	decodeInto(t, body, &byOps)
+	if byOps.Ops < 20000 {
+		t.Errorf("ops-bounded stream delivered %d ops, want >= 20000", byOps.Ops)
+	}
+	if !byOps.Streamed {
+		t.Error("ops-bounded response does not declare streamed mode")
+	}
+}
+
 // TestRejections maps every malformed input class to its typed sentinel
 // kind and HTTP status.
 func TestRejections(t *testing.T) {
@@ -310,6 +370,16 @@ func TestRejections(t *testing.T) {
 		{"unknown pairing", "/v1/simulate", `{"benchmark":"compress","pairing":"warp-drive"}`,
 			http.StatusNotFound, "unknown-pairing"},
 		{"negative blocks", "/v1/simulate", `{"benchmark":"compress","pairing":"` + scheme.Pairings()[0].Name + `","blocks":-1}`,
+			http.StatusBadRequest, "malformed-request"},
+		{"ops without stream", "/v1/simulate", `{"benchmark":"compress","pairing":"` + scheme.Pairings()[0].Name + `","ops":1000}`,
+			http.StatusBadRequest, "malformed-request"},
+		{"shards without stream", "/v1/simulate", `{"benchmark":"compress","pairing":"` + scheme.Pairings()[0].Name + `","shards":2}`,
+			http.StatusBadRequest, "malformed-request"},
+		{"ops over cap", "/v1/simulate", `{"benchmark":"compress","pairing":"` + scheme.Pairings()[0].Name + `","stream":true,"ops":9000000000}`,
+			http.StatusBadRequest, "malformed-request"},
+		{"blocks and ops", "/v1/simulate", `{"benchmark":"compress","pairing":"` + scheme.Pairings()[0].Name + `","stream":true,"blocks":10,"ops":10}`,
+			http.StatusBadRequest, "malformed-request"},
+		{"negative shards", "/v1/simulate", `{"benchmark":"compress","pairing":"` + scheme.Pairings()[0].Name + `","stream":true,"shards":-1}`,
 			http.StatusBadRequest, "malformed-request"},
 	}
 	for _, tc := range cases {

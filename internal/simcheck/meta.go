@@ -138,7 +138,8 @@ func Metamorphic(in Input) (*verify.Report, error) {
 			bcfg.Assoc, bigger.LinesFetched, in.Cfg.Assoc, base.LinesFetched)
 	}
 
-	twice, err := in.run(in.Cfg, Concat(in.Tr, in.Tr))
+	doubled := Concat(in.Tr, in.Tr)
+	twice, err := in.run(in.Cfg, doubled)
 	if err != nil {
 		return nil, err
 	}
@@ -153,6 +154,26 @@ func Metamorphic(in Input) (*verify.Report, error) {
 		if c.got != 2*c.once {
 			rep.Errorf(stage, verify.CheckSimMetaAdditive, verify.NoPos,
 				"concatenated trace: %s %d, want exactly 2 x %d", c.name, c.got, c.once)
+		}
+	}
+
+	// Windowed additivity at the seam: shard the concatenated trace with
+	// a window boundary landing exactly on the concatenation point, so
+	// the entire LRU/L0/predictor warm state crosses the seam through
+	// the handoff token. The merged counters must equal the sequential
+	// replay of the same doubled trace in every field.
+	if n := in.Tr.Len(); n > 0 {
+		sim, err := cache.NewOrgSim(in.Org, in.Cfg, in.Im, in.ROM, in.Prog)
+		if err != nil {
+			return nil, err
+		}
+		windowed, err := cache.RunSharded(sim, trace.NewSliceStream(doubled, n), 2)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range diffFull(windowed, twice) {
+			rep.Errorf(stage, verify.CheckSimMetaAdditive, verify.NoPos,
+				"seam-windowed concat: %s %d, sequential %d", m.Field, m.Got, m.Want)
 		}
 	}
 	return rep, nil

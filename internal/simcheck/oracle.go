@@ -29,112 +29,170 @@ import (
 // Configurations using a direction predictor other than the paper's
 // bimodal baseline return ErrUnsupported.
 func Expected(org cache.Org, cfg cache.Config, im, rom *image.Image, sp *sched.Program, tr *trace.Trace) (cache.Result, error) {
-	spec, ok := org.Spec()
-	if !ok {
-		return cache.Result{}, fmt.Errorf("simcheck: unknown organization %d", int(org))
-	}
-	if cfg.Predictor != cache.PredictorDefault && cfg.Predictor != cache.PredictorBimodal {
-		return cache.Result{}, fmt.Errorf("%w: %s predictor", ErrUnsupported, cfg.Predictor)
-	}
-	if cfg.Sets < 1 || cfg.Assoc < 1 || cfg.LineBytes < 1 {
-		return cache.Result{}, fmt.Errorf("simcheck: degenerate geometry %d sets x %d ways x %dB",
-			cfg.Sets, cfg.Assoc, cfg.LineBytes)
-	}
-	if len(im.Blocks) != len(sp.Blocks) {
-		return cache.Result{}, fmt.Errorf("simcheck: image has %d blocks, program %d",
-			len(im.Blocks), len(sp.Blocks))
-	}
-	if spec.NeedsROM && (rom == nil || len(rom.Blocks) != len(im.Blocks)) {
-		return cache.Result{}, fmt.Errorf("simcheck: organization %s needs a matching ROM image", spec.Name)
-	}
 	if err := tr.ValidateRefs(len(im.Blocks)); err != nil {
 		return cache.Result{}, err
 	}
+	return ExpectedStream(org, cfg, im, rom, sp, trace.NewSliceStream(tr, 0))
+}
 
-	lineBytes := cfg.LineBytes
+// ExpectedStream is the oracle's streaming face: the same analytical
+// recomputation as Expected, consuming a chunked trace stream
+// incrementally (each chunk is reference-validated, replayed through
+// the model, and recycled), so the oracle can shadow the simulator over
+// long-horizon streams without materializing them.
+func ExpectedStream(org cache.Org, cfg cache.Config, im, rom *image.Image, sp *sched.Program, st trace.Stream) (cache.Result, error) {
+	o, err := newOracleState(org, cfg, im, rom, sp)
+	if err != nil {
+		return cache.Result{}, err
+	}
+	res := cache.Result{
+		Benchmark: st.Name(),
+		Scheme:    im.Scheme,
+		Org:       org.String(),
+	}
+	for {
+		c, err := st.Next()
+		if err != nil {
+			return res, err
+		}
+		if c == nil {
+			return res, nil
+		}
+		if verr := trace.ValidateChunk(c, len(im.Blocks)); verr != nil {
+			st.Recycle(c)
+			st.Close()
+			return res, verr
+		}
+		res.Ops += c.Ops
+		res.MOPs += c.MOPs
+		for _, ev := range c.Events {
+			o.step(ev, &res)
+		}
+		st.Recycle(c)
+	}
+}
+
+// oracleState is the analytical model's mutable state between events:
+// the timestamp-map LRU, the L0 model, the predictor model and the
+// carried next-block prediction. One instance replays one trace,
+// whether delivered as a slice or a chunk stream.
+type oracleState struct {
+	spec         cache.OrgSpec
+	cfg          cache.Config
+	im, rom      *image.Image
+	sp           *sched.Program
+	beatsPerLine int64
+	lru          *lruModel
+	l0           *l0Model
+	pred         *predModel
+	predicted    int
+}
+
+// newOracleState validates the configuration (everything Expected
+// historically rejected except the trace itself) and builds the model.
+func newOracleState(org cache.Org, cfg cache.Config, im, rom *image.Image, sp *sched.Program) (*oracleState, error) {
+	spec, ok := org.Spec()
+	if !ok {
+		return nil, fmt.Errorf("simcheck: unknown organization %d", int(org))
+	}
+	if cfg.Predictor != cache.PredictorDefault && cfg.Predictor != cache.PredictorBimodal {
+		return nil, fmt.Errorf("%w: %s predictor", ErrUnsupported, cfg.Predictor)
+	}
+	if cfg.Sets < 1 || cfg.Assoc < 1 || cfg.LineBytes < 1 {
+		return nil, fmt.Errorf("simcheck: degenerate geometry %d sets x %d ways x %dB",
+			cfg.Sets, cfg.Assoc, cfg.LineBytes)
+	}
+	if len(im.Blocks) != len(sp.Blocks) {
+		return nil, fmt.Errorf("simcheck: image has %d blocks, program %d",
+			len(im.Blocks), len(sp.Blocks))
+	}
+	if spec.NeedsROM && (rom == nil || len(rom.Blocks) != len(im.Blocks)) {
+		return nil, fmt.Errorf("simcheck: organization %s needs a matching ROM image", spec.Name)
+	}
 	busBytes := cfg.BusBytes
 	if busBytes <= 0 {
 		busBytes = power.DefaultBusBytes
 	}
-	// Every repair transfer is one whole line, so the bus arithmetic is
-	// closed-form per fetched line.
-	beatsPerLine := int64((lineBytes + busBytes - 1) / busBytes)
+	return &oracleState{
+		spec: spec,
+		cfg:  cfg,
+		im:   im,
+		rom:  rom,
+		sp:   sp,
+		// Every repair transfer is one whole line, so the bus arithmetic
+		// is closed-form per fetched line.
+		beatsPerLine: int64((cfg.LineBytes + busBytes - 1) / busBytes),
+		lru:          newLRUModel(cfg.Sets, cfg.Assoc),
+		l0:           newL0Model(cfg.L0Ops),
+		pred:         newPredModel(sp),
+		predicted:    -2, // the first fetch's prediction is a free cold start
+	}, nil
+}
 
-	lru := newLRUModel(cfg.Sets, cfg.Assoc)
-	l0 := newL0Model(cfg.L0Ops)
-	pred := newPredModel(sp)
-
-	res := cache.Result{
-		Benchmark: tr.Name,
-		Scheme:    im.Scheme,
-		Org:       org.String(),
-		Ops:       tr.Ops,
-		MOPs:      tr.MOPs,
+// step replays one event through the analytical model, accumulating
+// into res.
+func (o *oracleState) step(ev trace.Event, res *cache.Result) {
+	lineBytes := o.cfg.LineBytes
+	blk := o.im.Blocks[ev.Block]
+	predOK := o.predicted == ev.Block || o.predicted == -2 || o.cfg.PerfectPrediction
+	if !predOK {
+		res.Mispredicts++
 	}
-	predicted := -2 // the first fetch's prediction is a free cold start
-	for _, ev := range tr.Events {
-		blk := im.Blocks[ev.Block]
-		predOK := predicted == ev.Block || predicted == -2 || cfg.PerfectPrediction
-		if !predOK {
-			res.Mispredicts++
-		}
-		res.BlockFetches++
+	res.BlockFetches++
 
-		bufHit := false
-		if spec.HasL0 {
-			bufHit = l0.lookup(ev.Block)
-			if bufHit {
-				res.BufferHits++
+	bufHit := false
+	if o.spec.HasL0 {
+		bufHit = o.l0.lookup(ev.Block)
+		if bufHit {
+			res.BufferHits++
+		}
+	}
+
+	cacheHit := true
+	first, span := blockSpan(blk, lineBytes)
+	var romBlk image.Block
+	if o.spec.NeedsROM {
+		romBlk = o.rom.Blocks[ev.Block]
+	}
+	if !bufHit {
+		res.CacheLookups++
+		missing := 0
+		for l := 0; l < span; l++ {
+			if !o.lru.probe(first + int64(l)) {
+				missing++
 			}
 		}
-
-		cacheHit := true
-		first, span := blockSpan(blk, lineBytes)
-		var romBlk image.Block
-		if spec.NeedsROM {
-			romBlk = rom.Blocks[ev.Block]
-		}
-		if !bufHit {
-			res.CacheLookups++
-			missing := 0
+		if missing > 0 {
+			cacheHit = false
+			res.CacheMisses++
+			fetched := int64(span)
+			if o.spec.NeedsROM {
+				_, romSpan := blockSpan(romBlk, lineBytes)
+				fetched = int64(romSpan)
+			}
+			res.LinesFetched += fetched
+			res.BytesFetched += fetched * int64(lineBytes)
+			res.BusBeats += fetched * o.beatsPerLine
 			for l := 0; l < span; l++ {
-				if !lru.probe(first + int64(l)) {
-					missing++
-				}
-			}
-			if missing > 0 {
-				cacheHit = false
-				res.CacheMisses++
-				fetched := int64(span)
-				if spec.NeedsROM {
-					_, romSpan := blockSpan(romBlk, lineBytes)
-					fetched = int64(romSpan)
-				}
-				res.LinesFetched += fetched
-				res.BytesFetched += fetched * int64(lineBytes)
-				res.BusBeats += fetched * beatsPerLine
-				for l := 0; l < span; l++ {
-					lru.fill(first + int64(l))
-				}
-			}
-			if spec.HasL0 {
-				l0.insert(ev.Block, blk.Ops)
+				o.lru.fill(first + int64(l))
 			}
 		}
-
-		n := spec.Decode.HitLines(blk, lineBytes)
-		if !cacheHit {
-			n = spec.Decode.MissLines(blk, romBlk, lineBytes)
+		if o.spec.HasL0 {
+			o.l0.insert(ev.Block, blk.Ops)
 		}
-		res.Cycles += startupCycles(spec.Timing, predOK, cacheHit, bufHit, n)
-		if mops := sp.Blocks[ev.Block].NumMOPs(); mops > 1 {
-			res.Cycles += int64(mops - 1) // stream remaining MOPs, 1/cycle
-		}
-
-		predicted = pred.predict(ev.Block)
-		pred.train(ev.Block, ev.Taken, ev.Next)
 	}
-	return res, nil
+
+	n := o.spec.Decode.HitLines(blk, lineBytes)
+	if !cacheHit {
+		n = o.spec.Decode.MissLines(blk, romBlk, lineBytes)
+	}
+	res.Cycles += startupCycles(o.spec.Timing, predOK, cacheHit, bufHit, n)
+	if mops := o.sp.Blocks[ev.Block].NumMOPs(); mops > 1 {
+		res.Cycles += int64(mops - 1) // stream remaining MOPs, 1/cycle
+	}
+
+	o.predicted = o.pred.predict(ev.Block)
+	o.pred.train(ev.Block, ev.Taken, ev.Next)
 }
 
 // blockSpan returns the first memory line a block's placement touches

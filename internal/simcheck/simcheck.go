@@ -3,7 +3,7 @@
 // trust in the paper's headline numbers the way the static verifier
 // (internal/verify) earns trust in the artifacts feeding them.
 //
-// Three independent instruments, each reporting through the verifier's
+// Four independent instruments, each reporting through the verifier's
 // stable-CheckID diagnostics:
 //
 //   - Oracle (oracle.go) recomputes Cycles, BusBeats, BytesFetched and
@@ -17,6 +17,10 @@
 //     cache never misses more, a self-concatenated trace doubles the
 //     operation counts, and the L0 filter conserves block fetches
 //     (CheckSimMeta*, CheckSimIdentity).
+//   - StreamEquivalence (stream.go) replays the point through the
+//     incremental (Sim.RunStream) and window-sharded (cache.RunSharded)
+//     paths and demands bit-identity with the sequential run in every
+//     counter, shadowed by the oracle's streaming face (CheckSimStream).
 //   - FaultMatrix (fault.go) feeds the pipeline corrupted images,
 //     malformed traces and degenerate geometries, asserting each is
 //     rejected with the documented typed error rather than accepted or
@@ -101,6 +105,12 @@ func Check(in Input) (*verify.Report, error) {
 		return nil, err
 	}
 	rep.Merge(metaRep)
+
+	streamRep, err := StreamEquivalence(in)
+	if err != nil {
+		return nil, err
+	}
+	rep.Merge(streamRep)
 
 	rep.Merge(FaultMatrix(in))
 	rep.Sort()

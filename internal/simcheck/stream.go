@@ -1,0 +1,100 @@
+package simcheck
+
+import (
+	"errors"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// This file is the streaming differential harness: the proof obligation
+// that the three replay paths — sequential Sim.Run over the slice,
+// incremental Sim.RunStream over chunks, and window-sharded
+// cache.RunSharded with warm-state handoff — are one simulator. Every
+// counter must agree exactly, including BitFlips and ATBHitRate (which
+// the analytical oracle does not model but the replays must still
+// reproduce bit-identically), and the oracle's own streaming face must
+// agree with its slice face. Findings report under CheckSimStream.
+
+// streamChunk and streamShards pick deliberately awkward windowing for
+// the equivalence replays: a prime chunk size so window seams never
+// align with loop structure, and enough shards that the handoff token
+// actually travels between workers.
+const (
+	streamChunk  = 997
+	streamShards = 4
+)
+
+// diffFull compares two results across every counter — the eleven the
+// oracle models plus BitFlips and ATBHitRate — returning one Mismatch
+// per disagreement (ATBHitRate is folded through its bit pattern; exact
+// equality is the contract).
+func diffFull(got, want cache.Result) []Mismatch {
+	out := Diff(got, want)
+	if got.BitFlips != want.BitFlips {
+		out = append(out, Mismatch{Field: "BitFlips", Got: got.BitFlips, Want: want.BitFlips})
+	}
+	if got.ATBHitRate != want.ATBHitRate {
+		out = append(out, Mismatch{Field: "ATBHitRate",
+			Got: int64(got.ATBHitRate * 1e9), Want: int64(want.ATBHitRate * 1e9)})
+	}
+	return out
+}
+
+// StreamEquivalence replays the input through the incremental and the
+// window-sharded paths and diffs each against the sequential run, then
+// shadows the run with the oracle's streaming recomputation. An error
+// means a replay could not run at all; divergences land in the report
+// under CheckSimStream.
+func StreamEquivalence(in Input) (*verify.Report, error) {
+	rep := &verify.Report{}
+	stage := in.stage()
+
+	want, err := in.run(in.Cfg, in.Tr)
+	if err != nil {
+		return nil, err
+	}
+
+	sim, err := cache.NewOrgSim(in.Org, in.Cfg, in.Im, in.ROM, in.Prog)
+	if err != nil {
+		return nil, err
+	}
+	streamed, err := sim.RunStream(trace.NewSliceStream(in.Tr, streamChunk))
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range diffFull(streamed, want) {
+		rep.Errorf(stage, verify.CheckSimStream, verify.NoPos,
+			"RunStream %s: %d, sequential %d", m.Field, m.Got, m.Want)
+	}
+
+	sim, err = cache.NewOrgSim(in.Org, in.Cfg, in.Im, in.ROM, in.Prog)
+	if err != nil {
+		return nil, err
+	}
+	sharded, err := cache.RunSharded(sim, trace.NewSliceStream(in.Tr, streamChunk), streamShards)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range diffFull(sharded, want) {
+		rep.Errorf(stage, verify.CheckSimStream, verify.NoPos,
+			"RunSharded %s: %d, sequential %d", m.Field, m.Got, m.Want)
+	}
+
+	oracle, err := ExpectedStream(in.Org, in.Cfg, in.Im, in.ROM, in.Prog,
+		trace.NewSliceStream(in.Tr, streamChunk))
+	switch {
+	case errors.Is(err, ErrUnsupported):
+		// Outside the analytical model; the replay equivalences above
+		// still hold the line.
+	case err != nil:
+		return nil, err
+	default:
+		for _, m := range Diff(sharded, oracle) {
+			rep.Errorf(stage, verify.CheckSimStream, verify.NoPos,
+				"RunSharded %s: %d, streaming oracle %d", m.Field, m.Got, m.Want)
+		}
+	}
+	return rep, nil
+}

@@ -1,6 +1,9 @@
 package trace
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // FuzzTraceValidate drives Validate/ValidateRefs with arbitrary event
 // streams decoded from fuzz bytes — the validators are the simulator's
@@ -49,6 +52,88 @@ func FuzzTraceValidate(f *testing.F) {
 						i, e.Next, numBlocks)
 				}
 			}
+		}
+	})
+}
+
+// FuzzStreamChunks is the chunker round-trip property under fuzzing:
+// any trace decoded from fuzz bytes, streamed at an arbitrary chunk
+// size (including 1 and len+1) through both SliceStream and the
+// producer/consumer ChanStream, reassembles byte-identically, and the
+// streaming validators agree with the slice validators regardless of
+// where the chunk seams fall.
+func FuzzStreamChunks(f *testing.F) {
+	f.Add(4, 1, []byte{0, 1, 1, 1, 0, 1, 255, 255, 0})
+	f.Add(3, 2, []byte{2, 1, 200, 7, 0, 0})
+	f.Add(1, 1000, []byte{0, 0, 0})
+	f.Add(0, 0, []byte{})
+	f.Fuzz(func(t *testing.T, numBlocks, chunkEvents int, raw []byte) {
+		if numBlocks < 0 || numBlocks > 1<<16 {
+			return
+		}
+		if chunkEvents < 0 || chunkEvents > 1<<20 {
+			return
+		}
+		tr := &Trace{Name: "fuzz"}
+		for i := 0; i+2 < len(raw); i += 3 {
+			next := int(raw[i+1])
+			if raw[i+1] == 255 {
+				next = End
+			}
+			tr.Events = append(tr.Events, Event{
+				Block: int(raw[i]) - 2,
+				Taken: raw[i+2]&1 == 1,
+				Next:  next,
+			})
+		}
+		tr.Ops = int64(len(tr.Events)) * 5
+		tr.MOPs = int64(len(tr.Events)) * 2
+
+		got, err := Collect(NewSliceStream(tr, chunkEvents))
+		if err != nil {
+			t.Fatalf("Collect(SliceStream): %v", err)
+		}
+		if len(got.Events) != len(tr.Events) ||
+			(len(tr.Events) > 0 && !reflect.DeepEqual(got.Events, tr.Events)) {
+			t.Fatalf("SliceStream round-trip changed events (chunk=%d)", chunkEvents)
+		}
+		if got.Ops != tr.Ops || got.MOPs != tr.MOPs {
+			t.Fatalf("SliceStream round-trip changed totals: %d/%d want %d/%d",
+				got.Ops, got.MOPs, tr.Ops, tr.MOPs)
+		}
+
+		cs, p := NewChanStream(tr.Name, chunkEvents, 2)
+		go func() {
+			for _, ev := range tr.Events {
+				if !p.Append(ev, 5, 2) {
+					p.Close(nil)
+					return
+				}
+			}
+			p.Close(nil)
+		}()
+		got, err = Collect(cs)
+		if err != nil {
+			t.Fatalf("Collect(ChanStream): %v", err)
+		}
+		if len(got.Events) != len(tr.Events) ||
+			(len(tr.Events) > 0 && !reflect.DeepEqual(got.Events, tr.Events)) {
+			t.Fatalf("ChanStream round-trip changed events (chunk=%d)", chunkEvents)
+		}
+		if got.Ops != tr.Ops || got.MOPs != tr.MOPs {
+			t.Fatalf("ChanStream round-trip changed totals: %d/%d want %d/%d",
+				got.Ops, got.MOPs, tr.Ops, tr.MOPs)
+		}
+
+		refsSlice := tr.ValidateRefs(numBlocks)
+		refsStream := ValidateStreamRefs(NewSliceStream(tr, chunkEvents), numBlocks)
+		if (refsSlice == nil) != (refsStream == nil) {
+			t.Fatalf("refs disagree: slice %v, stream %v", refsSlice, refsStream)
+		}
+		chainSlice := tr.Validate(numBlocks)
+		chainStream := ValidateStream(NewSliceStream(tr, chunkEvents), numBlocks)
+		if (chainSlice == nil) != (chainStream == nil) {
+			t.Fatalf("chain disagree: slice %v, stream %v", chainSlice, chainStream)
 		}
 	})
 }

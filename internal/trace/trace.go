@@ -6,8 +6,6 @@
 // branch outcome and the successor block.
 package trace
 
-import "fmt"
-
 // End marks the absence of a successor block.
 const End = -1
 
@@ -31,18 +29,9 @@ func (t *Trace) Len() int { return len(t.Events) }
 
 // Validate checks that every block reference is in range (ValidateRefs)
 // and that successor links are consistent: each event's Next must name
-// the block the following event executes.
+// the block the following event executes. Errors wrap ErrMalformedTrace.
 func (t *Trace) Validate(numBlocks int) error {
-	if err := t.ValidateRefs(numBlocks); err != nil {
-		return err
-	}
-	for i, e := range t.Events {
-		if i+1 < len(t.Events) && e.Next != t.Events[i+1].Block {
-			return fmt.Errorf("trace: event %d Next=%d but event %d executes %d",
-				i, e.Next, i+1, t.Events[i+1].Block)
-		}
-	}
-	return nil
+	return ValidateStream(NewSliceStream(t, 0), numBlocks)
 }
 
 // ValidateRefs checks only that every event's block references lie
@@ -51,20 +40,14 @@ func (t *Trace) Validate(numBlocks int) error {
 // to be consistent, so stitched or concatenated traces (whose seam events
 // name a Next that differs from the following event) still pass — this
 // is the precondition the IFetch simulators enforce before replay.
+// Errors wrap ErrMalformedTrace.
 func (t *Trace) ValidateRefs(numBlocks int) error {
-	for i, e := range t.Events {
-		if e.Block < 0 || e.Block >= numBlocks {
-			return fmt.Errorf("trace: event %d references block %d of %d",
-				i, e.Block, numBlocks)
-		}
-		if e.Next != End && (e.Next < 0 || e.Next >= numBlocks) {
-			return fmt.Errorf("trace: event %d has bad successor %d", i, e.Next)
-		}
-	}
-	return nil
+	return ValidateStreamRefs(NewSliceStream(t, 0), numBlocks)
 }
 
-// BlockCounts returns per-block execution counts.
+// BlockCounts returns per-block execution counts. Unlike the streaming
+// face (BlockCountsStream) it does not reject out-of-range references;
+// callers are expected to have validated the trace first.
 func (t *Trace) BlockCounts(numBlocks int) []int64 {
 	counts := make([]int64, numBlocks)
 	for _, e := range t.Events {
