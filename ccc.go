@@ -29,9 +29,12 @@
 package ccc
 
 import (
+	"repro/internal/bitio"
 	"repro/internal/cache"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/huffman"
 	"repro/internal/image"
 	"repro/internal/scheme"
 	"repro/internal/trace"
@@ -180,6 +183,54 @@ var NewSim = cache.NewSim
 
 // NewMachine returns a fresh TEPIC interpreter.
 func NewMachine() *Machine { return emu.NewMachine() }
+
+// Batched decode. The lane-parallel kernel decodes independent
+// byte-aligned blocks MaxLanes at a time with interleaved bit cursors;
+// every Huffman scheme's encoder also implements BatchDecoder, and a
+// compiled program exposes a memoized per-scheme DecodePlan
+// (Compiled.DecodePlan, Compiled.DecodeSymbolsParallel) plus the
+// three-tier throughput measurement (Compiled.MeasureDecodeThroughput).
+type (
+	// LaneDecoder is the batched Huffman kernel beneath the per-symbol
+	// decoders; see huffman.LaneDecoder.
+	LaneDecoder = huffman.LaneDecoder
+	// Lane is one stream's decode state within a LaneDecoder run.
+	Lane = huffman.Lane
+	// Cursor is the multi-cursor bit reader the kernel interleaves.
+	Cursor = bitio.Cursor
+	// Reader is the sequential bit reader of the per-symbol decode path.
+	Reader = bitio.Reader
+	// BatchDecoder is the allocation-free batch decode face every
+	// Huffman scheme implements; see compress.BatchDecoder.
+	BatchDecoder = compress.BatchDecoder
+	// SymbolDecoder is the per-symbol decode face the throughput
+	// measurement's fast tier drives.
+	SymbolDecoder = compress.SymbolDecoder
+	// DecodePlan is a scheme's prebuilt batch-decode geometry: the lane
+	// kernel plus flattened block addresses, memoized in the artifact
+	// store; see core.DecodePlan.
+	DecodePlan = core.DecodePlan
+	// DecodeThroughput is one scheme's measured reference/fast/batch
+	// decode rates with their speedup ratios.
+	DecodeThroughput = core.DecodeThroughput
+)
+
+// MaxLanes is the width of the lane-parallel decode kernel.
+const MaxLanes = huffman.MaxLanes
+
+// ErrShortBatchOutput reports a batch decode output slice smaller than
+// the symbol count the block queue implies.
+var ErrShortBatchOutput = compress.ErrShortBatchOutput
+
+// NewLaneDecoder builds a lane kernel over a per-symbol table schedule.
+var NewLaneDecoder = huffman.NewLaneDecoder
+
+// NewReader returns a heap-allocated sequential bit reader over data.
+var NewReader = bitio.NewReader
+
+// MakeReader returns a Reader over data by value, for embedding in
+// caller-owned state without an allocation.
+var MakeReader = bitio.MakeReader
 
 // Trace streaming.
 type (

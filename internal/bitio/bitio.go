@@ -86,6 +86,13 @@ type Reader struct {
 // NewReader returns a Reader over data.
 func NewReader(data []byte) *Reader { return &Reader{data: data} }
 
+// MakeReader returns a Reader over data by value. Batch decoders assign
+// one into a stack-resident local instead of calling NewReader so their
+// hot loops stay allocation-free: a value assignment keeps the data
+// pointer out of any through-pointer store, which escape analysis would
+// otherwise conservatively treat as a leak to the heap.
+func MakeReader(data []byte) Reader { return Reader{data: data} }
+
 // refill tops the accumulator up to at least `width` buffered bits, or as
 // many as the stream still holds. The hot path loads a whole 64-bit word
 // at a time; only the stream tail and partially drained accumulators fall

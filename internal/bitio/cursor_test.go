@@ -1,0 +1,176 @@
+package bitio
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// cursorStep drives a Cursor and a Reader over the same stream from the
+// same starting offset with an identical peek/consume script, failing
+// on the first divergence in bits, offsets, or remaining counts. This
+// is the differential contract the lane kernel stands on: a Cursor is a
+// Reader position you can hold many of.
+func cursorStep(t *testing.T, data []byte, start int, widths []int) {
+	t.Helper()
+	var c Cursor
+	if err := c.Init(data, start); err != nil {
+		t.Fatalf("Init(%d): %v", start, err)
+	}
+	r := NewReader(data)
+	if err := r.SeekBit(start); err != nil {
+		t.Fatalf("SeekBit(%d): %v", start, err)
+	}
+	for stepi, w := range widths {
+		c.Refill()
+		if want := 8*len(data) - c.Offset(); c.Buffered() > want {
+			t.Fatalf("step %d: Buffered %d exceeds remaining %d", stepi, c.Buffered(), want)
+		}
+		if c.next == len(data) && c.Buffered() != c.Remaining() {
+			t.Fatalf("step %d: exhausted cursor buffers %d of %d remaining bits",
+				stepi, c.Buffered(), c.Remaining())
+		}
+		cv := c.Peek(w)
+		// Both faces return a width-bit value with the stream's bits in
+		// the high positions, zero-padded past the end of the stream.
+		rv, avail := r.PeekBits(w)
+		if cv != rv {
+			t.Fatalf("step %d: Peek(%d) = %#x, Reader %#x (avail %d)", stepi, w, cv, rv, avail)
+		}
+		take := w
+		if take > c.Buffered() {
+			take = c.Buffered()
+		}
+		c.Skip(take)
+		r.ConsumeBits(take)
+		if c.Offset() != r.Offset() {
+			t.Fatalf("step %d: Offset %d, Reader %d", stepi, c.Offset(), r.Offset())
+		}
+		if c.Remaining() != r.Remaining() {
+			t.Fatalf("step %d: Remaining %d, Reader %d", stepi, c.Remaining(), r.Remaining())
+		}
+	}
+}
+
+func TestCursorReaderEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 257, 4096} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		for _, start := range []int{0, 1, 3, 7, 8, 13, 8 * n} {
+			if start > 8*n {
+				continue
+			}
+			widths := make([]int, 200)
+			for i := range widths {
+				widths[i] = 1 + rng.Intn(57)
+			}
+			cursorStep(t, data, start, widths)
+		}
+	}
+}
+
+func TestCursorInitBounds(t *testing.T) {
+	data := []byte{0xAB, 0xCD}
+	var c Cursor
+	for _, bit := range []int{-1, 17, 1000} {
+		if err := c.Init(data, bit); !errors.Is(err, ErrExhausted) {
+			t.Errorf("Init(%d) = %v, want ErrExhausted", bit, err)
+		}
+	}
+	if err := c.Init(data, 16); err != nil {
+		t.Fatalf("Init at stream end: %v", err)
+	}
+	c.Refill()
+	if c.Buffered() != 0 || c.Remaining() != 0 || c.Peek(8) != 0 {
+		t.Errorf("exhausted cursor: Buffered=%d Remaining=%d Peek=%d",
+			c.Buffered(), c.Remaining(), c.Peek(8))
+	}
+	// Re-Init must fully reset state left by a previous stream.
+	if err := c.Init([]byte{0xFF}, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Refill()
+	if got := c.Peek(8); got != 0xFF {
+		t.Errorf("Peek after re-Init = %#x, want 0xff", got)
+	}
+}
+
+func TestCursorSkipAll(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var c Cursor
+	if err := c.Init(data, 5); err != nil {
+		t.Fatal(err)
+	}
+	c.Refill()
+	c.Skip(7)
+	c.SkipAll()
+	if c.Remaining() != 0 || c.Offset() != 8*len(data) || c.Buffered() != 0 {
+		t.Errorf("after SkipAll: Remaining=%d Offset=%d Buffered=%d",
+			c.Remaining(), c.Offset(), c.Buffered())
+	}
+	c.Refill()
+	if c.Peek(57) != 0 {
+		t.Errorf("Peek after SkipAll = %#x, want zero padding", c.Peek(57))
+	}
+}
+
+// TestCursorZeroAlloc is the dynamic half of the //tepic:hotpath
+// contract on Refill, Peek, Skip and SkipAll: zero allocations per
+// drained stream across the word-wide refill, the byte-loop tail, and
+// the zero-padded end.
+func TestCursorZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 167)
+	}
+	var c Cursor
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.Init(data, 3); err != nil {
+			t.Fatal(err)
+		}
+		sum := uint64(0)
+		for c.Remaining() > 0 {
+			c.Refill()
+			take := 13
+			if take > c.Buffered() {
+				take = c.Buffered()
+			}
+			sum += c.Peek(take)
+			c.Skip(take)
+		}
+		if sum == 0 {
+			t.Fatal("cursor drained no data")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cursor hot path: %.1f allocs per drained stream, want 0", allocs)
+	}
+}
+
+// FuzzCursorReaderEquivalence fuzzes the differential contract: any
+// byte stream, any legal starting offset, any width script — Cursor
+// and Reader must agree bit-for-bit.
+func FuzzCursorReaderEquivalence(f *testing.F) {
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(3), uint64(0x1234567890ABCDEF))
+	f.Add([]byte{}, uint8(0), uint64(7))
+	f.Add([]byte{0xFF}, uint8(7), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, data []byte, startSeed uint8, script uint64) {
+		if len(data) > 1<<16 {
+			t.Skip("bound the corpus")
+		}
+		start := int(startSeed) % (8*len(data) + 1)
+		widths := make([]int, 64)
+		s := script
+		for i := range widths {
+			widths[i] = 1 + int(s%57)
+			s = s>>6 | s<<58
+		}
+		cursorStep(t, data, start, widths)
+	})
+}

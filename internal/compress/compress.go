@@ -99,11 +99,15 @@ type ByteHuffman struct {
 	tab  *huffman.Table
 	dec  *huffman.Decoder     // reference (oracle) decoder
 	fast *huffman.FastDecoder // table-driven hit-path decoder
+	lane *huffman.LaneDecoder // batched lane kernel over fast's tables
 }
 
-// newByteHuffman wraps a built table with both of its decoders.
+// newByteHuffman wraps a built table with both of its decoders and the
+// lane kernel (built once here, not per decode — see the measurement
+// contract in throughput.go).
 func newByteHuffman(tab *huffman.Table) *ByteHuffman {
-	return &ByteHuffman{tab: tab, dec: tab.NewDecoder(), fast: tab.NewFastDecoder()}
+	fast := tab.NewFastDecoder()
+	return &ByteHuffman{tab: tab, dec: tab.NewDecoder(), fast: fast, lane: huffman.NewLaneDecoder(fast)}
 }
 
 // NewByteHuffman builds the byte-based scheme from a scheduled program's
@@ -254,6 +258,7 @@ type StreamHuffman struct {
 	tabs  []*huffman.Table
 	decs  []*huffman.Decoder     // reference (oracle) decoders
 	fasts []*huffman.FastDecoder // table-driven hit-path decoders
+	lane  *huffman.LaneDecoder   // batched kernel cycling the segment tables
 }
 
 // NewStreamHuffman builds the stream-based scheme for one configuration.
@@ -283,6 +288,7 @@ func NewStreamHuffman(p *sched.Program, cfg StreamConfig) (*StreamHuffman, error
 		e.decs = append(e.decs, tab.NewDecoder())
 		e.fasts = append(e.fasts, tab.NewFastDecoder())
 	}
+	e.lane = huffman.NewLaneDecoder(e.fasts...)
 	return e, nil
 }
 
@@ -317,28 +323,81 @@ func (e *StreamHuffman) EncodeBlock(w *bitio.Writer, ops []isa.Op) error {
 	return nil
 }
 
-// DecodeBlock implements Encoder. The per-op symbols alternate between
-// the segment tables, so the stream scheme decodes symbol-at-a-time on
-// the fast decoders rather than in batch runs.
+// DecodeBlock implements Encoder. A stream-encoded block is segment
+// codewords interleaved in one bit stream, so it decodes on a
+// single-lane kernel whose schedule cycles the segment tables, chunked
+// through stack scratch, then the reader is resynced to the cursor.
+// Success-path reader positions and Huffman-error terminals are
+// bit-identical to the per-symbol path (the kernel shares FastDecoder's
+// terminals); only a malformed-operand word replays its chunk
+// per-symbol to reproduce the exact legacy reader position.
 func (e *StreamHuffman) DecodeBlock(r *bitio.Reader, n int) ([]isa.Op, error) {
 	segs := e.cfg.Segments()
+	nsegs := len(segs)
 	ops := make([]isa.Op, 0, n)
-	for i := 0; i < n; i++ {
+	var lane [1]huffman.Lane
+	var buf [batchScratchSyms]uint64
+	chunkOps := batchScratchSyms / nsegs
+	if err := lane[0].Init(r.Source(), r.Offset(), buf[:0]); err != nil {
+		return nil, err
+	}
+	for done := 0; done < n; {
+		k := n - done
+		if k > chunkOps {
+			k = chunkOps
+		}
+		chunkStart := lane[0].Offset()
+		lane[0].Rearm(buf[:k*nsegs])
+		e.lane.Run(lane[:1])
+		if err := lane[0].Err(); err != nil {
+			if serr := r.SeekBit(lane[0].Offset()); serr != nil {
+				return nil, serr
+			}
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			var word uint64
+			for si := 0; si < nsegs; si++ {
+				word = word<<uint(segs[si][1]-segs[si][0]) | buf[i*nsegs+si]
+			}
+			op, err := isa.Decode(word)
+			if err != nil {
+				return nil, e.replayChunk(r, chunkStart, i)
+			}
+			ops = append(ops, op)
+		}
+		done += k
+	}
+	if err := r.SeekBit(lane[0].Offset()); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// replayChunk reproduces the legacy per-symbol decode of a chunk up to
+// and including the operation whose assembled word failed isa.Decode,
+// so the malformed-operand error path leaves the reader exactly where
+// the pre-kernel implementation did.
+func (e *StreamHuffman) replayChunk(r *bitio.Reader, chunkStart, opIdx int) error {
+	if err := r.SeekBit(chunkStart); err != nil {
+		return err
+	}
+	segs := e.cfg.Segments()
+	for i := 0; i <= opIdx; i++ {
 		var word uint64
 		for si, seg := range segs {
 			v, err := e.fasts[si].Decode(r)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			word = word<<uint(seg[1]-seg[0]) | v
 		}
-		op, err := isa.Decode(word)
-		if err != nil {
-			return nil, err
+		if _, err := isa.Decode(word); err != nil {
+			return err
 		}
-		ops = append(ops, op)
 	}
-	return ops, nil
+	// Unreachable: the caller saw isa.Decode fail at opIdx.
+	return nil
 }
 
 // ReferenceDecodeBlock implements ReferenceDecoder on the bit-by-bit
@@ -373,6 +432,7 @@ type FullHuffman struct {
 	tab  *huffman.Table
 	dec  *huffman.Decoder     // reference (oracle) decoder
 	fast *huffman.FastDecoder // table-driven hit-path decoder
+	lane *huffman.LaneDecoder // batched lane kernel over fast's tables
 }
 
 // NewFullHuffman builds the whole-op scheme from a scheduled program.
@@ -387,7 +447,8 @@ func NewFullHuffman(p *sched.Program) (*FullHuffman, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compress: full scheme: %w", err)
 	}
-	return &FullHuffman{tab: tab, dec: tab.NewDecoder(), fast: tab.NewFastDecoder()}, nil
+	fast := tab.NewFastDecoder()
+	return &FullHuffman{tab: tab, dec: tab.NewDecoder(), fast: fast, lane: huffman.NewLaneDecoder(fast)}, nil
 }
 
 // Name implements Encoder.

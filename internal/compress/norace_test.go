@@ -1,0 +1,7 @@
+//go:build !race
+
+package compress_test
+
+// raceEnabled reports that the race detector is instrumenting this
+// build (it is not; see race_test.go).
+const raceEnabled = false

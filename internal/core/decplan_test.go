@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDecodePlanEquivalence proves, per batch scheme, that the memoized
+// plan decodes the image to exactly the sequential fast face's totals —
+// and that parallel span decoding changes nothing.
+func TestDecodePlanEquivalence(t *testing.T) {
+	d := NewDriver(4)
+	c, err := d.CompileBenchmark("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"byte", "stream", "stream_1", "full"} {
+		t.Run(scheme, func(t *testing.T) {
+			plan, err := c.DecodePlan(scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan == nil {
+				t.Fatalf("%s: no decode plan", scheme)
+			}
+			if plan.TableEntries <= 0 {
+				t.Errorf("TableEntries = %d, want > 0", plan.TableEntries)
+			}
+			// Sequential truth via the measured tiers, which assert the
+			// three faces agree internally.
+			dt, err := c.MeasureDecodeThroughput(scheme, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			syms, bits, err := plan.DecodeSymbols(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if syms != int64(plan.Syms) {
+				t.Errorf("DecodeSymbols = %d symbols, plan.Syms = %d", syms, plan.Syms)
+			}
+			if dt.Batch.Ops%syms != 0 {
+				t.Errorf("measured batch ops %d not a whole number of passes of %d", dt.Batch.Ops, syms)
+			}
+			// Collect mode fills exactly Syms symbols.
+			out := make([]uint64, plan.Syms)
+			csyms, cbits, err := plan.DecodeSymbolsInto(nil, out)
+			if err != nil || csyms != syms || cbits != bits {
+				t.Fatalf("DecodeSymbolsInto = (%d, %d, %v), want (%d, %d, nil)", csyms, cbits, err, syms, bits)
+			}
+			// Parallel fan-out over the driver pool, at several span
+			// widths including degenerate ones.
+			for _, spans := range []int{0, 1, 3, 64, plan.Blocks() + 7} {
+				psyms, pbits, err := c.DecodeSymbolsParallel(scheme, spans)
+				if err != nil {
+					t.Fatalf("spans=%d: %v", spans, err)
+				}
+				if psyms != syms || pbits != bits {
+					t.Fatalf("spans=%d: parallel = (%d, %d), sequential (%d, %d)",
+						spans, psyms, pbits, syms, bits)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodePlanMemoized: the plan artifact builds once per
+// (program, scheme) through the driver store; a second request is a
+// cache hit, and a second compilation of the same benchmark shares it.
+func TestDecodePlanMemoized(t *testing.T) {
+	d := NewDriver(2)
+	c, err := d.CompileBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.DecodePlan("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := d.Stats().Counter("artifact.hit").Value()
+	p2, err := c.DecodePlan("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Error("second DecodePlan returned a different plan")
+	}
+	if got := d.Stats().Counter("artifact.hit").Value(); got <= hits {
+		t.Errorf("second DecodePlan request not counted as a hit (%d -> %d)", hits, got)
+	}
+	// A fresh Compiled for the same benchmark resolves to the same
+	// stored artifact (content-addressed, not per-compilation).
+	c2, err := d.CompileBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := c2.DecodePlan("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Error("same-content compilation rebuilt the decode plan")
+	}
+	if n := d.Stats().Snapshot().Stages["decplan.full"].Count; n != 1 {
+		t.Errorf("decplan.full built %d times, want 1", n)
+	}
+}
+
+// TestDecodePlanAbsent: schemes without a Huffman batch face plan to
+// nil, and the parallel entry point reports them.
+func TestDecodePlanAbsent(t *testing.T) {
+	c, err := CompileBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"base", "tailored"} {
+		p, err := c.DecodePlan(scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if p != nil {
+			t.Errorf("%s: unexpected decode plan", scheme)
+		}
+		if _, _, err := c.DecodeSymbolsParallel(scheme, 0); err == nil ||
+			!strings.Contains(err.Error(), "no batch decode face") {
+			t.Errorf("%s: DecodeSymbolsParallel error = %v", scheme, err)
+		}
+	}
+}
+
+// TestDecodePlanStandalone: plans work without a driver (sequential
+// fallback for the parallel entry point included).
+func TestDecodePlanStandalone(t *testing.T) {
+	c, err := CompileBenchmark("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.DecodePlan("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("no plan for stream scheme")
+	}
+	syms, bits, err := plan.DecodeSymbols(nil)
+	if err != nil || syms == 0 || bits == 0 {
+		t.Fatalf("DecodeSymbols = (%d, %d, %v)", syms, bits, err)
+	}
+	psyms, pbits, err := c.DecodeSymbolsParallel("stream", 8)
+	if err != nil || psyms != syms || pbits != bits {
+		t.Fatalf("driverless parallel = (%d, %d, %v), want (%d, %d, nil)", psyms, pbits, err, syms, bits)
+	}
+}

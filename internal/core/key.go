@@ -84,6 +84,14 @@ func (c *Compiled) imageKey(scheme string) string {
 	return "img/" + ArtifactCacheVersion + "/" + c.contentKey() + "/" + c.Name + "/" + schemeKey(scheme)
 }
 
+// decodePlanKey addresses a (program, scheme) decode-plan artifact: the
+// prebuilt lane-kernel decode tables plus the image's block geometry.
+// Like imageKey it folds in the program name — the geometry comes from
+// the laid-out image, which embeds it.
+func (c *Compiled) decodePlanKey(scheme string) string {
+	return "dec/" + ArtifactCacheVersion + "/" + c.contentKey() + "/" + c.Name + "/" + schemeKey(scheme)
+}
+
 // traceKey addresses a stochastic trace artifact.
 func (c *Compiled) traceKey(seed int64, maxBlocks, phases int) string {
 	return fmt.Sprintf("trace/%s/%s/%d/%d/%d",

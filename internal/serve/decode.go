@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/compress"
+	"repro/internal/core"
 	"repro/internal/image"
 	"repro/internal/isa"
 )
@@ -25,14 +26,31 @@ type DecodeSummary struct {
 
 // DecodeImage decodes every block of the image through the encoder and
 // digests the result. For schemes exposing a Huffman symbol stream the
-// fast table-driven decoder first scans the whole image through the
-// allocation-free hot loop (scanBlocks) — the same entropy-decode path
-// a hardware-model fetch would take — before the operations are
-// materialized for hashing.
+// whole image's symbol streams are scanned first — the same
+// entropy-decode shape a hardware-model fetch would take — before the
+// operations are materialized for hashing. It is DecodeImagePlanned
+// without a plan: the scan runs per-symbol through scanBlocks.
 func DecodeImage(im *image.Image, enc compress.Encoder) (DecodeSummary, error) {
+	return DecodeImagePlanned(im, enc, nil)
+}
+
+// DecodeImagePlanned is DecodeImage with a prebuilt batch-decode plan.
+// A non-nil plan routes the symbol scan through the lane-parallel
+// kernel's batch face — decode tables and block geometry come prebuilt
+// from the artifact cache, so the request does no table work. A nil
+// plan (schemes without a batch face, or callers without a driver)
+// falls back to the per-symbol scanBlocks loop. Either path consumes
+// the identical symbol streams and reports identical counts.
+func DecodeImagePlanned(im *image.Image, enc compress.Encoder, plan *core.DecodePlan) (DecodeSummary, error) {
 	var sum DecodeSummary
 	r := bitio.NewReader(im.Data)
-	if sd, ok := enc.(compress.SymbolDecoder); ok {
+	if plan != nil {
+		syms, _, err := plan.DecodeSymbols(im.Data)
+		if err != nil {
+			return sum, fmt.Errorf("batch symbol scan %s/%s: %w", im.Name, im.Scheme, err)
+		}
+		sum.Symbols = syms
+	} else if sd, ok := enc.(compress.SymbolDecoder); ok {
 		syms, err := scanBlocks(sd, r, im.Blocks)
 		if err != nil {
 			return sum, fmt.Errorf("symbol scan %s/%s: %w", im.Name, im.Scheme, err)

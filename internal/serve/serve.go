@@ -380,7 +380,14 @@ func (s *Server) handleDecode(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("encode %s/%s: %w", req.Benchmark, req.Scheme, err)
 	}
-	sum, err := DecodeImage(im, enc)
+	// The symbol scan rides the batch kernel: the plan (decode tables +
+	// block geometry) is memoized in the artifact store, so repeated
+	// decode requests for one image rebuild nothing.
+	plan, err := c.DecodePlan(req.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("decode plan %s/%s: %w", req.Benchmark, req.Scheme, err)
+	}
+	sum, err := DecodeImagePlanned(im, enc, plan)
 	if err != nil {
 		return nil, fmt.Errorf("decode %s/%s: %w", req.Benchmark, req.Scheme, err)
 	}
