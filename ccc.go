@@ -260,6 +260,21 @@ var StochasticStreamOps = emu.StochasticStreamOps
 // sequential replay of the same stream.
 var RunSharded = cache.RunSharded
 
+// RunShardedSpec replays a streamed trace through checkpointed
+// speculative sample windows: workers replay on private pipeline forks
+// from predicted warm states, verify against the true seam state, and
+// retry on mispredictions — bit-identical to the sequential replay, in
+// parallel when the workload's seam states recur.
+var RunShardedSpec = cache.RunShardedSpec
+
+// SpecStats reports the speculative scheduler's window/hit/retry counts.
+type SpecStats = cache.SpecStats
+
+// SteadyStream streams a deterministic periodic workload (blocks 0..n-1
+// in order, lap after lap) — the recurring-state regime the speculative
+// scheduler parallelizes.
+var SteadyStream = emu.SteadyStream
+
 // MemSnapshot forces a GC and returns the current heap usage — the
 // instrument behind the streaming pipeline's bounded-memory assertions.
 var MemSnapshot = emu.MemSnapshot

@@ -121,6 +121,8 @@ func run(args []string, out io.Writer) error {
 		"minimum streaming throughput in Mops/s; non-zero exit below it (-stream, 0 = no check)")
 	streamMaxMB := fs.Int64("streammaxmb", 0,
 		"maximum HeapSys growth in MB over the streamed replays; non-zero exit above it (-stream, 0 = no check)")
+	streamSpecMin := fs.Float64("streamspecmin", 0,
+		"minimum speculative-over-serialized speedup on the steady workload; non-zero exit below it (-stream, 0 = no check)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,14 +133,15 @@ func run(args []string, out io.Writer) error {
 			bench = strings.Split(*benchCSV, ",")[0]
 		}
 		return runStreamBench(streamRun{
-			bench:     bench,
-			pairing:   *streamPairing,
-			ops:       *streamOps,
-			shards:    *simShards,
-			check:     *check,
-			jsonPath:  *jsonPath,
-			minMops:   *streamMin,
-			maxHeapMB: *streamMaxMB,
+			bench:      bench,
+			pairing:    *streamPairing,
+			ops:        *streamOps,
+			shards:     *simShards,
+			check:      *check,
+			jsonPath:   *jsonPath,
+			minMops:    *streamMin,
+			maxHeapMB:  *streamMaxMB,
+			minSpeedup: *streamSpecMin,
 		}, cliio.New(out))
 	}
 

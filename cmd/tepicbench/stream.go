@@ -5,8 +5,13 @@ package main
 // chunks straight into the window-sharded simulator — never
 // materialized — and the run fails unless the sharded counters are
 // bit-identical to a sequential incremental replay of the same seed.
-// -streammin gates the throughput (Mops/s) and -streammaxmb the HeapSys
-// growth, mirroring -decodemin; -json writes BENCH_stream.json.
+// A second phase replays a steady periodic workload through both window
+// schedulers — token-serialized and checkpointed speculative — gating
+// their bit-identity and measuring the speedup of breaking the replay
+// serialization (plus the scheduler's retry rate). -streammin gates the
+// throughput (Mops/s), -streammaxmb the HeapSys growth and
+// -streamspecmin the speculative speedup; -json writes
+// BENCH_stream.json.
 
 import (
 	"encoding/json"
@@ -23,14 +28,15 @@ import (
 
 // streamRun parameterizes one -stream invocation.
 type streamRun struct {
-	bench     string
-	pairing   string
-	ops       int64
-	shards    int
-	check     bool
-	jsonPath  string
-	minMops   float64
-	maxHeapMB int64
+	bench      string
+	pairing    string
+	ops        int64
+	shards     int
+	check      bool
+	jsonPath   string
+	minMops    float64
+	maxHeapMB  int64
+	minSpeedup float64 // speculative-over-serialized gate (0 = no check)
 }
 
 // streamReport is the machine-readable -stream summary (BENCH_stream.json).
@@ -55,6 +61,23 @@ type streamReport struct {
 	SeqIdentical  bool `json:"seq_identical"`
 	OracleChecked bool `json:"oracle_checked"`
 	OracleOK      bool `json:"oracle_ok"`
+	// The speculative phase replays a steady periodic workload of the
+	// same operation horizon twice — token-serialized and checkpointed
+	// speculative — and records the speedup of breaking the replay
+	// serialization, the scheduler's window accounting, and one more
+	// always-on differential gate (speculative == serialized).
+	SpecWindows     int64   `json:"spec_windows"`
+	SpecHits        int64   `json:"spec_hits"`
+	SpecRetries     int64   `json:"spec_retries"`
+	SpecRetryRate   float64 `json:"spec_retry_rate"`
+	TokenMopsPerSec float64 `json:"token_mops_per_sec"`
+	SpecMopsPerSec  float64 `json:"spec_mops_per_sec"`
+	SpecSpeedup     float64 `json:"spec_speedup"`
+	SpecIdentical   bool    `json:"spec_identical"`
+	// Cores records GOMAXPROCS at measurement time: the speedup is only
+	// meaningful (and only gated) when the replay could actually run on
+	// more than one core.
+	Cores int `json:"cores"`
 }
 
 // runStreamBench executes the -stream benchmark and its gates.
@@ -152,23 +175,81 @@ func runStreamBench(sr streamRun, w *cliio.Writer) error {
 		w.Printf("  sharded:    %+v\n  sequential: %+v\n", res, seq)
 	}
 
+	// Speculative phase: the steady periodic workload is the regime
+	// whose window-seam states recur, so the checkpointed speculative
+	// scheduler can actually break the replay serialization. Replay the
+	// same horizon through both schedulers and compare.
+	mkSteady := func() (ccc.Stream, error) { return ccc.SteadyStream(c.Prog, sr.ops, 0) }
+	tokenSim, err := c.SimFor(p, cfg)
+	if err != nil {
+		return err
+	}
+	stT, err := mkSteady()
+	if err != nil {
+		return err
+	}
+	startT := time.Now()
+	tokenRes, err := ccc.RunSharded(tokenSim, stT, shards)
+	if err != nil {
+		return err
+	}
+	tokenWall := time.Since(startT)
+
+	specSim, err := c.SimFor(p, cfg)
+	if err != nil {
+		return err
+	}
+	stS, err := mkSteady()
+	if err != nil {
+		return err
+	}
+	startS := time.Now()
+	specRes, stats, err := ccc.RunShardedSpec(specSim, stS, shards)
+	if err != nil {
+		return err
+	}
+	specWall := time.Since(startS)
+
+	specIdentical := specRes == tokenRes
+	tokenMops := float64(tokenRes.Ops) / 1e6 / tokenWall.Seconds()
+	specMops := float64(specRes.Ops) / 1e6 / specWall.Seconds()
+	speedup := specMops / tokenMops
+	w.Printf("  speculative (steady workload, %d windows): %d verified, %d retried (%.2f%% retry rate)\n",
+		stats.Windows, stats.Hits, stats.Retries, 100*stats.RetryRate())
+	w.Printf("  speculative speedup %.2fx over serialized replay (%.1f vs %.1f Mops/s)\n",
+		speedup, specMops, tokenMops)
+	if specIdentical {
+		w.Printf("  speculative == serialized: every counter identical\n")
+	} else {
+		w.Printf("  speculative: %+v\n  serialized:  %+v\n", specRes, tokenRes)
+	}
+
 	if sr.jsonPath != "" {
 		rep := streamReport{
-			Tool:          "tepicbench",
-			Mode:          "stream",
-			Benchmark:     sr.bench,
-			Pairing:       p.Name,
-			Shards:        shards,
-			Ops:           res.Ops,
-			Events:        res.BlockFetches,
-			Cycles:        res.Cycles,
-			WallMS:        float64(wall) / float64(time.Millisecond),
-			MopsPerSec:    mops,
-			HeapSysMB:     int64(after.HeapSys) >> 20,
-			HeapGrowthMB:  growthMB,
-			SeqIdentical:  seqIdentical,
-			OracleChecked: sr.check,
-			OracleOK:      oracleOK,
+			Tool:            "tepicbench",
+			Mode:            "stream",
+			Benchmark:       sr.bench,
+			Pairing:         p.Name,
+			Shards:          shards,
+			Ops:             res.Ops,
+			Events:          res.BlockFetches,
+			Cycles:          res.Cycles,
+			WallMS:          float64(wall) / float64(time.Millisecond),
+			MopsPerSec:      mops,
+			HeapSysMB:       int64(after.HeapSys) >> 20,
+			HeapGrowthMB:    growthMB,
+			SeqIdentical:    seqIdentical,
+			OracleChecked:   sr.check,
+			OracleOK:        oracleOK,
+			SpecWindows:     stats.Windows,
+			SpecHits:        stats.Hits,
+			SpecRetries:     stats.Retries,
+			SpecRetryRate:   stats.RetryRate(),
+			TokenMopsPerSec: tokenMops,
+			SpecMopsPerSec:  specMops,
+			SpecSpeedup:     speedup,
+			SpecIdentical:   specIdentical,
+			Cores:           runtime.GOMAXPROCS(0),
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -185,8 +266,25 @@ func runStreamBench(sr streamRun, w *cliio.Writer) error {
 			fmt.Errorf("window-sharded result diverges from sequential incremental replay"),
 			w.Err())
 	}
+	if !specIdentical {
+		return errors.Join(
+			fmt.Errorf("speculative result diverges from serialized replay on the steady workload"),
+			w.Err())
+	}
 	if !oracleOK {
 		return errors.Join(fmt.Errorf("streaming oracle found mismatches"), w.Err())
+	}
+	if sr.minSpeedup > 0 && speedup < sr.minSpeedup {
+		// The ratchet measures parallel replay against serialized replay;
+		// on a single-core host the speculative scheduler cannot win by
+		// construction, so the gate only binds when cores are available.
+		if cores := runtime.GOMAXPROCS(0); cores < 2 {
+			w.Printf("  speculative speedup ratchet skipped: %d core(s) available\n", cores)
+		} else {
+			return errors.Join(
+				fmt.Errorf("speculative speedup %.2fx below the %.2fx ratchet", speedup, sr.minSpeedup),
+				w.Err())
+		}
 	}
 	if sr.minMops > 0 && mops < sr.minMops {
 		return errors.Join(

@@ -20,11 +20,15 @@
 //	tepicsim -bench gcc -org compressed -sweep -json
 //	tepicsim -bench compress -org compressed -stream -ops 100000000 -simshards 4
 //	tepicsim -bench go -org base -stream -check
+//	tepicsim -bench compress -org compressed -stream -spec -check
 //
 // With -stream the trace is never materialized: events flow out of the
 // stochastic walker in bounded chunks straight into the window-sharded
 // simulator (-simshards workers), so the horizon (-ops) can exceed what
-// would fit in memory. -check in stream mode replays the same seed
+// would fit in memory. -spec switches the windows from token-serialized
+// replay to checkpointed speculative replay on private pipeline forks
+// (verified against the true seam state, retried on mismatch) and
+// reports the retry rate. -check in stream mode replays the same seed
 // through the sequential incremental path and the analytical oracle and
 // requires all three bit-identical.
 package main
@@ -71,6 +75,7 @@ func run(args []string, out io.Writer) error {
 	stream := fs.Bool("stream", false, "stream the trace through the window-sharded simulator instead of materializing it")
 	opsBound := fs.Int64("ops", 0, "with -stream: dynamic-operation horizon (0 = use -blocks)")
 	simShards := fs.Int("simshards", 0, "with -stream: window-shard worker count (0 = GOMAXPROCS)")
+	spec := fs.Bool("spec", false, "with -stream: replay windows speculatively from checkpointed warm states instead of serializing on the handoff token")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +90,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *simShards != 0 && !*stream {
 		return fmt.Errorf("-simshards requires -stream")
+	}
+	if *spec && !*stream {
+		return fmt.Errorf("-spec requires -stream")
 	}
 
 	if *sweep {
@@ -115,7 +123,7 @@ func run(args []string, out io.Writer) error {
 	cfg.PerfectPrediction = *perfect
 
 	if *stream {
-		return runStream(w, c, p, cfg, *blocks, *opsBound, *simShards, *check, *bench)
+		return runStream(w, c, p, cfg, *blocks, *opsBound, *simShards, *spec, *check, *bench)
 	}
 
 	tr, err := c.Trace(*blocks)
@@ -176,12 +184,14 @@ func printMetrics(w *cliio.Writer, bench string, p ccc.Pairing, cfg ccc.Config, 
 }
 
 // runStream is the -stream path: events flow out of the stochastic
-// walker in bounded chunks into the window-sharded simulator, so the
-// horizon never materializes. With check it replays the identical seed
-// through the sequential incremental path and the analytical oracle and
-// requires every counter bit-identical across all three.
+// walker in bounded chunks into the window-sharded simulator — the
+// token-serialized replay by default, the checkpointed speculative
+// scheduler with spec — so the horizon never materializes. With check
+// it replays the identical seed through the sequential incremental path
+// and the analytical oracle and requires every counter bit-identical
+// across all three.
 func runStream(w *cliio.Writer, c *ccc.Compiled, p ccc.Pairing, cfg ccc.Config,
-	blocks int, ops int64, shards int, check bool, bench string) error {
+	blocks int, ops int64, shards int, spec, check bool, bench string) error {
 	mkStream := func() (ccc.Stream, error) {
 		if ops > 0 {
 			return c.StreamTraceOps(ops, 0)
@@ -199,7 +209,13 @@ func runStream(w *cliio.Writer, c *ccc.Compiled, p ccc.Pairing, cfg ccc.Config,
 	if err != nil {
 		return err
 	}
-	r, err := ccc.RunSharded(sim, st, shards)
+	var r ccc.Result
+	var stats ccc.SpecStats
+	if spec {
+		r, stats, err = ccc.RunShardedSpec(sim, st, shards)
+	} else {
+		r, err = ccc.RunSharded(sim, st, shards)
+	}
 	if err != nil {
 		return err
 	}
@@ -210,6 +226,10 @@ func runStream(w *cliio.Writer, c *ccc.Compiled, p ccc.Pairing, cfg ccc.Config,
 	mops := float64(r.Ops) / 1e6 / elapsed.Seconds()
 	w.Printf("streamed    %d shard(s), %.1f Mops/s, heap sys %d MB (was %d MB)\n",
 		effectiveShards(shards), mops, after.HeapSys>>20, before.HeapSys>>20)
+	if spec {
+		w.Printf("speculative %d windows, %d verified, %d retried (%.2f%% retry rate)\n",
+			stats.Windows, stats.Hits, stats.Retries, 100*stats.RetryRate())
+	}
 
 	if !check {
 		return w.Err()

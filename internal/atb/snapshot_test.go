@@ -1,0 +1,96 @@
+package atb
+
+import "testing"
+
+// trainWalk drives an ATB through a deterministic mixed workload so its
+// target registers, residency order and predictor counters are all
+// non-trivial.
+func trainWalk(a *ATB, n, steps int) {
+	for i := 0; i < steps; i++ {
+		b := (i * 7) % n
+		a.Touch(b)
+		a.Update(b, i%3 != 0, (b+i)%n)
+	}
+}
+
+// TestSnapshotRestoreRoundTrip checks the checkpoint face for every
+// predictor kind: a restored ATB predicts identically to the original
+// on every block, snapshots compare equal, and restoring does not
+// alias the snapshot (mutating the restored instance leaves the
+// snapshot and its siblings untouched).
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	const n = 64
+	infos := make([]BlockInfo, n)
+	for i := range infos {
+		infos[i] = BlockInfo{FallTarget: (i + 1) % n}
+	}
+	preds := map[string]func(t *testing.T) DirectionPredictor{
+		"bimodal": func(*testing.T) DirectionPredictor { return NewBimodal(n) },
+		"gshare": func(t *testing.T) DirectionPredictor {
+			g, err := NewGShare(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"pas": func(t *testing.T) DirectionPredictor {
+			p, err := NewPAs(n, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+	}
+	for name, mk := range preds {
+		a := NewWithPredictor(infos, 16, mk(t))
+		trainWalk(a, n, 500)
+		snap := a.Snapshot()
+
+		b := NewWithPredictor(infos, 16, mk(t))
+		b.Restore(snap)
+		if !b.Snapshot().Equal(snap) {
+			t.Errorf("%s: snapshot of restored ATB differs from source snapshot", name)
+		}
+		for blk := 0; blk < n; blk++ {
+			an, at := a.Predict(blk)
+			bn, bt := b.Predict(blk)
+			if an != bn || at != bt {
+				t.Errorf("%s: block %d predicts (%d,%v) original vs (%d,%v) restored",
+					name, blk, an, at, bn, bt)
+			}
+		}
+
+		// Diverge the restored copy; the snapshot must be unaffected.
+		trainWalk(b, n, 100)
+		if b.Snapshot().Equal(snap) {
+			t.Errorf("%s: diverged ATB still equals the old snapshot", name)
+		}
+		c := NewWithPredictor(infos, 16, mk(t))
+		c.Restore(snap)
+		if !c.Snapshot().Equal(snap) {
+			t.Errorf("%s: snapshot was mutated by restored instance's traffic", name)
+		}
+	}
+}
+
+// TestSnapshotExcludesAccounting checks the state face deliberately
+// ignores the Hits/Misses counters: two behaviorally identical ATBs
+// with different traffic histories snapshot equal, and Restore leaves
+// the target's counters alone.
+func TestSnapshotExcludesAccounting(t *testing.T) {
+	infos := InfosFromFalls([]int{1, 2, 0})
+	a := New(infos, 2)
+	b := New(infos, 2)
+	for i := 0; i < 10; i++ {
+		a.Touch(0) // pure re-touches: extra hits, same behavioral state
+	}
+	b.Touch(0)
+	if !a.Snapshot().Equal(b.Snapshot()) {
+		t.Error("accounting traffic leaked into the behavioral snapshot")
+	}
+	hits, misses := b.Stats()
+	b.Restore(a.Snapshot())
+	if h2, m2 := b.Stats(); h2 != hits || m2 != misses {
+		t.Errorf("Restore changed accounting counters: (%d,%d) -> (%d,%d)", hits, misses, h2, m2)
+	}
+}

@@ -248,6 +248,14 @@ func (s *Sim) Run(tr *trace.Trace) (Result, error) {
 // chunk working set regardless of trace length. Operation totals
 // accumulate from the chunks' Ops/MOPs attribution. The result is
 // bit-identical to Run over the materialized trace.
+//
+// On an error the returned Result carries exactly what was replayed:
+// the merged counters (including bus traffic) of every chunk before the
+// failing one, plus — for a mid-chunk step failure — the failing
+// chunk's per-event counters and schedule-attributed Ops/MOPs up to and
+// including the failing event (see replayWindow). ATBHitRate is only
+// derived on success. RunSharded and RunShardedSpec return the same
+// partial counters for the same failure, bit for bit.
 func (s *Sim) RunStream(st trace.Stream) (Result, error) {
 	res := Result{
 		Benchmark: st.Name(),
@@ -269,21 +277,69 @@ func (s *Sim) RunStream(st trace.Stream) (Result, error) {
 			st.Close()
 			return res, fmt.Errorf("%w: %v", ErrMalformedTrace, verr)
 		}
-		res.Ops += c.Ops
-		res.MOPs += c.MOPs
-		for _, ev := range c.Events {
-			var serr error
-			if predicted, serr = s.step(ev, predicted, &res); serr != nil {
-				st.Recycle(c)
-				st.Close()
-				return res, serr
-			}
-		}
+		wres, _, _, pred, serr := s.replayWindow(c, predicted)
+		res.Merge(wres)
+		predicted = pred
 		st.Recycle(c)
+		if serr != nil {
+			st.Close()
+			return res, serr
+		}
 	}
-	res.BusBeats, res.BitFlips, res.BytesFetched = s.bus.Counts()
 	res.ATBHitRate = s.atb.HitRate()
 	return res, nil
+}
+
+// replayWindow replays one validated chunk's events from the seam
+// prediction pred and returns the window's counter *deltas*: bus
+// traffic and ATB hits/misses are measured as before/after differences
+// against this Sim's own stages, so the result is a pure window
+// contribution whether the stages are shared (token-serialized replay)
+// or private (speculative replay). On success the chunk's
+// producer-attributed Ops/MOPs are credited; on a step failure only the
+// schedule-attributed ops of the events actually replayed are —
+// including the failing event, whose fetch was fully accounted before
+// its ATB training errored. endPred carries the next-block prediction
+// across the trailing seam.
+func (s *Sim) replayWindow(c *trace.Chunk, pred int) (res Result, hits, misses int64, endPred int, err error) {
+	beats0, flips0, bytes0 := s.bus.Counts()
+	hits0, misses0 := s.atb.Stats()
+	endPred = pred
+	failed := -1
+	for i, ev := range c.Events {
+		if endPred, err = s.step(ev, endPred, &res); err != nil {
+			failed = i
+			break
+		}
+	}
+	if failed < 0 {
+		res.Ops, res.MOPs = c.Ops, c.MOPs
+	} else {
+		// Partial attribution: the producer's per-chunk Ops/MOPs never
+		// commit for a failed chunk; the replayed prefix is credited from
+		// the schedule instead, exactly like the dynamic counts the
+		// producers attribute per event.
+		for _, ev := range c.Events[:failed+1] {
+			b := s.sp.Blocks[ev.Block]
+			res.Ops += int64(b.NumOps())
+			res.MOPs += int64(b.NumMOPs())
+		}
+	}
+	beats1, flips1, bytes1 := s.bus.Counts()
+	res.BusBeats = beats1 - beats0
+	res.BitFlips = flips1 - flips0
+	res.BytesFetched = bytes1 - bytes0
+	hits1, misses1 := s.atb.Stats()
+	return res, hits1 - hits0, misses1 - misses0, endPred, err
+}
+
+// fork builds a fresh simulator with the same organization, geometry
+// and images but brand-new (cold) stage instances — the private
+// pipeline a speculative window replays on. The constructors are
+// deterministic, so every fork starts in the same state a cold-start
+// snapshot of the original captures.
+func (s *Sim) fork() (*Sim, error) {
+	return NewOrgSim(s.org, s.cfg, s.im, s.rom, s.sp)
 }
 
 // badUpdate wraps an ATB training failure; kept out of step so the

@@ -1,0 +1,326 @@
+package cache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/atb"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// simState is the composite behavioral checkpoint of the whole fetch
+// pipeline at a window seam: every stage's Snapshot plus the next-block
+// prediction carried across the seam. Two equal simStates replay any
+// future event sequence identically — that is the property the
+// speculative scheduler (RunShardedSpec) relies on when it commits a
+// window replayed from a *predicted* start state. Cumulative accounting
+// counters are not part of the state (see the stage comments); they are
+// merged as per-window deltas instead.
+type simState struct {
+	Pred  int // next-block prediction at the seam (-2 = free cold start)
+	Cache CacheState
+	ATB   atb.State
+	L0    L0State
+	HasL0 bool
+	Bus   power.State
+}
+
+// snapshotState captures the pipeline's behavioral state plus the seam
+// prediction. The snapshot aliases nothing and may seed many restores.
+func (s *Sim) snapshotState(pred int) *simState {
+	st := &simState{
+		Pred:  pred,
+		Cache: s.cache.Snapshot(),
+		ATB:   s.atb.Snapshot(),
+		Bus:   s.bus.Snapshot(),
+	}
+	if s.buf != nil {
+		st.HasL0 = true
+		st.L0 = s.buf.Snapshot()
+	}
+	return st
+}
+
+// restoreState overwrites the pipeline's behavioral state with a
+// checkpoint taken from an identically configured Sim. Accounting
+// counters are untouched, so window deltas keep working across restores.
+func (s *Sim) restoreState(st *simState) {
+	s.cache.Restore(st.Cache)
+	s.atb.Restore(st.ATB)
+	s.bus.Restore(st.Bus)
+	if s.buf != nil && st.HasL0 {
+		s.buf.Restore(st.L0)
+	}
+}
+
+// equal reports whether two checkpoints are bit-identical. A pointer
+// match short-circuits: the common case is verifying against the very
+// checkpoint the speculation started from.
+func (st *simState) equal(o *simState) bool {
+	if st == o {
+		return true
+	}
+	return st.Pred == o.Pred &&
+		st.HasL0 == o.HasL0 &&
+		st.Cache.Equal(o.Cache) &&
+		st.ATB.Equal(o.ATB) &&
+		st.L0.Equal(o.L0) &&
+		st.Bus.Equal(o.Bus)
+}
+
+// SpecStats reports how the speculative scheduler's predictions fared.
+type SpecStats struct {
+	Windows int64 // sample windows replayed to completion
+	Hits    int64 // windows whose assumed start state verified exactly
+	Retries int64 // windows replayed again from the true seam state
+}
+
+// RetryRate returns the fraction of windows whose speculative replay
+// had to be discarded and redone — the cost of a wrong warm-state
+// prediction. 0 means every window committed its speculative result.
+func (s SpecStats) RetryRate() float64 {
+	if s.Windows == 0 {
+		return 0
+	}
+	return float64(s.Retries) / float64(s.Windows)
+}
+
+// specCheckpoint publishes the most recent committed window end-state:
+// the scheduler's warm-state predictor. A window about to speculate
+// grabs the latest checkpoint as its assumed start; on periodic
+// workloads the seam states repeat, the assumption verifies, and the
+// precomputed result commits without ever replaying under the token.
+type specCheckpoint struct {
+	mu    sync.Mutex
+	seq   int // window sequence that produced state; -1 = cold start
+	state *simState
+}
+
+func (cp *specCheckpoint) latest() *simState {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.state
+}
+
+func (cp *specCheckpoint) publish(seq int, st *simState) {
+	cp.mu.Lock()
+	if seq > cp.seq {
+		cp.seq, cp.state = seq, st
+	}
+	cp.mu.Unlock()
+}
+
+// specToken is the ordering token of the speculative scheduler. Unlike
+// RunSharded's handoff it carries the predecessor's *checkpoint* rather
+// than permission to touch shared stages — every worker owns a private
+// forked pipeline, so the token is only needed to verify (or repair)
+// the speculative start state and to keep error semantics in stream
+// order.
+type specToken struct {
+	state  *simState // true pipeline state at this window's start seam
+	failed bool      // a prior window failed; later windows skip
+}
+
+// specWindow is one sample window of the speculative run.
+type specWindow struct {
+	seq   int
+	chunk *trace.Chunk
+	in    chan specToken
+	out   chan specToken
+}
+
+// specResult is one window's contribution to the merged result.
+type specResult struct {
+	seq          int
+	res          Result
+	hits, misses int64 // ATB touch deltas, for the merged hit rate
+	err          error
+	skipped      bool
+	hit, retried bool
+}
+
+// RunShardedSpec replays a chunked trace stream as checkpointed
+// speculative sample windows: every worker owns a private fork of the
+// fetch pipeline, restores it from a *predicted* warm state (the latest
+// committed predecessor checkpoint, or the cold start), and replays its
+// window before the inbound ordering token arrives. When the token
+// shows the true seam state matches the assumption, the precomputed
+// result commits as-is; otherwise the window replays once more from the
+// true state. Either way the committed end state is snapshotted,
+// published as the next checkpoint, and passed on — so the merged
+// result is bit-identical to Sim.Run / RunStream / RunSharded over the
+// same events, by verification rather than by serialization.
+//
+// On workloads whose seam states recur (steady phases, periodic loops)
+// nearly every window verifies and the replay itself runs in parallel,
+// breaking RunSharded's serialization of the replay loop. On workloads
+// whose state never repeats every window retries — the scheduler then
+// degrades to RunSharded plus a constant speculation overhead, and the
+// result is still exact. SpecStats reports which regime a run was in.
+//
+// Speculative errors never commit: a window whose speculative replay
+// fails is re-run from the true seam state, so errors — and the partial
+// counters merged with them, per replayWindow — are exactly those of
+// the sequential replay. The first failing window in stream order
+// decides the error, as with RunSharded. shards <= 0 selects
+// GOMAXPROCS. The Sim is single-use; it provides the cold-start
+// checkpoint and the labels, while replay runs on forks.
+//
+//tepic:pool
+func RunShardedSpec(s *Sim, st trace.Stream, shards int) (Result, SpecStats, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	numBlocks := len(s.im.Blocks)
+
+	sims := make([]*Sim, shards)
+	for i := range sims {
+		f, err := s.fork()
+		if err != nil {
+			return Result{}, SpecStats{}, fmt.Errorf("fork speculative pipeline: %w", err)
+		}
+		sims[i] = f
+	}
+
+	cold := s.snapshotState(-2)
+	cp := &specCheckpoint{seq: -1, state: cold}
+
+	work := make(chan *specWindow, shards)
+	results := make(chan specResult, shards)
+
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(sim *Sim) {
+			defer wg.Done()
+			for w := range work {
+				wr := specResult{seq: w.seq}
+				// Validation and the speculative replay both run before
+				// taking the token — this is the work that overlaps.
+				verr := trace.ValidateChunk(w.chunk, numBlocks)
+				var (
+					end     *simState
+					assumed *simState
+					specErr error
+				)
+				if verr == nil {
+					assumed = cp.latest()
+					sim.restoreState(assumed)
+					var endPred int
+					wr.res, wr.hits, wr.misses, endPred, specErr = sim.replayWindow(w.chunk, assumed.Pred)
+					if specErr == nil {
+						end = sim.snapshotState(endPred)
+					}
+				}
+				h := <-w.in
+				switch {
+				case h.failed:
+					wr.skipped = true
+				case verr != nil:
+					wr.err = fmt.Errorf("%w: %v", ErrMalformedTrace, verr)
+					h.failed = true
+				default:
+					if specErr == nil && h.state.equal(assumed) {
+						// The warm-state prediction was exact: commit the
+						// precomputed result without replaying again.
+						wr.hit = true
+					} else {
+						// Mispredicted seam state (or a speculative error,
+						// which never commits): replay once more from the
+						// true state the predecessor handed over.
+						wr.retried = true
+						sim.restoreState(h.state)
+						var endPred int
+						wr.res, wr.hits, wr.misses, endPred, wr.err = sim.replayWindow(w.chunk, h.state.Pred)
+						if wr.err == nil {
+							end = sim.snapshotState(endPred)
+						}
+					}
+					if wr.err != nil {
+						h.failed = true
+					} else {
+						h.state = end
+						cp.publish(w.seq, end)
+					}
+				}
+				// The chunk must survive until after a possible retry.
+				st.Recycle(w.chunk)
+				w.out <- h
+				results <- wr
+			}
+		}(sims[i])
+	}
+
+	// The dispatcher chains the ordering tokens exactly like RunSharded,
+	// seeding the chain with the cold-start checkpoint.
+	streamErr := make(chan error, 1)
+	go func() {
+		in := make(chan specToken, 1)
+		in <- specToken{state: cold}
+		seq := 0
+		for {
+			c, err := st.Next()
+			if err != nil {
+				streamErr <- err
+				break
+			}
+			if c == nil {
+				streamErr <- nil
+				break
+			}
+			out := make(chan specToken, 1)
+			work <- &specWindow{seq: seq, chunk: c, in: in, out: out}
+			in = out
+			seq++
+		}
+		close(work)
+	}()
+
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	res := Result{
+		Benchmark: st.Name(),
+		Scheme:    s.im.Scheme,
+		Org:       s.org.String(),
+	}
+	var stats SpecStats
+	var hits, misses int64
+	var firstErr error
+	firstSeq := -1
+	for wr := range results {
+		if wr.err != nil && (firstSeq < 0 || wr.seq < firstSeq) {
+			firstErr, firstSeq = wr.err, wr.seq
+		}
+		if wr.skipped {
+			continue
+		}
+		res.Merge(wr.res)
+		hits += wr.hits
+		misses += wr.misses
+		if wr.hit || wr.retried {
+			stats.Windows++
+			if wr.hit {
+				stats.Hits++
+			} else {
+				stats.Retries++
+			}
+		}
+	}
+	if err := <-streamErr; err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return res, stats, firstErr
+	}
+	// The shared Sim never replayed anything; the merged ATB deltas from
+	// the forks carry the hit rate.
+	if total := hits + misses; total > 0 {
+		res.ATBHitRate = float64(hits) / float64(total)
+	}
+	return res, stats, nil
+}

@@ -1,0 +1,456 @@
+package cache
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestRunShardedSpecMatchesRun is the speculative equivalence matrix:
+// for every organization, shard count and chunk size, the merged
+// speculative result must be bit-identical to the sequential replay —
+// whatever mix of verified hits and retries the scheduling produced.
+// With one shard the worker always speculates from the checkpoint its
+// own previous window just committed, so every window must verify.
+func TestRunShardedSpecMatchesRun(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 30000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, org := range []Org{OrgBase, OrgTailored, OrgCompressed} {
+		want := runOrg(t, org, sp, ims[org], tr)
+		for _, shards := range []int{1, 2, 4} {
+			for _, cs := range []int{1, 997, 8192} {
+				sim, err := NewSim(org, DefaultConfig(org), ims[org], sp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, stats, err := RunShardedSpec(sim, trace.NewSliceStream(tr, cs), shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%v shards=%d chunk=%d: speculative %+v != sequential %+v",
+						org, shards, cs, got, want)
+				}
+				wantWindows := int64((tr.Len() + cs - 1) / cs)
+				if stats.Windows != wantWindows || stats.Hits+stats.Retries != stats.Windows {
+					t.Errorf("%v shards=%d chunk=%d: stats %+v, want %d windows = hits+retries",
+						org, shards, cs, stats, wantWindows)
+				}
+				if shards == 1 && stats.Hits != stats.Windows {
+					t.Errorf("%v chunk=%d: 1-shard run had %d retries; in-order speculation must always verify",
+						org, cs, stats.Retries)
+				}
+			}
+		}
+	}
+}
+
+// TestRunShardedSpecSteadyWorkload is the regime the speculative
+// scheduler exists for: a steady periodic workload whose lap-boundary
+// states converge after the warm-up laps. Window 0 speculates from the
+// true cold start and every window from 2 on speculates from *some*
+// converged checkpoint — which equals the true seam state however stale
+// it is — so at most window 1 (cold assumption against a warm seam) can
+// retry.
+func TestRunShardedSpecSteadyWorkload(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	steady := func() trace.Stream {
+		st, err := emu.SteadyStream(sp, 2_000_000, trace.DefaultChunkEvents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	seqSim, err := NewSim(OrgCompressed, DefaultConfig(OrgCompressed), ims[OrgCompressed], sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seqSim.RunStream(steady())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specSim, err := NewSim(OrgCompressed, DefaultConfig(OrgCompressed), ims[OrgCompressed], sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := RunShardedSpec(specSim, steady(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("steady speculative %+v != sequential %+v", got, want)
+	}
+	if stats.Windows < 8 {
+		t.Fatalf("steady run produced only %d windows; workload too small to exercise speculation", stats.Windows)
+	}
+	if stats.Retries > 1 {
+		t.Errorf("steady workload retried %d of %d windows; only the warm-up seam may mispredict (stats %+v)",
+			stats.Retries, stats.Windows, stats)
+	}
+	if stats.Hits < stats.Windows-1 {
+		t.Errorf("steady workload verified only %d of %d windows", stats.Hits, stats.Windows)
+	}
+}
+
+// TestSpecVerifyAndRetryMechanism pins the scheduler's decision
+// procedure deterministically, without racing workers: a window
+// replayed from the wrong warm state produces a checkpoint that fails
+// verification, and retrying it from the true seam state reproduces the
+// sequential window bit for bit — counters and end state both.
+func TestSpecVerifyAndRetryMechanism(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 8192, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window A warms the whole pipeline; window B is kept short so a
+	// replay of B from the cold state provably cannot converge to the
+	// warm end state (the cache alone differs by thousands of lines).
+	half := tr.Len() - 64
+	chunkA := &trace.Chunk{Events: tr.Events[:half], First: 0}
+	chunkB := &trace.Chunk{Events: tr.Events[half:], First: int64(half)}
+
+	// Sequential reference: window A then window B on one pipeline.
+	seq, err := NewSim(OrgCompressed, DefaultConfig(OrgCompressed), ims[OrgCompressed], sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := seq.snapshotState(-2)
+	_, _, _, predA, err := seq.replayWindow(chunkA, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seamTrue := seq.snapshotState(predA)
+	resB, _, _, predB, err := seq.replayWindow(chunkB, predA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endTrue := seq.snapshotState(predB)
+
+	// Speculative replay of window B from the *wrong* assumption (cold).
+	spec, err := seq.fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.restoreState(cold)
+	_, _, _, specPred, err := spec.replayWindow(chunkB, cold.Pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specEnd := spec.snapshotState(specPred)
+	if seamTrue.equal(cold) {
+		t.Fatal("stochastic window left the pipeline in its cold state; trace too trivial")
+	}
+	if specEnd.equal(endTrue) {
+		t.Error("replay from the wrong seam state converged anyway; verification would mask nothing")
+	}
+
+	// Retry from the true seam state: counters and end state must match
+	// the sequential window exactly.
+	spec.restoreState(seamTrue)
+	retryRes, _, _, retryPred, err := spec.replayWindow(chunkB, seamTrue.Pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retryRes != resB {
+		t.Errorf("retried window counters %+v != sequential %+v", retryRes, resB)
+	}
+	if !spec.snapshotState(retryPred).equal(endTrue) {
+		t.Error("retried window end state differs from sequential end state")
+	}
+}
+
+// chunkListStream replays a fixed chunk list, including zero-event
+// chunks — seams the slice/producer streams never emit but the
+// schedulers must tolerate (a window with nothing to replay hands its
+// inbound state straight through).
+type chunkListStream struct {
+	name   string
+	chunks []*trace.Chunk
+	i      int
+}
+
+func (s *chunkListStream) Name() string { return s.name }
+func (s *chunkListStream) Next() (*trace.Chunk, error) {
+	if s.i >= len(s.chunks) {
+		return nil, nil
+	}
+	c := s.chunks[s.i]
+	s.i++
+	return c, nil
+}
+func (s *chunkListStream) Recycle(*trace.Chunk) {}
+func (s *chunkListStream) Close()               {}
+
+// TestRunShardedSpecSeamStress drives both window schedulers across
+// adversarial seam placements — every event its own window, windows of
+// two, one-off-from-trace-length chunks — and interleaved zero-event
+// windows, asserting bit-identity with the sequential replay each time.
+func TestRunShardedSpecSeamStress(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	n := 4099
+	tr, err := emu.StochasticTrace(sp, prof.Seed, n, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runOrg(t, OrgCompressed, sp, ims[OrgCompressed], tr)
+
+	for _, cs := range []int{1, 2, n - 1, n + 1} {
+		for _, spec := range []bool{false, true} {
+			sim, err := NewSim(OrgCompressed, DefaultConfig(OrgCompressed), ims[OrgCompressed], sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got Result
+			if spec {
+				got, _, err = RunShardedSpec(sim, trace.NewSliceStream(tr, cs), 4)
+			} else {
+				got, err = RunSharded(sim, trace.NewSliceStream(tr, cs), 4)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("spec=%v chunk=%d: %+v != sequential %+v", spec, cs, got, want)
+			}
+		}
+	}
+
+	// Zero-event windows between (and around) real ones. Ops/MOPs ride
+	// the chunks they describe, so totals still match the trace.
+	mkChunks := func() []*trace.Chunk {
+		third := tr.Len() / 3
+		cuts := []*trace.Chunk{
+			{First: 0}, // leading empty window
+			{Events: tr.Events[:third], First: 0},
+			{First: int64(third)}, // interior empty window
+			{Events: tr.Events[third : 2*third], First: int64(third)},
+			{First: int64(2 * third)},
+			{Events: tr.Events[2*third:], First: int64(2 * third)},
+			{First: int64(tr.Len())}, // trailing empty window
+		}
+		var ops, mops int64
+		for _, ev := range tr.Events[:third] {
+			ops += int64(sp.Blocks[ev.Block].NumOps())
+			mops += int64(sp.Blocks[ev.Block].NumMOPs())
+		}
+		cuts[1].Ops, cuts[1].MOPs = ops, mops
+		for _, ev := range tr.Events[third : 2*third] {
+			cuts[3].Ops += int64(sp.Blocks[ev.Block].NumOps())
+			cuts[3].MOPs += int64(sp.Blocks[ev.Block].NumMOPs())
+		}
+		cuts[5].Ops = tr.Ops - cuts[1].Ops - cuts[3].Ops
+		cuts[5].MOPs = tr.MOPs - cuts[1].MOPs - cuts[3].MOPs
+		return cuts
+	}
+	for _, spec := range []bool{false, true} {
+		sim, err := NewSim(OrgCompressed, DefaultConfig(OrgCompressed), ims[OrgCompressed], sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &chunkListStream{name: tr.Name, chunks: mkChunks()}
+		var got Result
+		if spec {
+			got, _, err = RunShardedSpec(sim, st, 4)
+		} else {
+			got, err = RunSharded(sim, st, 4)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("spec=%v zero-event windows: %+v != sequential %+v", spec, got, want)
+		}
+	}
+}
+
+// TestRunShardedBusDeltasAuthoritative asserts the satellite-2
+// invariant directly: the merged per-window bus deltas ARE the shared
+// bus model's cumulative counters — no end-of-run overwrite needed.
+func TestRunShardedBusDeltasAuthoritative(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 20000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(OrgCompressed, DefaultConfig(OrgCompressed), ims[OrgCompressed], sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSharded(sim, trace.NewSliceStream(tr, 1021), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beats, flips, bytes := sim.bus.Counts()
+	if res.BusBeats != beats || res.BitFlips != flips || res.BytesFetched != bytes {
+		t.Errorf("merged bus deltas (%d, %d, %d) != shared bus counters (%d, %d, %d)",
+			res.BusBeats, res.BitFlips, res.BytesFetched, beats, flips, bytes)
+	}
+}
+
+// attributedStream feeds a materialized trace through a producer stream
+// with per-event Ops/MOPs attribution — the way the emulator's walkers
+// attribute work — so every chunk carries its own totals and partial
+// results on error paths have meaningful operation counts (SliceStream
+// rides the totals on the final chunk only). Events referencing blocks
+// outside the program attribute nothing.
+func attributedStream(sp *sched.Program, tr *trace.Trace, chunkEvents int) trace.Stream {
+	s, p := trace.NewChanStream(tr.Name, chunkEvents, 0)
+	go func() {
+		for _, ev := range tr.Events {
+			var ops, mops int64
+			if ev.Block >= 0 && ev.Block < len(sp.Blocks) {
+				ops = int64(sp.Blocks[ev.Block].NumOps())
+				mops = int64(sp.Blocks[ev.Block].NumMOPs())
+			}
+			if !p.Append(ev, ops, mops) {
+				break
+			}
+		}
+		p.Close(nil)
+	}()
+	return s
+}
+
+// TestPartialCountersOnMalformedChunk is the satellite-1 differential:
+// when a chunk deep in the stream is corrupt, the sequential, sharded
+// and speculative replays must all return the same partial counters —
+// exactly the windows before the bad chunk — alongside the same typed
+// error.
+func TestPartialCountersOnMalformedChunk(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 9000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Events[6001].Block = len(sp.Blocks) + 3
+	const cs = 512
+
+	mkSim := func() *Sim {
+		sim, err := NewSim(OrgCompressed, DefaultConfig(OrgCompressed), ims[OrgCompressed], sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	seqRes, seqErr := mkSim().RunStream(attributedStream(sp, tr, cs))
+	if !errors.Is(seqErr, ErrMalformedTrace) || !strings.Contains(seqErr.Error(), "event 6001") {
+		t.Fatalf("sequential err = %v, want ErrMalformedTrace naming event 6001", seqErr)
+	}
+	// The committed windows are the chunks before the corrupt one:
+	// events 0..6001 live in chunk 11, so chunks 0..10 = events 0..5631.
+	var wantOps int64
+	for _, ev := range tr.Events[:(6001/cs)*cs] {
+		wantOps += int64(sp.Blocks[ev.Block].NumOps())
+	}
+	if seqRes.Ops != wantOps {
+		t.Errorf("sequential partial ops = %d, want %d (chunks before the corrupt one)", seqRes.Ops, wantOps)
+	}
+	if seqRes.BusBeats == 0 {
+		t.Fatalf("sequential partial result %+v carries no replayed bus traffic", seqRes)
+	}
+
+	shRes, shErr := RunSharded(mkSim(), attributedStream(sp, tr, cs), 4)
+	if !errors.Is(shErr, ErrMalformedTrace) || !strings.Contains(shErr.Error(), "event 6001") {
+		t.Fatalf("sharded err = %v, want ErrMalformedTrace naming event 6001", shErr)
+	}
+	if shRes != seqRes {
+		t.Errorf("sharded partial %+v != sequential partial %+v", shRes, seqRes)
+	}
+
+	spRes, _, spErr := RunShardedSpec(mkSim(), attributedStream(sp, tr, cs), 4)
+	if !errors.Is(spErr, ErrMalformedTrace) || !strings.Contains(spErr.Error(), "event 6001") {
+		t.Fatalf("speculative err = %v, want ErrMalformedTrace naming event 6001", spErr)
+	}
+	if spRes != seqRes {
+		t.Errorf("speculative partial %+v != sequential partial %+v", spRes, seqRes)
+	}
+}
+
+// failingATB wraps a real ATBStage and fails the Nth Update call — the
+// only way a validated chunk can die mid-replay, since reference
+// validation runs before any window touches the pipeline.
+type failingATB struct {
+	ATBStage
+	remaining int
+	err       error
+}
+
+func (f *failingATB) Update(block int, taken bool, next int) error {
+	f.remaining--
+	if f.remaining < 0 {
+		return f.err
+	}
+	return f.ATBStage.Update(block, taken, next)
+}
+
+// TestPartialCountersOnStepFailure is the second satellite-1
+// differential: a window dying mid-chunk (injected ATB failure) must
+// merge only the counters of the events actually replayed — the
+// schedule-attributed ops of the replayed prefix plus its bus traffic —
+// identically from the sequential and the sharded replay.
+func TestPartialCountersOnStepFailure(t *testing.T) {
+	sp, ims := pipeline(t, "compress")
+	prof := workload.MustProfile("compress")
+	tr, err := emu.StochasticTrace(sp, prof.Seed, 4000, prof.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected atb failure")
+	const failAt = 2500 // events replayed before the failing Update
+	const cs = 512
+
+	mkSim := func() *Sim {
+		sim, err := NewSim(OrgCompressed, DefaultConfig(OrgCompressed), ims[OrgCompressed], sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.atb = &failingATB{ATBStage: sim.atb, remaining: failAt, err: boom}
+		return sim
+	}
+
+	seqRes, seqErr := mkSim().RunStream(attributedStream(sp, tr, cs))
+	if seqErr == nil || !strings.Contains(seqErr.Error(), "injected atb failure") {
+		t.Fatalf("sequential err = %v, want the injected failure", seqErr)
+	}
+	// The replayed prefix is events 0..failAt inclusive: the failing
+	// event's fetch is fully accounted before its ATB training errors.
+	var wantOps, wantMOPs int64
+	for _, ev := range tr.Events[:failAt+1] {
+		wantOps += int64(sp.Blocks[ev.Block].NumOps())
+		wantMOPs += int64(sp.Blocks[ev.Block].NumMOPs())
+	}
+	if seqRes.Ops != wantOps || seqRes.MOPs != wantMOPs {
+		t.Errorf("sequential partial ops/mops = %d/%d, want %d/%d (events actually replayed)",
+			seqRes.Ops, seqRes.MOPs, wantOps, wantMOPs)
+	}
+	if seqRes.BlockFetches != failAt+1 {
+		t.Errorf("sequential partial fetches = %d, want %d", seqRes.BlockFetches, failAt+1)
+	}
+	if seqRes.BusBeats == 0 {
+		t.Error("sequential partial result dropped the replayed prefix's bus traffic")
+	}
+
+	shRes, shErr := RunSharded(mkSim(), attributedStream(sp, tr, cs), 4)
+	if shErr == nil || !strings.Contains(shErr.Error(), "injected atb failure") {
+		t.Fatalf("sharded err = %v, want the injected failure", shErr)
+	}
+	if shRes != seqRes {
+		t.Errorf("sharded partial %+v != sequential partial %+v", shRes, seqRes)
+	}
+}

@@ -62,6 +62,27 @@ func TestStreamEquivalenceMatrix(t *testing.T) {
 						p.Name, got, want)
 				}
 
+				stSpec, err := c.StreamTrace(streamMatrixBlocks, 1021)
+				if err != nil {
+					t.Fatalf("%s: %v", p.Name, err)
+				}
+				specSim, err := c.SimFor(p, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", p.Name, err)
+				}
+				spec, stats, err := cache.RunShardedSpec(specSim, stSpec, 4)
+				if err != nil {
+					t.Fatalf("%s: RunShardedSpec: %v", p.Name, err)
+				}
+				if spec != want {
+					t.Errorf("%s: speculative-over-stream differs from sequential:\n  spec %+v\n  seq  %+v",
+						p.Name, spec, want)
+				}
+				if stats.Hits+stats.Retries != stats.Windows {
+					t.Errorf("%s: spec accounting hits %d + retries %d != windows %d",
+						p.Name, stats.Hits, stats.Retries, stats.Windows)
+				}
+
 				im, err := c.Image(p.CacheScheme)
 				if err != nil {
 					t.Fatalf("%s: %v", p.Name, err)

@@ -1,0 +1,75 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// SteadyStream generates a deterministic steady-phase workload: every
+// lap executes the program's blocks 0..n-1 in order and wraps back to
+// block 0, until at least maxOps dynamic operations have executed (the
+// walk always completes its final lap). Because every lap is the same
+// access sequence, the fetch pipeline's behavioral state at lap
+// boundaries becomes periodic after a brief warm-up — which makes this
+// the best case for the speculative window scheduler (cache.
+// RunShardedSpec): the chunk size is rounded to whole laps, so window
+// seams land on lap boundaries, the warm-state prediction verifies, and
+// nearly every window commits its speculative replay. Contrast with
+// StochasticStream, whose seam states essentially never recur.
+//
+// The event for block b reports the branch outcome that reaches block
+// (b+1) mod n: a fall-through where that is the block's FallTarget, a
+// taken branch otherwise. The final event's Next is trace.End.
+// chunkEvents <= 0 selects trace.DefaultChunkEvents; either way the
+// chunk size is rounded down to a whole number of laps (minimum one
+// lap). The consumer must drain the stream or Close it to release the
+// producer goroutine.
+//
+//tepic:pool
+func SteadyStream(sp *sched.Program, maxOps int64, chunkEvents int) (trace.Stream, error) {
+	n := len(sp.Blocks)
+	if n == 0 {
+		return nil, fmt.Errorf("emu: steady stream over empty program %q", sp.Name)
+	}
+	if chunkEvents <= 0 {
+		chunkEvents = trace.DefaultChunkEvents
+	}
+	laps := chunkEvents / n
+	if laps < 1 {
+		laps = 1
+	}
+
+	var opsPerLap int64
+	for i := range sp.Blocks {
+		opsPerLap += int64(sp.Blocks[i].NumOps())
+	}
+	totalLaps := int64(1)
+	if opsPerLap > 0 && maxOps > opsPerLap {
+		totalLaps = (maxOps + opsPerLap - 1) / opsPerLap
+	}
+	totalEvents := totalLaps * int64(n)
+
+	s, p := trace.NewChanStream(sp.Name, laps*n, 0)
+	go func() {
+		for i := int64(0); i < totalEvents; i++ {
+			b := int(i % int64(n))
+			next := (b + 1) % n
+			ev := trace.Event{
+				Block: b,
+				Taken: sp.Blocks[b].FallTarget != next,
+				Next:  next,
+			}
+			if i == totalEvents-1 {
+				ev.Next = trace.End
+			}
+			blk := sp.Blocks[b]
+			if !p.Append(ev, int64(blk.NumOps()), int64(blk.NumMOPs())) {
+				break
+			}
+		}
+		p.Close(nil)
+	}()
+	return s, nil
+}

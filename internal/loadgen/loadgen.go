@@ -69,13 +69,24 @@ func (z *Zipf) Ranks() int { return len(z.cum) }
 
 // Percentile returns the p-th percentile (0 < p <= 100) of ds by the
 // nearest-rank method: the smallest element with at least p% of the
-// sample at or below it. Empty input returns 0.
+// sample at or below it. Empty input returns 0. Out-of-domain requests
+// degrade to the sample extremes rather than panicking: p > 100 or NaN
+// returns the maximum sample (the conservative read for a latency
+// gate — int(Ceil(NaN)) would otherwise underflow to the minimum), and
+// p <= 0 returns the minimum.
 func Percentile(ds []time.Duration, p float64) time.Duration {
 	if len(ds) == 0 {
 		return 0
 	}
 	sorted := append([]time.Duration(nil), ds...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Checked before the int conversion below: converting NaN, +Inf or a
+	// huge rank to int is implementation-defined (it underflows to the
+	// minimum int on amd64), which would silently turn "beyond the 100th
+	// percentile" into the *minimum* sample.
+	if math.IsNaN(p) || p > 100 {
+		return sorted[len(sorted)-1]
+	}
 	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
 	if rank < 1 {
 		rank = 1

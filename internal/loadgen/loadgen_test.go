@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"errors"
+	"math"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -124,6 +125,36 @@ func TestPercentileFixture(t *testing.T) {
 	}
 	if got := Percentile([]time.Duration{ms(5)}, 99); got != ms(5) {
 		t.Errorf("Percentile(single, 99) = %v, want 5ms", got)
+	}
+}
+
+// TestPercentileOutOfDomain pins the degraded behavior for requests
+// outside (0, 100]: p > 100, +Inf and NaN return the maximum sample
+// (NaN would otherwise fall through int(Ceil(NaN)) into the minimum),
+// p <= 0 and -Inf return the minimum, and nothing panics.
+func TestPercentileOutOfDomain(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	ds := []time.Duration{ms(30), ms(10), ms(20)}
+	cases := []struct {
+		name string
+		p    float64
+		want time.Duration
+	}{
+		{"p=101", 101, ms(30)},
+		{"p=1e9", 1e9, ms(30)},
+		{"p=+Inf", math.Inf(1), ms(30)},
+		{"NaN", math.NaN(), ms(30)},
+		{"p=0", 0, ms(10)},
+		{"p=-5", -5, ms(10)},
+		{"p=-Inf", math.Inf(-1), ms(10)},
+	}
+	for _, tc := range cases {
+		if got := Percentile(ds, tc.p); got != tc.want {
+			t.Errorf("Percentile(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, math.NaN()); got != 0 {
+		t.Errorf("Percentile(empty, NaN) = %v, want 0", got)
 	}
 }
 

@@ -51,3 +51,38 @@ func TestDefaults(t *testing.T) {
 		t.Errorf("FlipsPerBeat = %g, want 4", b.FlipsPerBeat())
 	}
 }
+
+// TestBusSnapshotRestore checks the bus checkpoint face: a restored bus
+// accumulates the same flips as the original on identical future
+// transfers, counters are excluded from the state, and the snapshot
+// does not alias the live line buffer.
+func TestBusSnapshotRestore(t *testing.T) {
+	a := NewBus(4)
+	a.Transfer([]byte{0xff, 0x0f, 0xaa, 0x55})
+	snap := a.Snapshot()
+
+	b := NewBus(4)
+	b.Transfer([]byte{1, 2, 3, 4}) // divergent history, different counters
+	b.Restore(snap)
+	if !b.Snapshot().Equal(snap) {
+		t.Error("restored bus state differs from the snapshot")
+	}
+	if b.Beats != 1 {
+		t.Errorf("Restore touched accounting counters: beats = %d", b.Beats)
+	}
+
+	// Same future payload must flip the same bits on both buses.
+	aFlips0, bFlips0 := a.Flips, b.Flips
+	payload := []byte{0x00, 0xf0, 0x55, 0xaa}
+	a.Transfer(payload)
+	b.Transfer(payload)
+	if a.Flips-aFlips0 != b.Flips-bFlips0 {
+		t.Errorf("flip deltas diverge after restore: %d vs %d", a.Flips-aFlips0, b.Flips-bFlips0)
+	}
+
+	// Mutating the original must not retroactively change the snapshot.
+	a.Transfer([]byte{9, 9, 9, 9})
+	if !snap.Equal(State{Last: []byte{0xff, 0x0f, 0xaa, 0x55}}) {
+		t.Error("snapshot aliases the live line buffer")
+	}
+}

@@ -465,14 +465,19 @@ func (s *Server) handleLint(r *http.Request) (any, error) {
 // dynamic operation count (capped at MaxTraceOps) instead of Blocks,
 // and Shards setting the worker count (0 selects the server's CPU
 // count). The streamed result is bit-identical to the non-streamed one
-// for the same Blocks bound.
+// for the same Blocks bound. Speculative (stream mode only) replays the
+// windows through the checkpointed speculative scheduler instead of the
+// token-serialized one — still bit-identical, with the scheduler's
+// window/hit/retry accounting reported back and counted in /v1/stats
+// (spec.hit, spec.retry).
 type SimulateRequest struct {
-	Benchmark string `json:"benchmark"`
-	Pairing   string `json:"pairing"`
-	Blocks    int    `json:"blocks,omitempty"`
-	Stream    bool   `json:"stream,omitempty"`
-	Ops       int64  `json:"ops,omitempty"`
-	Shards    int    `json:"shards,omitempty"`
+	Benchmark   string `json:"benchmark"`
+	Pairing     string `json:"pairing"`
+	Blocks      int    `json:"blocks,omitempty"`
+	Stream      bool   `json:"stream,omitempty"`
+	Ops         int64  `json:"ops,omitempty"`
+	Shards      int    `json:"shards,omitempty"`
+	Speculative bool   `json:"speculative,omitempty"`
 }
 
 func (r *SimulateRequest) validate() error {
@@ -500,6 +505,9 @@ func (r *SimulateRequest) validate() error {
 	if r.Shards < 0 || r.Shards > MaxSimShards {
 		return fmt.Errorf("%w: shards %d outside [0, %d]", ErrMalformedRequest, r.Shards, MaxSimShards)
 	}
+	if r.Speculative && !r.Stream {
+		return fmt.Errorf("%w: speculative replay requires stream mode", ErrMalformedRequest)
+	}
 	return nil
 }
 
@@ -524,6 +532,12 @@ type SimulateResponse struct {
 	ATBHitRate   float64 `json:"atb_hit_rate"`
 	Streamed     bool    `json:"streamed,omitempty"`
 	Shards       int     `json:"shards,omitempty"`
+	// Speculative replay accounting (stream mode with Speculative only).
+	Speculative   bool    `json:"speculative,omitempty"`
+	SpecWindows   int64   `json:"spec_windows,omitempty"`
+	SpecHits      int64   `json:"spec_hits,omitempty"`
+	SpecRetries   int64   `json:"spec_retries,omitempty"`
+	SpecRetryRate float64 `json:"spec_retry_rate,omitempty"`
 }
 
 //tepic:pool
@@ -543,6 +557,7 @@ func (s *Server) handleSimulate(r *http.Request) (any, error) {
 	}
 
 	var res cache.Result
+	var spec cache.SpecStats
 	traceBlocks := 0
 	shards := 0
 	if req.Stream {
@@ -562,7 +577,15 @@ func (s *Server) handleSimulate(r *http.Request) (any, error) {
 		if shards <= 0 {
 			shards = runtime.GOMAXPROCS(0)
 		}
-		if res, err = cache.RunSharded(sim, st, shards); err != nil {
+		if req.Speculative {
+			res, spec, err = cache.RunShardedSpec(sim, st, shards)
+			s.obs.Counter("serve.spec.windows").Add(spec.Windows)
+			s.obs.Counter("serve.spec.hits").Add(spec.Hits)
+			s.obs.Counter("serve.spec.retries").Add(spec.Retries)
+		} else {
+			res, err = cache.RunSharded(sim, st, shards)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("simulate %s/%s: %w", req.Benchmark, req.Pairing, err)
 		}
 		traceBlocks = int(res.BlockFetches)
@@ -596,6 +619,12 @@ func (s *Server) handleSimulate(r *http.Request) (any, error) {
 		ATBHitRate:   res.ATBHitRate,
 		Streamed:     req.Stream,
 		Shards:       shards,
+
+		Speculative:   req.Speculative,
+		SpecWindows:   spec.Windows,
+		SpecHits:      spec.Hits,
+		SpecRetries:   spec.Retries,
+		SpecRetryRate: spec.RetryRate(),
 	}, nil
 }
 

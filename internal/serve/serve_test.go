@@ -343,6 +343,68 @@ func TestSimulateStreamEndpoint(t *testing.T) {
 	}
 }
 
+// TestSimulateSpeculativeEndpoint replays the same bounded stream
+// through the serialized and the checkpointed speculative window
+// schedulers and requires bit-identical counters, with the speculative
+// response carrying the scheduler's window accounting and the server
+// stats registry counting the hits/retries.
+func TestSimulateSpeculativeEndpoint(t *testing.T) {
+	pairings := scheme.Pairings()
+	if len(pairings) == 0 {
+		t.Fatal("no registered pairings")
+	}
+	p := pairings[0]
+	const blocks = 5000
+
+	srv, ts := newTestServer(t, Config{})
+	status, body := postJSON(t, ts.URL+"/v1/simulate",
+		SimulateRequest{Benchmark: "compress", Pairing: p.Name, Blocks: blocks, Stream: true, Shards: 2})
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/simulate (stream) = %d: %s", status, body)
+	}
+	var serialized SimulateResponse
+	decodeInto(t, body, &serialized)
+
+	status, body = postJSON(t, ts.URL+"/v1/simulate",
+		SimulateRequest{Benchmark: "compress", Pairing: p.Name, Blocks: blocks,
+			Stream: true, Shards: 2, Speculative: true})
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/simulate (speculative) = %d: %s", status, body)
+	}
+	var spec SimulateResponse
+	decodeInto(t, body, &spec)
+
+	if !spec.Speculative {
+		t.Error("speculative response does not declare speculative mode")
+	}
+	if spec.SpecWindows <= 0 {
+		t.Errorf("speculative response windows = %d, want > 0", spec.SpecWindows)
+	}
+	if spec.SpecHits+spec.SpecRetries != spec.SpecWindows {
+		t.Errorf("spec accounting hits %d + retries %d != windows %d",
+			spec.SpecHits, spec.SpecRetries, spec.SpecWindows)
+	}
+	// Normalize the speculative markers, then the two responses must be
+	// bit-identical in every counter.
+	spec.Speculative = false
+	spec.SpecWindows, spec.SpecHits, spec.SpecRetries, spec.SpecRetryRate = 0, 0, 0, 0
+	if spec != serialized {
+		t.Errorf("speculative simulation diverges from serialized run:\n  speculative %+v\n  serialized  %+v",
+			spec, serialized)
+	}
+
+	snap := srv.Stats().Snapshot()
+	if got := snap.Counters["serve.spec.windows"]; got <= 0 {
+		t.Errorf("serve.spec.windows counter = %d, want > 0", got)
+	}
+	hits := snap.Counters["serve.spec.hits"]
+	retries := snap.Counters["serve.spec.retries"]
+	if hits+retries != snap.Counters["serve.spec.windows"] {
+		t.Errorf("stats counters hits %d + retries %d != windows %d",
+			hits, retries, snap.Counters["serve.spec.windows"])
+	}
+}
+
 // TestRejections maps every malformed input class to its typed sentinel
 // kind and HTTP status.
 func TestRejections(t *testing.T) {
@@ -380,6 +442,8 @@ func TestRejections(t *testing.T) {
 		{"blocks and ops", "/v1/simulate", `{"benchmark":"compress","pairing":"` + scheme.Pairings()[0].Name + `","stream":true,"blocks":10,"ops":10}`,
 			http.StatusBadRequest, "malformed-request"},
 		{"negative shards", "/v1/simulate", `{"benchmark":"compress","pairing":"` + scheme.Pairings()[0].Name + `","stream":true,"shards":-1}`,
+			http.StatusBadRequest, "malformed-request"},
+		{"speculative without stream", "/v1/simulate", `{"benchmark":"compress","pairing":"` + scheme.Pairings()[0].Name + `","speculative":true}`,
 			http.StatusBadRequest, "malformed-request"},
 	}
 	for _, tc := range cases {

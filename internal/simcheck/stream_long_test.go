@@ -15,16 +15,16 @@ import (
 // longHorizonOps is the default dynamic-operation horizon for the
 // streaming equality run: the acceptance criterion's 100M+ ops (about
 // ten million events — ~250 MB if materialized, a few hundred KB
-// streamed). The three replays finish in seconds; STREAM_LONG_OPS
+// streamed). The replays finish in seconds; STREAM_LONG_OPS
 // overrides the horizon either way.
 const longHorizonOps = 100_000_000
 
 // TestStreamLongHorizon is the tentpole's long-horizon proof: a
 // fixed-seed 100M-op trace streamed straight out of the stochastic
 // walker (never materialized), replayed through the incremental path,
-// the window-sharded path and the oracle's streaming face — all three
-// bit-identical — with peak heap bounded by the chunk working set
-// rather than the trace length.
+// the window-sharded path, the checkpointed speculative path and the
+// oracle's streaming face — all four bit-identical — with peak heap
+// bounded by the chunk working set rather than the trace length.
 func TestStreamLongHorizon(t *testing.T) {
 	if testing.Short() {
 		t.Skip("streams millions of ops; too slow for -short")
@@ -86,6 +86,22 @@ func TestStreamLongHorizon(t *testing.T) {
 		t.Errorf("sharded result differs from incremental:\n  sharded %+v\n  seq     %+v", sharded, seq)
 	}
 
+	sim3, err := cache.NewOrgSim(p.Org, cfg, im, nil, c.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, stats, err := cache.RunShardedSpec(sim3, stream(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec != seq {
+		t.Errorf("speculative result differs from incremental:\n  spec %+v\n  seq  %+v", spec, seq)
+	}
+	if stats.Hits+stats.Retries != stats.Windows {
+		t.Errorf("spec accounting hits %d + retries %d != windows %d",
+			stats.Hits, stats.Retries, stats.Windows)
+	}
+
 	oracle, err := simcheck.ExpectedStream(p.Org, cfg, im, nil, c.Prog, stream())
 	if err != nil {
 		t.Fatal(err)
@@ -98,8 +114,8 @@ func TestStreamLongHorizon(t *testing.T) {
 	// The trace never materializes: at ~24 B/event a materialized run of
 	// this horizon would hold hundreds of megabytes of events, while the
 	// streaming working set is a handful of 8192-event chunks. HeapSys
-	// is monotonic within the process, so its growth over the three
-	// replays bounds their peak footprint.
+	// is monotonic within the process, so its growth over the replays
+	// bounds their peak footprint.
 	const maxGrowth = 128 << 20
 	if growth := int64(after.HeapSys) - int64(before.HeapSys); growth > maxGrowth {
 		t.Errorf("heap grew %d MB during streaming replays (HeapSys %d -> %d); peak memory not bounded",
